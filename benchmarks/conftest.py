@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure from the paper's evaluation
+(§5).  Besides the timing captured by pytest-benchmark, every benchmark
+renders its result in the paper's row/series format and saves it under
+``benchmarks/_results/`` so the numbers can be inspected (and are quoted in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Save a rendered table under benchmarks/_results/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}\n")
+
+    return _save

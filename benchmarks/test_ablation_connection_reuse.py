@@ -1,0 +1,39 @@
+"""Ablation: reusing memcached connections across triggers (§5.3 future work).
+
+The paper identifies opening a remote memcached connection inside each
+trigger as the dominant trigger cost and proposes connection reuse as future
+work.  This ablation runs the Update configuration with and without the
+optimization and measures how much of Experiment 5's trigger overhead it
+recovers.
+"""
+
+from repro.bench import (DEFAULT_WORKLOAD, ScenarioConfig, UPDATE_SCENARIO,
+                         format_table, run_scenario)
+from repro.bench.experiments import DEFAULT_SEED_SCALE, _scenario_config
+
+
+def run_ablation():
+    baseline = run_scenario(_scenario_config(UPDATE_SCENARIO))
+    reuse = run_scenario(_scenario_config(UPDATE_SCENARIO,
+                                          reuse_trigger_connections=True))
+    ideal = run_scenario(_scenario_config(UPDATE_SCENARIO, triggers_enabled=False))
+    return {"baseline": baseline, "reuse": reuse, "ideal": ideal}
+
+
+def test_trigger_connection_reuse_ablation(benchmark, save_result):
+    runs = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    baseline, reuse, ideal = runs["baseline"], runs["reuse"], runs["ideal"]
+
+    rows = [
+        ["Update (connection per trigger)", f"{baseline.throughput:.1f}"],
+        ["Update + connection reuse", f"{reuse.throughput:.1f}"],
+        ["Ideal (no triggers)", f"{ideal.throughput:.1f}"],
+    ]
+    save_result("ablation_connection_reuse",
+                "Ablation - trigger connection reuse (Update scenario)\n" +
+                format_table(["Configuration", "Throughput (req/s)"], rows))
+
+    # Connection reuse recovers part of the trigger overhead...
+    assert reuse.throughput >= baseline.throughput
+    # ...but cannot beat the trigger-free ideal system.
+    assert reuse.throughput <= ideal.throughput * 1.05

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Comparing consistency strategies, plus the §3.3 serializability extension.
+
+Part 1 runs the same write-then-read sequence under the three per-object
+strategies (update-in-place, invalidate, expiry) and prints what each one
+does to the cache.
+
+Part 2 demonstrates the full-consistency extension sketched in §3.3: two
+transactions contend on a cached key under two-phase locking, one blocks,
+and a deadlock is detected and broken.
+
+Run with::
+
+    python examples/consistency_strategies.py
+"""
+
+from repro.core import (CacheGenie, TransactionalCacheSession,
+                        TwoPhaseLockingCoordinator, WouldBlock)
+from repro.errors import DeadlockError
+from repro.memcache import CacheClient, CacheServer
+from repro.orm import CharField, ForeignKey, IntegerField, Model, Registry
+from repro.storage import Database
+
+registry = Registry("strategies")
+
+
+class Player(Model):
+    name = CharField(max_length=40)
+
+    class Meta:
+        registry = registry
+
+
+class Score(Model):
+    player = ForeignKey(Player, related_name="scores")
+    points = IntegerField(default=0)
+
+    class Meta:
+        registry = registry
+
+
+def compare_strategies() -> None:
+    database = Database()
+    registry.bind(database)
+    registry.create_all()
+    genie = CacheGenie(registry=registry, database=database,
+                       cache_servers=[CacheServer("cache0")]).activate()
+
+    players = [Player.objects.create(name=f"player{i}") for i in range(3)]
+    for player in players:
+        for points in (10, 20, 30):
+            Score.objects.create(player=player, points=points)
+
+    strategies = ("update-in-place", "invalidate", "expiry")
+    print("strategy comparison (cached count of a player's scores)\n")
+    for strategy in strategies:
+        cached = genie.cacheable(
+            cache_class_type="CountQuery", name=f"score_count_{strategy}",
+            main_model="Score", where_fields=["player_id"],
+            update_strategy=strategy, expiry_seconds=60,
+            use_transparently=False)
+        player = players[0]
+        before = cached.evaluate(player_id=player.pk)
+        Score.objects.create(player=player, points=99)          # a write
+        in_cache = cached.peek(player_id=player.pk)
+        after = cached.evaluate(player_id=player.pk)
+        print(f"  {strategy:16s} cached-before={before}  "
+              f"cache-entry-after-write={in_cache!r}  next-read={after}")
+        Score.objects.filter(player_id=player.pk, points=99).delete()
+
+    print("\n(update-in-place keeps the entry fresh; invalidate drops it so the\n"
+          " next read recomputes; expiry leaves it stale until the TTL fires.)")
+    genie.deactivate()
+
+
+def demonstrate_two_phase_locking() -> None:
+    print("\n§3.3 extension: two-phase locking over cache keys\n")
+    coordinator = TwoPhaseLockingCoordinator()
+    cache = CacheClient([CacheServer("txn-cache")])
+    cache.set("profile:42", {"name": "alice"})
+
+    writer = TransactionalCacheSession(coordinator, cache)
+    reader = TransactionalCacheSession(coordinator, cache)
+
+    writer.set("profile:42", {"name": "alice (edited)"})
+    try:
+        reader.get("profile:42")
+    except WouldBlock as exc:
+        print(f"  reader blocked: {exc}")
+    writer.commit()
+    print(f"  after writer commits, reader sees: {reader.get('profile:42')}")
+    reader.commit()
+
+    # Deadlock: two transactions lock keys in opposite orders.
+    t1 = TransactionalCacheSession(coordinator, cache)
+    t2 = TransactionalCacheSession(coordinator, cache)
+    t1.set("key:a", 1)
+    t2.set("key:b", 2)
+    try:
+        t1.set("key:b", 1)
+    except WouldBlock:
+        print("  t1 waits for t2 on key:b")
+    try:
+        t2.set("key:a", 2)
+    except DeadlockError as exc:
+        print(f"  deadlock detected and broken: {exc}")
+        t2.abort()
+    t1.commit()
+
+
+if __name__ == "__main__":
+    compare_strategies()
+    demonstrate_two_phase_locking()

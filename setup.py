@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured via ``pyproject.toml``; this file exists so that
+``pip install -e . --no-build-isolation`` works on environments that lack the
+``wheel`` package (legacy editable installs go through setup.py develop).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Example applications built on the reproduction's ORM.
+
+``repro.apps.social`` is the Pinax-substitute social-networking application
+used throughout the paper's evaluation (profiles, friends, bookmarks, walls).
+"""

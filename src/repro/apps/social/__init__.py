@@ -1,0 +1,42 @@
+"""The Pinax-substitute social-networking application.
+
+Models (users, profiles, friends, bookmarks, walls), the page-rendering
+logic exercised by the paper's workload, the 14 cached-object definitions
+of the CacheGenie port, and dataset seeding.
+"""
+
+from .cached_objects import EXPECTED_CACHED_OBJECTS, install_cached_objects
+from .models import (ALL_MODELS, Bookmark, BookmarkInstance, Friendship,
+                     FriendshipInvitation, Profile, User, WallPost,
+                     social_registry)
+from .pages import (PAGE_ACCEPT_FR, PAGE_CREATE_BM, PAGE_LOGIN, PAGE_LOGOUT,
+                    PAGE_LOOKUP_BM, PAGE_LOOKUP_FBM, READ_PAGES, WRITE_PAGES,
+                    PageResult, SocialApplication)
+from .seed import SeedScale, SeedSummary, seed_database
+
+__all__ = [
+    "ALL_MODELS",
+    "Bookmark",
+    "BookmarkInstance",
+    "EXPECTED_CACHED_OBJECTS",
+    "Friendship",
+    "FriendshipInvitation",
+    "PAGE_ACCEPT_FR",
+    "PAGE_CREATE_BM",
+    "PAGE_LOGIN",
+    "PAGE_LOGOUT",
+    "PAGE_LOOKUP_BM",
+    "PAGE_LOOKUP_FBM",
+    "PageResult",
+    "Profile",
+    "READ_PAGES",
+    "SeedScale",
+    "SeedSummary",
+    "SocialApplication",
+    "User",
+    "WRITE_PAGES",
+    "WallPost",
+    "install_cached_objects",
+    "seed_database",
+    "social_registry",
+]

@@ -1,0 +1,263 @@
+"""Page-load logic for the social application.
+
+The paper's workload exercises four user actions plus login/logout (§5.1):
+
+* ``LookupBM``  — look up a list of the user's own bookmarks;
+* ``LookupFBM`` — look up bookmarks created by the user's friends;
+* ``CreateBM``  — add a new bookmark;
+* ``AcceptFR``  — accept a pending friend invitation.
+
+Each page issues a realistic mix of read queries (header badges, profile,
+lists, counts) and — for the write pages — a handful of writes.  The same
+code runs in all three evaluation configurations: with CacheGenie installed
+the frequent reads are served transparently from memcached; without it every
+query goes to the database.  Join-shaped queries (friends, friend bookmarks)
+use the corresponding LinkQuery cached object when one is registered and fall
+back to ORM traversals otherwise, matching the paper's explicit-``evaluate``
+usage for objects flagged ``use_transparently=False``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ...errors import DoesNotExist
+from .models import (Bookmark, BookmarkInstance, Friendship,
+                     FriendshipInvitation, Profile, User, WallPost)
+
+#: Page-type names used by the workload generator and reporting.
+PAGE_LOGIN = "Login"
+PAGE_LOGOUT = "Logout"
+PAGE_LOOKUP_BM = "LookupBM"
+PAGE_LOOKUP_FBM = "LookupFBM"
+PAGE_CREATE_BM = "CreateBM"
+PAGE_ACCEPT_FR = "AcceptFR"
+
+READ_PAGES = (PAGE_LOOKUP_BM, PAGE_LOOKUP_FBM)
+WRITE_PAGES = (PAGE_CREATE_BM, PAGE_ACCEPT_FR)
+
+
+@dataclass
+class PageResult:
+    """Outcome of rendering one page."""
+
+    page: str
+    user_id: int
+    items: int = 0
+    wrote: bool = False
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class SocialApplication:
+    """Renders the social site's pages against the ORM (and cached objects)."""
+
+    def __init__(self, cached_objects: Optional[Dict[str, Any]] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.cached = cached_objects or {}
+        self.rng = rng or random.Random(0)
+
+    # -- shared fragments -------------------------------------------------------
+
+    def _render_header(self, user_id: int) -> Dict[str, int]:
+        """The header shown on every page: badges for friends/invites/bookmarks.
+
+        Pinax templates recompute these fragments in several template blocks,
+        which is why the paper observes ~80 queries per page load; the header
+        alone accounts for a dozen (all of them cacheable patterns).
+        """
+        list(User.objects.filter(id=user_id))
+        list(Profile.objects.filter(user_id=user_id))
+        friend_count = Friendship.objects.filter(from_user_id=user_id).count()
+        invitation_count = FriendshipInvitation.objects.filter(to_user_id=user_id).count()
+        bookmark_count = BookmarkInstance.objects.filter(user_id=user_id).count()
+        wall_count = WallPost.objects.filter(user_id=user_id).count()
+        # The "friends online" sidebar fragment re-reads the friendship edges
+        # and the invitation list (both cacheable FeatureQuery patterns).
+        list(Friendship.objects.filter(from_user_id=user_id))
+        list(FriendshipInvitation.objects.filter(to_user_id=user_id))
+        return {
+            "friends": friend_count,
+            "invitations": invitation_count,
+            "bookmarks": bookmark_count,
+            "wall_posts": wall_count,
+        }
+
+    def _render_uncacheable_fragments(self, user_id: int) -> None:
+        """Queries whose patterns CacheGenie does not cache (§3.1).
+
+        The paper notes that workloads contain infrequent query shapes outside
+        the supported patterns, and that these uncached queries are what keeps
+        the database on the critical path even in the cached configurations.
+        """
+        # Range predicate: not an equality FeatureQuery, so never intercepted.
+        list(BookmarkInstance.objects.filter(user_id=user_id, added__gt=0.0)[:3])
+        # Count keyed on a column no cached object covers (sender, not owner).
+        WallPost.objects.filter(sender_id=user_id).count()
+
+    def _load_account(self, user_id: int) -> Dict[str, Any]:
+        users = list(User.objects.filter(id=user_id))
+        profiles = list(Profile.objects.filter(user_id=user_id))
+        return {
+            "user": users[0] if users else None,
+            "profile": profiles[0] if profiles else None,
+        }
+
+    def _friends_of(self, user_id: int) -> List[Dict[str, Any]]:
+        """Friend rows, via the LinkQuery cached object or an ORM traversal."""
+        cached = self.cached.get("friends_of_user")
+        if cached is not None:
+            return cached.evaluate(from_user_id=user_id)
+        friend_ids = [f.to_user_id for f in Friendship.objects.filter(from_user_id=user_id)]
+        if not friend_ids:
+            return []
+        return [u.to_dict() for u in User.objects.filter(id__in=friend_ids)]
+
+    def _friend_bookmarks(self, user_id: int) -> List[Dict[str, Any]]:
+        """Bookmarks saved by the user's friends (the expensive join)."""
+        cached = self.cached.get("friend_bookmarks")
+        if cached is not None:
+            return cached.evaluate(from_user_id=user_id)
+        rows: List[Dict[str, Any]] = []
+        for friendship in Friendship.objects.filter(from_user_id=user_id):
+            for instance in BookmarkInstance.objects.filter(user_id=friendship.to_user_id):
+                rows.append(instance.to_dict())
+        rows.sort(key=lambda r: r.get("added") or 0, reverse=True)
+        return rows
+
+    # -- pages --------------------------------------------------------------------
+
+    def login(self, user_id: int) -> PageResult:
+        """Login: load the account, profile, header badges, and the user's wall."""
+        account = self._load_account(user_id)
+        header = self._render_header(user_id)
+        wall = list(WallPost.objects.filter(user_id=user_id)
+                    .order_by("-date_posted")[:20])
+        WallPost.objects.filter(user_id=user_id).count()
+        self._render_uncacheable_fragments(user_id)
+        return PageResult(page=PAGE_LOGIN, user_id=user_id,
+                          items=len(wall), detail={"header": header,
+                                                   "has_profile": account["profile"] is not None})
+
+    def logout(self, user_id: int) -> PageResult:
+        """Logout: a light page — account row plus a couple of badges."""
+        self._load_account(user_id)
+        BookmarkInstance.objects.filter(user_id=user_id).count()
+        return PageResult(page=PAGE_LOGOUT, user_id=user_id)
+
+    def lookup_bookmarks(self, user_id: int) -> PageResult:
+        """LookupBM: the user's saved bookmarks with per-bookmark save counts."""
+        self._load_account(user_id)
+        header = self._render_header(user_id)
+        instances = list(BookmarkInstance.objects.filter(user_id=user_id))
+        # The Pinax template shows, for each listed bookmark, how many users
+        # saved it, plus the unique bookmark's details (not a cached pattern:
+        # the Bookmark-by-id rows are fetched straight from the database).
+        for instance in instances[:20]:
+            BookmarkInstance.objects.filter(bookmark_id=instance.bookmark_id).count()
+        for instance in instances[:1]:
+            list(Bookmark.objects.filter(id=instance.bookmark_id))
+        latest = list(BookmarkInstance.objects.filter(user_id=user_id)
+                      .order_by("-added")[:10])
+        self._render_uncacheable_fragments(user_id)
+        return PageResult(page=PAGE_LOOKUP_BM, user_id=user_id,
+                          items=len(instances), detail={"header": header,
+                                                        "latest": len(latest)})
+
+    def lookup_friend_bookmarks(self, user_id: int) -> PageResult:
+        """LookupFBM: bookmarks created by the user's friends."""
+        self._load_account(user_id)
+        header = self._render_header(user_id)
+        friend_bookmarks = self._friend_bookmarks(user_id)
+        # Show save counts and bookmark details for the first page of results.
+        for row in friend_bookmarks[:10]:
+            BookmarkInstance.objects.filter(bookmark_id=row["bookmark_id"]).count()
+        for row in friend_bookmarks[:1]:
+            list(Bookmark.objects.filter(id=row["bookmark_id"]))
+        return PageResult(page=PAGE_LOOKUP_FBM, user_id=user_id,
+                          items=len(friend_bookmarks), detail={"header": header})
+
+    def create_bookmark(self, user_id: int, url: Optional[str] = None,
+                        description: str = "") -> PageResult:
+        """CreateBM: save a (possibly new) bookmark, then re-render the list."""
+        self._load_account(user_id)
+        header = self._render_header(user_id)
+        if url is None:
+            # Users mostly re-save URLs that already circulate on the site (the
+            # seeded unique bookmarks), occasionally introducing new ones.
+            url = f"http://example.com/page/{self.rng.randrange(0, 300)}"
+        bookmark, created = Bookmark.objects.get_or_create(
+            url=url, defaults={"description": description, "adder_id": user_id})
+        instance = BookmarkInstance(
+            bookmark=bookmark, user_id=user_id,
+            description=description or url, note="")
+        instance.save()
+        # Post-save renders: the redirect shows the user's bookmark list again,
+        # including the fresh entry, its save count, and the latest-first view.
+        BookmarkInstance.objects.filter(user_id=user_id).count()
+        list(BookmarkInstance.objects.filter(user_id=user_id))
+        list(BookmarkInstance.objects.filter(user_id=user_id).order_by("-added")[:10])
+        BookmarkInstance.objects.filter(bookmark_id=bookmark.pk).count()
+        self._render_header(user_id)
+        return PageResult(page=PAGE_CREATE_BM, user_id=user_id, wrote=True,
+                          items=1, detail={"header": header,
+                                           "new_bookmark": created,
+                                           "bookmark_id": bookmark.pk})
+
+    def accept_friend_request(self, user_id: int) -> PageResult:
+        """AcceptFR: accept one pending invitation (or send one if none pending)."""
+        self._load_account(user_id)
+        header = self._render_header(user_id)
+        pending = [inv for inv in FriendshipInvitation.objects.filter(to_user_id=user_id)
+                   if inv.status == FriendshipInvitation.STATUS_PENDING]
+        if pending:
+            invitation = pending[0]
+            FriendshipInvitation.objects.filter(id=invitation.pk).update(
+                status=FriendshipInvitation.STATUS_ACCEPTED)
+            Friendship(from_user_id=user_id, to_user_id=invitation.from_user_id).save()
+            Friendship(from_user_id=invitation.from_user_id, to_user_id=user_id).save()
+            accepted = True
+            other = invitation.from_user_id
+        else:
+            # Nothing to accept: send a new invitation so the page still writes.
+            other = self._pick_other_user(user_id)
+            FriendshipInvitation(from_user_id=user_id, to_user_id=other,
+                                 message="let's be friends",
+                                 status=FriendshipInvitation.STATUS_PENDING).save()
+            accepted = False
+        # Re-render the friends panel after the write: the updated counts, the
+        # friend list, and the new friend's recent activity (their bookmarks).
+        Friendship.objects.filter(from_user_id=user_id).count()
+        self._friends_of(user_id)
+        FriendshipInvitation.objects.filter(to_user_id=user_id).count()
+        self._friend_bookmarks(user_id)
+        self._render_header(user_id)
+        return PageResult(page=PAGE_ACCEPT_FR, user_id=user_id, wrote=True,
+                          detail={"header": header, "accepted": accepted,
+                                  "other_user": other})
+
+    def _pick_other_user(self, user_id: int) -> int:
+        total_users = User.objects.count()
+        if total_users <= 1:
+            return user_id
+        other = self.rng.randrange(1, total_users + 1)
+        if other == user_id:
+            other = (other % total_users) + 1
+        return other
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def render(self, page: str, user_id: int) -> PageResult:
+        """Render a page by name (used by the workload driver)."""
+        handlers = {
+            PAGE_LOGIN: self.login,
+            PAGE_LOGOUT: self.logout,
+            PAGE_LOOKUP_BM: self.lookup_bookmarks,
+            PAGE_LOOKUP_FBM: self.lookup_friend_bookmarks,
+            PAGE_CREATE_BM: self.create_bookmark,
+            PAGE_ACCEPT_FR: self.accept_friend_request,
+        }
+        if page not in handlers:
+            raise ValueError(f"unknown page type {page!r}")
+        return handlers[page](user_id)

@@ -1,0 +1,6 @@
+"""``python -m repro.bench`` — regenerate the paper's evaluation artifacts."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+"""Command-line entry point for the evaluation harness.
+
+Lets a user regenerate any of the paper's tables/figures without writing
+code::
+
+    python -m repro.bench micro-lookup
+    python -m repro.bench micro-trigger
+    python -m repro.bench effort
+    python -m repro.bench table1
+    python -m repro.bench exp1 --clients 1 5 15 30
+    python -m repro.bench exp2
+    python -m repro.bench exp3
+    python -m repro.bench exp4
+    python -m repro.bench exp5
+
+Each command prints the same rendered rows/series the corresponding
+``benchmarks/`` target saves under ``benchmarks/_results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from . import experiments, reporting
+
+
+def _cmd_micro_lookup(_args: argparse.Namespace) -> str:
+    return reporting.render_micro_lookup(experiments.micro_lookup())
+
+
+def _cmd_micro_trigger(_args: argparse.Namespace) -> str:
+    return reporting.render_micro_trigger(experiments.micro_trigger())
+
+
+def _cmd_effort(_args: argparse.Namespace) -> str:
+    return reporting.render_effort(experiments.programmer_effort())
+
+
+def _cmd_table1(_args: argparse.Namespace) -> str:
+    return reporting.table1()
+
+
+def _cmd_exp1(args: argparse.Namespace) -> str:
+    result = experiments.experiment1(client_counts=tuple(args.clients))
+    return reporting.render_experiment1(result)
+
+
+def _cmd_exp2(args: argparse.Namespace) -> str:
+    result = experiments.experiment2(read_fractions=tuple(args.read_fractions))
+    return reporting.render_experiment2(result)
+
+
+def _cmd_exp3(args: argparse.Namespace) -> str:
+    result = experiments.experiment3(zipf_parameters=tuple(args.zipf))
+    return reporting.render_experiment3(result)
+
+
+def _cmd_exp4(args: argparse.Namespace) -> str:
+    sizes = tuple(int(kb) * 1024 for kb in args.cache_kb)
+    result = experiments.experiment4(cache_sizes_bytes=sizes)
+    return reporting.render_experiment4(result)
+
+
+def _cmd_exp5(_args: argparse.Namespace) -> str:
+    return reporting.render_experiment5(experiments.experiment5())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for ``python -m repro.bench``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the CacheGenie paper's evaluation tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("micro-lookup", help="§5.3 cache vs database lookups") \
+        .set_defaults(func=_cmd_micro_lookup)
+    sub.add_parser("micro-trigger", help="§5.3 trigger overhead on INSERT") \
+        .set_defaults(func=_cmd_micro_trigger)
+    sub.add_parser("effort", help="§5.2 programmer effort") \
+        .set_defaults(func=_cmd_effort)
+    sub.add_parser("table1", help="Table 1 system comparison") \
+        .set_defaults(func=_cmd_table1)
+
+    exp1 = sub.add_parser("exp1", help="Figure 2a/2b + Table 2 (clients sweep)")
+    exp1.add_argument("--clients", type=int, nargs="+", default=[1, 5, 10, 15, 25, 40])
+    exp1.set_defaults(func=_cmd_exp1)
+
+    exp2 = sub.add_parser("exp2", help="Figure 3a (read/write mix sweep)")
+    exp2.add_argument("--read-fractions", type=float, nargs="+",
+                      default=[0.0, 0.2, 0.4, 0.6, 0.8, 1.0])
+    exp2.set_defaults(func=_cmd_exp2)
+
+    exp3 = sub.add_parser("exp3", help="Figure 3b (zipf parameter sweep)")
+    exp3.add_argument("--zipf", type=float, nargs="+", default=[1.2, 1.4, 1.6, 1.8, 2.0])
+    exp3.set_defaults(func=_cmd_exp3)
+
+    exp4 = sub.add_parser("exp4", help="Figure 3c (cache size sweep)")
+    exp4.add_argument("--cache-kb", type=int, nargs="+",
+                      default=[16, 32, 64, 128, 256, 512])
+    exp4.set_defaults(func=_cmd_exp4)
+
+    sub.add_parser("exp5", help="Experiment 5 (trigger overhead)") \
+        .set_defaults(func=_cmd_exp5)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run one evaluation command and print its rendered result."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(args.func(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

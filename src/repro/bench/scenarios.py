@@ -1,0 +1,169 @@
+"""System assembly for the three evaluated configurations.
+
+The paper compares (§5):
+
+* **NoCache** — every request is served by the database;
+* **Invalidate** — CacheGenie with trigger-driven invalidation;
+* **Update** — CacheGenie with trigger-driven incremental update-in-place.
+
+A :class:`Scenario` builds one complete stack — storage engine, memcached
+servers, ORM binding, seeded dataset, CacheGenie (for the cached variants),
+and the social application — with every knob the experiments sweep exposed on
+:class:`ScenarioConfig`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..apps.social import (SeedScale, SeedSummary, SocialApplication,
+                           install_cached_objects, seed_database,
+                           social_registry)
+from ..core import CacheGenie, INVALIDATE, UPDATE_IN_PLACE
+from ..core.cache_classes.base import CacheClass
+from ..memcache import CacheServer
+from ..sim import VirtualClock
+from ..storage import CostModel, Database
+
+#: Scenario names used throughout the benchmarks and reports.
+NO_CACHE = "NoCache"
+INVALIDATE_SCENARIO = "Invalidate"
+UPDATE_SCENARIO = "Update"
+
+ALL_SCENARIOS = (NO_CACHE, INVALIDATE_SCENARIO, UPDATE_SCENARIO)
+
+
+@dataclass
+class ScenarioConfig:
+    """Configuration of one system under test."""
+
+    name: str = UPDATE_SCENARIO
+    #: Cache capacity across all cache servers, in bytes (the paper's default
+    #: is 512 MB on a dedicated memcached machine; scaled down with the data).
+    cache_size_bytes: int = 8 * 1024 * 1024
+    cache_server_count: int = 2
+    #: Database buffer-pool size in pages; chosen so the scaled dataset does
+    #: not fully fit, preserving the paper's CPU-bound vs disk-bound split.
+    buffer_pool_pages: int = 64
+    #: Experiment 5's "ideal system": triggers removed, cache never updated.
+    triggers_enabled: bool = True
+    #: Future-work optimization: reuse memcached connections between triggers.
+    reuse_trigger_connections: bool = False
+    seed_scale: SeedScale = field(default_factory=SeedScale)
+    rng_seed: int = 99
+
+    @property
+    def uses_cache(self) -> bool:
+        return self.name != NO_CACHE
+
+    @property
+    def strategy(self) -> Optional[str]:
+        if self.name == UPDATE_SCENARIO:
+            return UPDATE_IN_PLACE
+        if self.name == INVALIDATE_SCENARIO:
+            return INVALIDATE
+        return None
+
+    def variant(self, **overrides) -> "ScenarioConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+class Scenario:
+    """A fully assembled system under test."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.clock = VirtualClock()
+        self.database = Database(
+            name=config.name,
+            buffer_pool_pages=config.buffer_pool_pages,
+            cost_model=CostModel(),
+        )
+        self.registry = social_registry
+        # Rebind the (module-level) social registry to this scenario's stack.
+        self.registry.unbind()
+        self.registry.bind(self.database)
+        self.registry.clock = self.clock
+        self.registry.create_all()
+
+        self.cache_servers: List[CacheServer] = []
+        self.genie: Optional[CacheGenie] = None
+        self.cached_objects: Dict[str, CacheClass] = {}
+        self.seed_summary: Optional[SeedSummary] = None
+        self.app = SocialApplication(cached_objects={},
+                                     rng=random.Random(config.rng_seed))
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def setup(self) -> "Scenario":
+        """Seed the dataset and (for cached scenarios) install CacheGenie."""
+        self.seed_summary = seed_database(self.config.seed_scale)
+        if self.config.uses_cache:
+            per_server = max(1, self.config.cache_size_bytes // self.config.cache_server_count)
+            self.cache_servers = [
+                CacheServer(f"cache{i}", capacity_bytes=per_server, clock=self.clock)
+                for i in range(self.config.cache_server_count)
+            ]
+            self.genie = CacheGenie(
+                registry=self.registry,
+                database=self.database,
+                cache_servers=self.cache_servers,
+                reuse_trigger_connections=self.config.reuse_trigger_connections,
+            ).activate()
+            self.cached_objects = install_cached_objects(
+                self.genie, update_strategy=self.config.strategy)
+            self.app = SocialApplication(cached_objects=self.cached_objects,
+                                         rng=random.Random(self.config.rng_seed))
+            if not self.config.triggers_enabled:
+                self.database.triggers.disable_all()
+        return self
+
+    def teardown(self) -> None:
+        """Detach CacheGenie and unbind the registry (so another scenario can build)."""
+        if self.genie is not None:
+            self.genie.deactivate()
+            self.genie = None
+        self.registry.unbind()
+
+    def __enter__(self) -> "Scenario":
+        return self.setup()
+
+    def __exit__(self, *exc_info) -> None:
+        self.teardown()
+
+    # -- introspection ----------------------------------------------------------------
+
+    def cache_hit_ratio(self) -> float:
+        if self.genie is None:
+            return 0.0
+        return self.genie.cache_hit_ratio()
+
+    def cache_stats(self) -> Dict[str, float]:
+        if not self.cache_servers:
+            return {}
+        total: Dict[str, float] = {}
+        for server in self.cache_servers:
+            for key, value in server.stats_dict().items():
+                total[key] = total.get(key, 0) + value
+        return total
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.config.name,
+            "strategy": self.config.strategy,
+            "cache_size_bytes": self.config.cache_size_bytes if self.config.uses_cache else 0,
+            "buffer_pool_pages": self.config.buffer_pool_pages,
+            "triggers_enabled": self.config.triggers_enabled,
+            "seed": self.seed_summary.as_dict() if self.seed_summary else {},
+        }
+
+
+def build_scenario(name: str, **overrides) -> Scenario:
+    """Convenience constructor: build and set up a scenario by name."""
+    if name not in ALL_SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r}; expected one of {ALL_SCENARIOS}")
+    config = ScenarioConfig(name=name).variant(**overrides) if overrides else ScenarioConfig(name=name)
+    return Scenario(config).setup()

@@ -1,0 +1,44 @@
+"""CacheGenie core: the paper's primary contribution.
+
+High-level caching abstractions (FeatureQuery, LinkQuery, CountQuery,
+TopKQuery), the ``cacheable()`` declarative API, automatic trigger
+generation, transparent ORM interception, and the §3.3 full-consistency
+extension.
+"""
+
+from .cache_classes import (BUILTIN_CACHE_CLASSES, CacheClass, ChainStep,
+                            CountQuery, FeatureQuery, LinkQuery, TopKQuery,
+                            TriggerSpec)
+from .interception import CacheGenieInterceptor
+from .keys import KeyScheme
+from .manager import CacheGenie, cacheable
+from .stats import CachedObjectStats, CacheGenieStats
+from .strategies import EXPIRY, INVALIDATE, UPDATE_IN_PLACE
+from .triggergen import TriggerGenerator, render_trigger_source
+from .txn2pl import (TransactionalCacheSession, TwoPhaseLockingCoordinator,
+                     WouldBlock)
+
+__all__ = [
+    "BUILTIN_CACHE_CLASSES",
+    "CacheClass",
+    "CacheGenie",
+    "CacheGenieInterceptor",
+    "CacheGenieStats",
+    "CachedObjectStats",
+    "ChainStep",
+    "CountQuery",
+    "EXPIRY",
+    "FeatureQuery",
+    "INVALIDATE",
+    "KeyScheme",
+    "LinkQuery",
+    "TopKQuery",
+    "TransactionalCacheSession",
+    "TriggerGenerator",
+    "TriggerSpec",
+    "TwoPhaseLockingCoordinator",
+    "UPDATE_IN_PLACE",
+    "WouldBlock",
+    "cacheable",
+    "render_trigger_source",
+]

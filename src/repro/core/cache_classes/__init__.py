@@ -1,0 +1,27 @@
+"""CacheGenie caching abstractions (cache classes)."""
+
+from .base import CacheClass, TriggerSpec
+from .count import CountQuery
+from .feature import FeatureQuery
+from .link import ChainStep, LinkQuery
+from .topk import TopKQuery
+
+#: Registry of built-in cache classes, keyed by their ``cache_class_type``
+#: name as used in ``cacheable(cache_class_type=...)``.
+BUILTIN_CACHE_CLASSES = {
+    FeatureQuery.cache_class_type: FeatureQuery,
+    LinkQuery.cache_class_type: LinkQuery,
+    CountQuery.cache_class_type: CountQuery,
+    TopKQuery.cache_class_type: TopKQuery,
+}
+
+__all__ = [
+    "BUILTIN_CACHE_CLASSES",
+    "CacheClass",
+    "ChainStep",
+    "CountQuery",
+    "FeatureQuery",
+    "LinkQuery",
+    "TopKQuery",
+    "TriggerSpec",
+]

@@ -1,0 +1,314 @@
+"""The CacheClass base: the contract every caching abstraction implements.
+
+Per §3.1 of the paper, a cache class must perform three tasks:
+
+1. **Query generation** — derive the database query template that computes a
+   cached object's value from the models/fields named in its definition.
+2. **Trigger generation** — report which tables and events need triggers and
+   provide the handler code that keeps affected keys consistent.
+3. **Query evaluation** — fetch the value from the cache, falling back to the
+   database (and populating the cache) on a miss, and transform the value
+   into what the application expects.
+
+Subclasses (FeatureQuery, LinkQuery, CountQuery, TopKQuery) specialize the
+query template, the affected-key computation, and the incremental update
+logic; the shared plumbing — key naming, strategy dispatch, CAS retry loops,
+statistics — lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ...errors import CacheClassError
+from ..keys import KeyScheme, fingerprint
+from ..serializer import freeze_rows, freeze_value, thaw_rows
+from ..stats import CachedObjectStats
+from ..strategies import (EXPIRY, INVALIDATE, UPDATE_IN_PLACE, needs_triggers,
+                          validate_strategy)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...orm.queryset import QueryDescription
+    from ..manager import CacheGenie
+
+#: Maximum CAS retries inside a trigger before falling back to invalidation.
+CAS_MAX_RETRIES = 5
+
+
+@dataclass
+class TriggerSpec:
+    """One trigger a cached object needs: table + event + handler."""
+
+    table: str
+    event: str
+    handler: Callable[[Dict[str, Any]], None]
+    description: str = ""
+
+
+class CacheClass:
+    """Base class for CacheGenie caching abstractions ("cache classes")."""
+
+    #: Name used in ``cacheable(cache_class_type=...)``.
+    cache_class_type = "Abstract"
+
+    def __init__(
+        self,
+        name: str,
+        genie: "CacheGenie",
+        main_model: type,
+        where_fields: Sequence[str],
+        update_strategy: str = UPDATE_IN_PLACE,
+        use_transparently: bool = True,
+        expiry_seconds: Optional[float] = None,
+    ) -> None:
+        if not where_fields:
+            raise CacheClassError(
+                f"cached object {name!r} must declare at least one where_field"
+            )
+        self.name = name
+        self.genie = genie
+        self.main_model = main_model
+        self.where_fields: List[str] = [
+            self._resolve_column(main_model, f) for f in where_fields
+        ]
+        self.update_strategy = validate_strategy(update_strategy)
+        if self.update_strategy == EXPIRY and expiry_seconds is None:
+            expiry_seconds = 30.0
+        self.expiry_seconds = expiry_seconds
+        self.use_transparently = use_transparently
+        self.stats = CachedObjectStats()
+        self.keys = KeyScheme(name, self._fingerprint())
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _resolve_column(model: type, field_name: str) -> str:
+        """Resolve a field name (or raw column) to its storage column."""
+        return model._meta.column_for(field_name)
+
+    def _fingerprint(self) -> str:
+        return fingerprint(self.cache_class_type, self.main_table,
+                           ",".join(self.where_fields))
+
+    @property
+    def main_table(self) -> str:
+        return self.main_model._meta.db_table
+
+    @property
+    def db(self):
+        return self.genie.db
+
+    @property
+    def app_cache(self):
+        return self.genie.app_cache
+
+    @property
+    def trigger_cache(self):
+        return self.genie.trigger_cache
+
+    def _expire(self) -> Optional[float]:
+        return self.expiry_seconds if self.update_strategy == EXPIRY else None
+
+    # -- key construction ------------------------------------------------------
+
+    def make_key(self, **params: Any) -> str:
+        """Build the cache key for one combination of where-field values."""
+        values = []
+        for column in self.where_fields:
+            if column not in params:
+                raise CacheClassError(
+                    f"cached object {self.name!r} requires parameter {column!r}"
+                )
+            values.append(params[column])
+        return self.keys.key_for(values)
+
+    def key_from_row(self, row: Dict[str, Any]) -> str:
+        """Build the cache key from a main-table row's values."""
+        return self.keys.key_for([row.get(c) for c in self.where_fields])
+
+    def _params_from_filters(self, filters: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Extract where-field parameters from normalized query filters."""
+        if set(filters.keys()) != set(self.where_fields):
+            return None
+        return {column: filters[column] for column in self.where_fields}
+
+    # -- step 1: query generation (subclass responsibility) --------------------
+
+    def compute_from_db(self, params: Dict[str, Any]) -> Any:
+        """Compute the cached value for ``params`` from the database."""
+        raise NotImplementedError
+
+    # -- step 2: trigger generation ---------------------------------------------
+
+    def trigger_tables(self) -> List[str]:
+        """Tables whose changes can affect this cached object."""
+        return [self.main_table]
+
+    def get_trigger_info(self) -> List[TriggerSpec]:
+        """Return the trigger specs CacheGenie must install for this object."""
+        if not needs_triggers(self.update_strategy):
+            return []
+        specs: List[TriggerSpec] = []
+        for table in self.trigger_tables():
+            for event in ("insert", "update", "delete"):
+                specs.append(TriggerSpec(
+                    table=table,
+                    event=event,
+                    handler=self._make_handler(table, event),
+                    description=(
+                        f"{self.cache_class_type} {self.name!r}: sync on "
+                        f"{event.upper()} of {table!r} ({self.update_strategy})"
+                    ),
+                ))
+        return specs
+
+    def _make_handler(self, table: str, event: str) -> Callable[[Dict[str, Any]], None]:
+        def handler(trigger_data: Dict[str, Any]) -> None:
+            self.handle_trigger(table, event,
+                                new=trigger_data.get("new"),
+                                old=trigger_data.get("old"))
+        handler.__name__ = f"cg_{self.name}_{table}_{event}"
+        return handler
+
+    # -- step 3: evaluation ------------------------------------------------------
+
+    def evaluate(self, **params: Any) -> Any:
+        """Fetch the cached value, falling back to the database on a miss.
+
+        This is both the explicit API (``cached_user_profile.evaluate(user_id=42)``)
+        and what transparent interception calls under the hood.
+        """
+        normalized = self._normalize_params(params)
+        key = self.make_key(**normalized)
+        value = self.app_cache.get(key)
+        if value is not None:
+            self.stats.cache_hits += 1
+            return self._thaw(value)
+        self.stats.cache_misses += 1
+        self.stats.db_fallbacks += 1
+        value = self.compute_from_db(normalized)
+        self.app_cache.set(key, self._freeze(value), expire=self._expire())
+        return self._thaw(self._freeze(value))
+
+    def peek(self, **params: Any) -> Optional[Any]:
+        """Return the cached value without falling back to the database."""
+        key = self.make_key(**self._normalize_params(params))
+        value = self.app_cache.get(key)
+        return self._thaw(value) if value is not None else None
+
+    def _normalize_params(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Accept field names or columns; resolve model instances to pks."""
+        from ...errors import FieldError
+        normalized: Dict[str, Any] = {}
+        for key, value in params.items():
+            try:
+                column = self._resolve_column(self.main_model, key)
+            except FieldError:
+                column = key
+            if hasattr(value, "pk"):
+                value = value.pk
+            normalized[column] = value
+        return normalized
+
+    # Value freezing/thawing: subclasses override for non-list values.
+
+    def _freeze(self, value: Any) -> Any:
+        return freeze_rows(value)
+
+    def _thaw(self, value: Any) -> Any:
+        return thaw_rows(value)
+
+    # -- transparent interception -------------------------------------------------
+
+    def matches(self, description: "QueryDescription") -> Optional[Dict[str, Any]]:
+        """Return evaluate() parameters if this object can satisfy the query."""
+        raise NotImplementedError
+
+    def result_for_application(self, value: Any,
+                               description: "QueryDescription") -> Any:
+        """Transform a cached value into the shape the QuerySet expects."""
+        return value
+
+    # -- trigger handling ----------------------------------------------------------
+
+    def handle_trigger(self, table: str, event: str,
+                       new: Optional[Dict[str, Any]],
+                       old: Optional[Dict[str, Any]]) -> None:
+        """Dispatch a trigger firing to the configured consistency strategy."""
+        self.stats.trigger_invocations += 1
+        self.trigger_cache.reset_connection()
+        if self.update_strategy == INVALIDATE:
+            self._invalidate_affected(table, event, new, old)
+        elif self.update_strategy == UPDATE_IN_PLACE:
+            self.apply_incremental_update(table, event, new, old)
+
+    def _invalidate_affected(self, table: str, event: str,
+                             new: Optional[Dict[str, Any]],
+                             old: Optional[Dict[str, Any]]) -> None:
+        keys = set()
+        for row in (new, old):
+            if row is not None:
+                keys.update(self.affected_keys(table, row))
+        for key in keys:
+            if self.trigger_cache.delete(key):
+                self.stats.invalidations += 1
+
+    def affected_keys(self, table: str, row: Dict[str, Any]) -> List[str]:
+        """Cache keys affected by a change to ``row`` in ``table``.
+
+        The base implementation assumes ``table`` is the main table and keys
+        are derived directly from the row's where-field values; subclasses
+        with join chains override this.
+        """
+        if table != self.main_table:
+            return []
+        return [self.key_from_row(row)]
+
+    def apply_incremental_update(self, table: str, event: str,
+                                 new: Optional[Dict[str, Any]],
+                                 old: Optional[Dict[str, Any]]) -> None:
+        """Apply the update-in-place strategy (subclass responsibility)."""
+        raise NotImplementedError
+
+    # -- shared update helpers ------------------------------------------------------
+
+    def _cas_update(self, key: str, mutate: Callable[[Any], Any]) -> bool:
+        """Read-modify-write ``key`` with gets/cas, as the paper's triggers do.
+
+        ``mutate`` receives the current value and returns the new value, or
+        ``None`` to leave the entry untouched.  Returns True if an update was
+        written.  If the key is absent the trigger quits (paper: "If not
+        present, the trigger quits").
+        """
+        for attempt in range(CAS_MAX_RETRIES):
+            value, token = self.trigger_cache.gets(key)
+            if value is None:
+                return False
+            new_value = mutate(value)
+            if new_value is None:
+                return False
+            if self.trigger_cache.cas(key, new_value, token):
+                self.stats.updates_applied += 1
+                return True
+            self.stats.cas_retries += 1
+        # Could not win the CAS race: fall back to invalidation for safety.
+        self.trigger_cache.delete(key)
+        self.stats.invalidations += 1
+        return False
+
+    def _recompute_key(self, key: str, params: Dict[str, Any]) -> None:
+        """Recompute a key's value from the database and overwrite it."""
+        current, _token = self.trigger_cache.gets(key)
+        if current is None:
+            # Paper semantics: triggers only maintain entries already cached.
+            return
+        value = self.compute_from_db(params)
+        self.trigger_cache.set(key, self._freeze(value), expire=self._expire())
+        self.stats.recomputations += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{self.__class__.__name__} {self.name!r} on {self.main_table!r} "
+            f"by {self.where_fields!r} ({self.update_strategy})>"
+        )

@@ -1,0 +1,85 @@
+"""CountQuery: cache the number of rows matching a predicate.
+
+"Count Query caches the count of rows matching some predicate ... Count
+queries are good candidates for caching, as they take up little memory in
+cache but can be slow to execute in the database."  (§3.1)
+
+The cached value is a plain integer.  Update-in-place uses memcached's
+``incr``/``decr`` so the trigger never has to read the old value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from ...storage.predicates import predicate_from_filters
+from ...storage.query import CountQuery as StorageCountQuery
+from ..serializer import freeze_value
+from .base import CacheClass
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...orm.queryset import QueryDescription
+
+
+class CountQuery(CacheClass):
+    """Cache ``COUNT(*)`` of ``main_model`` rows grouped by ``where_fields``."""
+
+    cache_class_type = "CountQuery"
+
+    # -- step 1: query generation ------------------------------------------------
+
+    def compute_from_db(self, params: Dict[str, Any]) -> int:
+        query = StorageCountQuery(
+            table=self.main_table,
+            predicate=predicate_from_filters(params),
+        )
+        return self.db.count(query)
+
+    # -- value handling ------------------------------------------------------------
+
+    def _freeze(self, value: Any) -> Any:
+        return int(value)
+
+    def _thaw(self, value: Any) -> Any:
+        return int(value)
+
+    # -- transparent interception ----------------------------------------------------
+
+    def matches(self, description: "QueryDescription") -> Optional[Dict[str, Any]]:
+        if description.kind != "count":
+            return None
+        if description.table != self.main_table:
+            return None
+        return self._params_from_filters(description.filters)
+
+    def result_for_application(self, value: int,
+                               description: "QueryDescription") -> int:
+        return int(value)
+
+    # -- update-in-place ---------------------------------------------------------------
+
+    def apply_incremental_update(self, table: str, event: str,
+                                 new: Optional[Dict[str, Any]],
+                                 old: Optional[Dict[str, Any]]) -> None:
+        if event == "insert" and new is not None:
+            self._bump(self.key_from_row(new), +1)
+            return
+        if event == "delete" and old is not None:
+            self._bump(self.key_from_row(old), -1)
+            return
+        if event == "update" and new is not None and old is not None:
+            old_key = self.key_from_row(old)
+            new_key = self.key_from_row(new)
+            if old_key != new_key:
+                self._bump(old_key, -1)
+                self._bump(new_key, +1)
+            # An update that keeps the where-field does not change the count.
+
+    def _bump(self, key: str, delta: int) -> None:
+        """Increment/decrement the cached count if (and only if) it is cached."""
+        if delta > 0:
+            result = self.trigger_cache.incr(key, delta)
+        else:
+            result = self.trigger_cache.decr(key, -delta)
+        if result is not None:
+            self.stats.updates_applied += 1

@@ -1,0 +1,171 @@
+"""TopKQuery: cache the top-K rows under some ordering.
+
+"Top-K Query caches the top K elements matching some predicate ... cached
+results can be incrementally updated as updates happen to the database, and
+don't need to be recomputed from scratch."  (§3.1, §3.2)
+
+The cached value is an ordered list of raw rows of length up to
+``k + reserve``; the reserve rows let DELETE triggers shrink the list without
+an immediate recomputation, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from ...errors import CacheClassError
+from ...storage.predicates import predicate_from_filters
+from ...storage.query import OrderBy, SelectQuery
+from .base import CacheClass
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...orm.queryset import QueryDescription
+
+#: Extra rows cached beyond K so deletes can be absorbed incrementally.
+DEFAULT_RESERVE = 5
+
+
+class TopKQuery(CacheClass):
+    """Cache the top ``k`` rows of ``main_model`` per where-field group."""
+
+    cache_class_type = "TopKQuery"
+
+    def __init__(self, *args: Any, sort_field: str, k: int,
+                 sort_order: str = "descending",
+                 reserve: int = DEFAULT_RESERVE, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        if k < 1:
+            raise CacheClassError(f"TopKQuery {self.name!r} requires k >= 1")
+        if sort_order not in ("ascending", "descending"):
+            raise CacheClassError(
+                f"sort_order must be 'ascending' or 'descending', got {sort_order!r}"
+            )
+        self.sort_column = self._resolve_column(self.main_model, sort_field)
+        self.descending = sort_order == "descending"
+        self.k = k
+        self.reserve = reserve
+
+    @property
+    def capacity(self) -> int:
+        return self.k + self.reserve
+
+    # -- step 1: query generation ------------------------------------------------
+
+    def compute_from_db(self, params: Dict[str, Any]) -> List[Dict[str, Any]]:
+        query = SelectQuery(
+            table=self.main_table,
+            predicate=predicate_from_filters(params),
+            order_by=[OrderBy(column=self.sort_column, descending=self.descending)],
+            limit=self.capacity,
+        )
+        return self.db.select(query)
+
+    # -- transparent interception ---------------------------------------------------
+
+    def matches(self, description: "QueryDescription") -> Optional[Dict[str, Any]]:
+        if description.kind != "select":
+            return None
+        if description.table != self.main_table:
+            return None
+        if description.offset:
+            return None
+        if description.limit is None or description.limit > self.k:
+            return None
+        if len(description.order_by) != 1:
+            return None
+        column, descending = description.order_by[0]
+        if column != self.sort_column or descending != self.descending:
+            return None
+        return self._params_from_filters(description.filters)
+
+    def result_for_application(self, value: List[Dict[str, Any]],
+                               description: "QueryDescription") -> Any:
+        limit = description.limit if description.limit is not None else self.k
+        return list(value)[: min(limit, self.k)]
+
+    # -- evaluation override: never hand out more than K rows ------------------------
+
+    def evaluate(self, **params: Any) -> List[Dict[str, Any]]:
+        rows = super().evaluate(**params)
+        return rows[: self.k]
+
+    # -- update-in-place ---------------------------------------------------------------
+
+    def apply_incremental_update(self, table: str, event: str,
+                                 new: Optional[Dict[str, Any]],
+                                 old: Optional[Dict[str, Any]]) -> None:
+        pk_column = self.main_model._meta.pk_column
+
+        if event == "insert" and new is not None:
+            key = self.key_from_row(new)
+            self._cas_update(key, lambda rows: self._insert_sorted(rows, new, pk_column))
+            return
+
+        if event == "delete" and old is not None:
+            key = self.key_from_row(old)
+            params = {c: old.get(c) for c in self.where_fields}
+            removed_below_k = self._cas_update(
+                key, lambda rows: self._remove(rows, old, pk_column))
+            if removed_below_k:
+                # If the reserve is exhausted the list may now be shorter than
+                # K while the database still has qualifying rows: recompute.
+                value, _ = self.trigger_cache.gets(key)
+                if value is not None and len(value) < self.k:
+                    self._recompute_key(key, params)
+            return
+
+        if event == "update" and new is not None and old is not None:
+            old_key = self.key_from_row(old)
+            new_key = self.key_from_row(new)
+            if old_key == new_key:
+                self._cas_update(
+                    new_key, lambda rows: self._update_in_list(rows, new, pk_column))
+            else:
+                self._cas_update(old_key, lambda rows: self._remove(rows, old, pk_column))
+                self._cas_update(new_key,
+                                 lambda rows: self._insert_sorted(rows, new, pk_column))
+
+    # -- list manipulation helpers ------------------------------------------------------
+
+    def _sort_value(self, row: Dict[str, Any]) -> Any:
+        return row.get(self.sort_column)
+
+    def _insert_sorted(self, rows: List[Dict[str, Any]], new: Dict[str, Any],
+                       pk_column: str) -> List[Dict[str, Any]]:
+        """Insert ``new`` at its ordered position and trim to capacity."""
+        out = [r for r in rows if r.get(pk_column) != new.get(pk_column)]
+        new_value = self._sort_value(new)
+        insert_pos = len(out)
+        for idx, row in enumerate(out):
+            existing = self._sort_value(row)
+            if self.descending:
+                if new_value is not None and (existing is None or new_value > existing):
+                    insert_pos = idx
+                    break
+            else:
+                if new_value is not None and (existing is None or new_value < existing):
+                    insert_pos = idx
+                    break
+        if insert_pos >= self.capacity:
+            # The new row sorts below everything we keep: nothing to do.
+            return out if len(out) != len(rows) else None
+        out.insert(insert_pos, dict(new))
+        return out[: self.capacity]
+
+    def _remove(self, rows: List[Dict[str, Any]], old: Dict[str, Any],
+                pk_column: str) -> Optional[List[Dict[str, Any]]]:
+        out = [r for r in rows if r.get(pk_column) != old.get(pk_column)]
+        if len(out) == len(rows):
+            return None
+        return out
+
+    def _update_in_list(self, rows: List[Dict[str, Any]], new: Dict[str, Any],
+                        pk_column: str) -> Optional[List[Dict[str, Any]]]:
+        """Replace the row if present, then restore ordering."""
+        present = any(r.get(pk_column) == new.get(pk_column) for r in rows)
+        if not present:
+            # The paper's UPDATE trigger only touches posts already in the list;
+            # but if the updated row now sorts into the window, insert it.
+            return self._insert_sorted(rows, new, pk_column)
+        out = [r for r in rows if r.get(pk_column) != new.get(pk_column)]
+        return self._insert_sorted(out, new, pk_column) or out

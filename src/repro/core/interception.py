@@ -1,0 +1,54 @@
+"""Transparent ORM query interception.
+
+CacheGenie "operates as a layer underneath the application, modifying the
+queries issued by the ORM system to the database, redirecting them to the
+cache when possible" (§2).  The interceptor registered on the ORM registry
+receives a normalized description of each simple query; if a cached object
+with ``use_transparently=True`` matches, the query is served through that
+object's ``evaluate`` path (cache hit, or database fallback that repopulates
+the cache) without the application changing a line of code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple, TYPE_CHECKING
+
+from ..orm.registry import QueryInterceptor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..orm.queryset import QueryDescription
+    from .cache_classes.base import CacheClass
+
+
+class CacheGenieInterceptor(QueryInterceptor):
+    """Serves matching ORM queries from cached objects."""
+
+    def __init__(self) -> None:
+        self._cached_objects: List["CacheClass"] = []
+
+    def register(self, cached_object: "CacheClass") -> None:
+        self._cached_objects.append(cached_object)
+
+    def unregister(self, cached_object: "CacheClass") -> None:
+        if cached_object in self._cached_objects:
+            self._cached_objects.remove(cached_object)
+
+    def clear(self) -> None:
+        self._cached_objects.clear()
+
+    @property
+    def cached_objects(self) -> List["CacheClass"]:
+        return list(self._cached_objects)
+
+    def try_fetch(self, description: "QueryDescription") -> Tuple[bool, Any]:
+        """Offer the query to each transparently-usable cached object."""
+        for cached_object in self._cached_objects:
+            if not cached_object.use_transparently:
+                continue
+            params = cached_object.matches(description)
+            if params is None:
+                continue
+            value = cached_object.evaluate(**params)
+            cached_object.stats.transparent_fetches += 1
+            return True, cached_object.result_for_application(value, description)
+        return False, None

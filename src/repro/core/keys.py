@@ -1,0 +1,48 @@
+"""Cache-key construction.
+
+Every cached object owns a key prefix; individual entries append the values
+of the object's ``where_fields``.  The paper notes that illustrative prefixes
+like ``LatestWallPostsOfUser:42`` are replaced by system-generated unique
+prefixes in practice — we do the same: a short digest of the cached-object
+definition guards against collisions between objects with similar names,
+while remaining deterministic across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterable, Sequence
+
+_SAFE_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.:-")
+
+
+def _encode_component(value: Any) -> str:
+    """Encode one key component so it is memcached-safe."""
+    text = repr(value) if not isinstance(value, str) else value
+    if all(ch in _SAFE_CHARS for ch in text) and len(text) <= 48:
+        return text
+    digest = hashlib.md5(text.encode("utf-8")).hexdigest()[:16]
+    return f"h{digest}"
+
+
+class KeyScheme:
+    """Key naming scheme for one cached object."""
+
+    def __init__(self, object_name: str, definition_fingerprint: str) -> None:
+        digest = hashlib.md5(definition_fingerprint.encode("utf-8")).hexdigest()[:8]
+        self.prefix = f"cg:{_encode_component(object_name)}:{digest}"
+
+    def key_for(self, values: Sequence[Any]) -> str:
+        """Build the cache key for one combination of where-field values."""
+        parts = [self.prefix]
+        parts.extend(_encode_component(v) for v in values)
+        return ":".join(parts)
+
+    def key_for_mapping(self, where_fields: Sequence[str], mapping: Dict[str, Any]) -> str:
+        """Build the cache key from a ``{column: value}`` mapping."""
+        return self.key_for([mapping[f] for f in where_fields])
+
+
+def fingerprint(*parts: Any) -> str:
+    """Build a stable fingerprint string from definition parameters."""
+    return "|".join(str(p) for p in parts)

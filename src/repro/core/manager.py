@@ -1,0 +1,230 @@
+"""The CacheGenie orchestrator.
+
+A :class:`CacheGenie` instance wires together one ORM registry, its database,
+and a set of memcached servers.  Programmers declare cached objects through
+:meth:`cacheable` (the paper's API); CacheGenie then
+
+* builds the cache-class instance (query generation),
+* generates and installs the database triggers (trigger generation), and
+* registers the object with the ORM interceptor (transparent evaluation).
+
+The module-level :func:`cacheable` mirrors the paper's free function: it
+forwards to the currently activated CacheGenie instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..errors import CacheClassError
+from ..memcache.client import CacheClient
+from ..memcache.server import CacheServer
+from ..orm.registry import Registry
+from ..storage.database import Database
+from .cache_classes import BUILTIN_CACHE_CLASSES, CacheClass
+from .interception import CacheGenieInterceptor
+from .stats import CacheGenieStats
+from .strategies import UPDATE_IN_PLACE
+from .triggergen import TriggerGenerator
+
+
+class CacheGenie:
+    """The caching middleware: declarative cached objects over ORM + DB + cache."""
+
+    def __init__(
+        self,
+        registry: Registry,
+        database: Optional[Database] = None,
+        cache_servers: Optional[Sequence[CacheServer]] = None,
+        default_strategy: str = UPDATE_IN_PLACE,
+        reuse_trigger_connections: bool = False,
+        cache_address: str = "cache-host:11211",
+    ) -> None:
+        self.registry = registry
+        self.db = database or registry.db
+        self.recorder = self.db.recorder
+        if cache_servers is None:
+            cache_servers = [CacheServer("cache0")]
+        self.cache_servers = list(cache_servers)
+        self.cache_address = cache_address
+        self.default_strategy = default_strategy
+        #: Client used by the application (and by evaluate()).
+        self.app_cache = CacheClient(self.cache_servers, recorder=self.recorder)
+        #: Client used from inside triggers; charges trigger-side costs.
+        self.trigger_cache = CacheClient(
+            self.cache_servers, recorder=self.recorder,
+            from_trigger=True, reuse_connections=reuse_trigger_connections)
+        self.interceptor = CacheGenieInterceptor()
+        self.trigger_generator = TriggerGenerator(self)
+        self.cached_objects: Dict[str, CacheClass] = {}
+        self.stats = CacheGenieStats()
+        self._custom_cache_classes: Dict[str, type] = {}
+        self._activated = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def activate(self) -> "CacheGenie":
+        """Register the interceptor with the ORM registry (idempotent)."""
+        if not self._activated:
+            self.registry.add_interceptor(self.interceptor)
+            self._activated = True
+        _set_active_genie(self)
+        return self
+
+    def deactivate(self) -> None:
+        """Unregister the interceptor and drop all generated triggers."""
+        if self._activated:
+            self.registry.remove_interceptor(self.interceptor)
+            self._activated = False
+        for cached_object in list(self.cached_objects.values()):
+            self.remove_cached_object(cached_object.name)
+        if _active_genie() is self:
+            _set_active_genie(None)
+
+    # -- cache class registration -------------------------------------------------
+
+    def register_cache_class(self, cache_class: type) -> None:
+        """Register a custom cache class (the paper's extensibility story)."""
+        if not issubclass(cache_class, CacheClass):
+            raise CacheClassError(
+                f"{cache_class!r} does not subclass CacheClass"
+            )
+        self._custom_cache_classes[cache_class.cache_class_type] = cache_class
+
+    def _resolve_cache_class(self, type_name: str) -> type:
+        if type_name in self._custom_cache_classes:
+            return self._custom_cache_classes[type_name]
+        if type_name in BUILTIN_CACHE_CLASSES:
+            return BUILTIN_CACHE_CLASSES[type_name]
+        raise CacheClassError(
+            f"unknown cache_class_type {type_name!r}; known types: "
+            f"{sorted(set(BUILTIN_CACHE_CLASSES) | set(self._custom_cache_classes))}"
+        )
+
+    # -- the cacheable() API --------------------------------------------------------
+
+    def cacheable(
+        self,
+        cache_class_type: str,
+        main_model: Union[str, type],
+        where_fields: Sequence[str],
+        name: Optional[str] = None,
+        update_strategy: Optional[str] = None,
+        use_transparently: bool = True,
+        expiry_seconds: Optional[float] = None,
+        **params: Any,
+    ) -> CacheClass:
+        """Declare a cached object (the paper's ``cacheable(...)`` call).
+
+        Returns the cached-object instance, whose ``evaluate(**where_values)``
+        method can be used for explicit lookups when transparency is off.
+        """
+        if not self._activated:
+            self.activate()
+        model = (self.registry.get_model(main_model)
+                 if isinstance(main_model, str) else main_model)
+        cache_class = self._resolve_cache_class(cache_class_type)
+        object_name = name or self._default_name(cache_class_type, model, where_fields)
+        if object_name in self.cached_objects:
+            raise CacheClassError(f"cached object {object_name!r} already defined")
+        cached_object = cache_class(
+            name=object_name,
+            genie=self,
+            main_model=model,
+            where_fields=list(where_fields),
+            update_strategy=update_strategy or self.default_strategy,
+            use_transparently=use_transparently,
+            expiry_seconds=expiry_seconds,
+            **params,
+        )
+        self.cached_objects[object_name] = cached_object
+        self.stats.per_object[object_name] = cached_object.stats
+        self.trigger_generator.install_for(cached_object)
+        self.interceptor.register(cached_object)
+        return cached_object
+
+    def _default_name(self, cache_class_type: str, model: type,
+                      where_fields: Sequence[str]) -> str:
+        return f"{cache_class_type.lower()}_{model.__name__.lower()}_by_" + \
+            "_".join(where_fields)
+
+    def remove_cached_object(self, name: str) -> None:
+        """Drop a cached object, its triggers, and its interception."""
+        cached_object = self.cached_objects.pop(name, None)
+        if cached_object is None:
+            raise CacheClassError(f"no cached object named {name!r}")
+        self.trigger_generator.uninstall_for(cached_object)
+        self.interceptor.unregister(cached_object)
+
+    def get_cached_object(self, name: str) -> CacheClass:
+        try:
+            return self.cached_objects[name]
+        except KeyError:
+            raise CacheClassError(f"no cached object named {name!r}") from None
+
+    # -- introspection / metrics -------------------------------------------------------
+
+    @property
+    def cached_object_count(self) -> int:
+        return len(self.cached_objects)
+
+    @property
+    def trigger_count(self) -> int:
+        return self.trigger_generator.trigger_count
+
+    @property
+    def generated_trigger_lines(self) -> int:
+        return self.trigger_generator.generated_line_count
+
+    def effort_report(self) -> Dict[str, int]:
+        """Programmer-effort metrics matching §5.2 of the paper."""
+        return {
+            "cached_objects": self.cached_object_count,
+            "generated_triggers": self.trigger_count,
+            "generated_trigger_lines": self.generated_trigger_lines,
+        }
+
+    def cache_hit_ratio(self) -> float:
+        totals = self.stats.totals()
+        return totals.hit_ratio
+
+    def flush_cache(self) -> None:
+        """Empty every cache server (used between experiment runs)."""
+        self.app_cache.flush_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CacheGenie {self.cached_object_count} cached objects, "
+            f"{self.trigger_count} triggers>"
+        )
+
+
+# -- module-level cacheable(), like the paper's free function -----------------------
+
+_ACTIVE_GENIE: Optional[CacheGenie] = None
+
+
+def _set_active_genie(genie: Optional[CacheGenie]) -> None:
+    global _ACTIVE_GENIE
+    _ACTIVE_GENIE = genie
+
+
+def _active_genie() -> Optional[CacheGenie]:
+    return _ACTIVE_GENIE
+
+
+def cacheable(**kwargs: Any) -> CacheClass:
+    """Declare a cached object on the currently active CacheGenie instance.
+
+    Mirrors the paper's usage::
+
+        cached_user_profile = cacheable(cache_class_type='FeatureQuery',
+                                        main_model='Profile',
+                                        where_fields=['user_id'])
+    """
+    genie = _active_genie()
+    if genie is None:
+        raise CacheClassError(
+            "no active CacheGenie instance; create one and call activate() first"
+        )
+    return genie.cacheable(**kwargs)

@@ -1,0 +1,35 @@
+"""Value (de)serialization between CacheGenie and the cache.
+
+Real memcached stores opaque bytes, which naturally decouples cached values
+from live application objects.  Our in-process cache stores Python objects,
+so CacheGenie defensively copies values on the way in and out — otherwise a
+caller mutating a returned row list would silently corrupt the cache.
+
+Row dictionaries are also *normalized*: the paper caches "the raw results of
+queries and not Django model objects", so values are plain dicts / ints /
+lists that any consumer can reconstruct model instances from.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Sequence
+
+
+def freeze_rows(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Deep-copy a list of row dicts for storage in the cache."""
+    return [copy.deepcopy(dict(row)) for row in rows]
+
+
+def thaw_rows(value: Any) -> List[Dict[str, Any]]:
+    """Deep-copy a cached list of row dicts for return to the application."""
+    if value is None:
+        return []
+    return [copy.deepcopy(dict(row)) for row in value]
+
+
+def freeze_value(value: Any) -> Any:
+    """Deep-copy an arbitrary cached value (counts are immutable ints)."""
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return copy.deepcopy(value)

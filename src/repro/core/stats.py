@@ -1,0 +1,55 @@
+"""Statistics collected by CacheGenie itself (per cached object and global)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+
+@dataclass
+class CachedObjectStats:
+    """Counters for a single cached object."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    db_fallbacks: int = 0          # evaluate() had to query the database
+    transparent_fetches: int = 0   # served through ORM interception
+    updates_applied: int = 0       # trigger applied an incremental update
+    invalidations: int = 0         # trigger deleted a key
+    recomputations: int = 0        # trigger recomputed a value from the DB
+    cas_retries: int = 0           # CAS conflicts retried inside triggers
+    trigger_invocations: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["hit_ratio"] = self.hit_ratio
+        return out
+
+
+@dataclass
+class CacheGenieStats:
+    """Aggregated statistics across all cached objects."""
+
+    per_object: Dict[str, CachedObjectStats] = field(default_factory=dict)
+
+    def for_object(self, name: str) -> CachedObjectStats:
+        if name not in self.per_object:
+            self.per_object[name] = CachedObjectStats()
+        return self.per_object[name]
+
+    def totals(self) -> CachedObjectStats:
+        total = CachedObjectStats()
+        for stats in self.per_object.values():
+            for f in fields(CachedObjectStats):
+                setattr(total, f.name, getattr(total, f.name) + getattr(stats, f.name))
+        return total
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        out = {name: stats.as_dict() for name, stats in self.per_object.items()}
+        out["_total"] = self.totals().as_dict()
+        return out

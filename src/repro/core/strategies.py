@@ -1,0 +1,38 @@
+"""Cache-consistency strategies.
+
+The paper exposes three per-cached-object strategies (§3.1, §4):
+
+* ``update-in-place`` (default) — triggers incrementally update cached values;
+* ``invalidate`` — triggers delete affected keys; the next read recomputes;
+* ``expiry`` — no triggers; entries simply expire after a fixed interval
+  (the classic, weakest option the paper argues against for dynamic sites).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..errors import CacheClassError
+
+UPDATE_IN_PLACE = "update-in-place"
+INVALIDATE = "invalidate"
+EXPIRY = "expiry"
+
+ALL_STRATEGIES: FrozenSet[str] = frozenset({UPDATE_IN_PLACE, INVALIDATE, EXPIRY})
+
+#: Strategies that require triggers on the underlying tables.
+TRIGGERED_STRATEGIES: FrozenSet[str] = frozenset({UPDATE_IN_PLACE, INVALIDATE})
+
+
+def validate_strategy(strategy: str) -> str:
+    """Validate a strategy name, returning it unchanged."""
+    if strategy not in ALL_STRATEGIES:
+        raise CacheClassError(
+            f"unknown update_strategy {strategy!r}; expected one of {sorted(ALL_STRATEGIES)}"
+        )
+    return strategy
+
+
+def needs_triggers(strategy: str) -> bool:
+    """Return True if the strategy keeps the cache consistent via triggers."""
+    return strategy in TRIGGERED_STRATEGIES

@@ -1,0 +1,223 @@
+"""Full-serializability extension (§3.3 of the paper).
+
+The shipped CacheGenie propagates cache updates non-transactionally.  §3.3
+sketches how full transactional consistency *would* be added: memcached
+tracks, per key, the set of uncommitted readers and the (single) uncommitted
+writer; reads and writes block according to two-phase-locking rules; commits
+and aborts clear the bookkeeping; deadlocks are broken by timeout.
+
+This module implements that design as a coordinator that can wrap any cache
+client.  Because the reproduction is single-process, "blocking" is modeled
+explicitly: lock acquisition either succeeds, or raises :class:`WouldBlock`
+carrying the conflicting transaction ids (the discrete-event simulation — or
+a test — decides whether to wait or abort), and a wait-for graph provides
+deterministic deadlock detection in addition to the paper's timeouts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..errors import ConsistencyError, DeadlockError
+
+
+class WouldBlock(ConsistencyError):
+    """Raised when a read/write must wait for conflicting transactions."""
+
+    def __init__(self, key: str, waiting_for: Set[int]) -> None:
+        super().__init__(f"operation on {key!r} blocked by transactions {sorted(waiting_for)}")
+        self.key = key
+        self.waiting_for = set(waiting_for)
+
+
+@dataclass
+class _KeyState:
+    """Per-key reader/writer bookkeeping (kept even for invalidated keys)."""
+
+    readers: Set[int] = field(default_factory=set)
+    writer: Optional[int] = None
+
+
+class TwoPhaseLockingCoordinator:
+    """Readers/writers tracking with 2PL blocking rules over cache keys."""
+
+    def __init__(self, deadlock_timeout: float = 1.0) -> None:
+        self.deadlock_timeout = deadlock_timeout
+        self._keys: Dict[str, _KeyState] = {}
+        self._tid_counter = itertools.count(1)
+        #: Keys touched by each live transaction, for commit/abort cleanup.
+        self._touched: Dict[int, Set[str]] = {}
+        #: Wait-for graph edges (waiter -> blockers) for deadlock detection.
+        self._waits_for: Dict[int, Set[int]] = {}
+        self.committed = 0
+        self.aborted = 0
+        self.deadlocks_detected = 0
+
+    # -- transaction lifecycle ----------------------------------------------------
+
+    def begin(self) -> int:
+        """Start a transaction; returns its tid (chosen by app + database)."""
+        tid = next(self._tid_counter)
+        self._touched[tid] = set()
+        return tid
+
+    def _require_live(self, tid: int) -> None:
+        if tid not in self._touched:
+            raise ConsistencyError(f"transaction {tid} is not active")
+
+    def _state(self, key: str) -> _KeyState:
+        if key not in self._keys:
+            self._keys[key] = _KeyState()
+        return self._keys[key]
+
+    # -- lock acquisition -----------------------------------------------------------
+
+    def acquire_read(self, tid: int, key: str) -> None:
+        """Record a read of ``key``; blocks if another transaction wrote it.
+
+        Per §3.3: "a transaction T reading key k will be blocked if
+        (writer_k != None and writer_k != T)".
+        """
+        self._require_live(tid)
+        state = self._state(key)
+        if state.writer is not None and state.writer != tid:
+            self._record_wait(tid, {state.writer})
+            raise WouldBlock(key, {state.writer})
+        self._clear_wait(tid)
+        state.readers.add(tid)
+        self._touched[tid].add(key)
+
+    def acquire_write(self, tid: int, key: str) -> None:
+        """Record a write of ``key``; blocks on a foreign writer or readers.
+
+        Per §3.3: "a transaction T writing key k will be blocked if
+        (writer_k != None and writer_k != T and readers_k - {T} != {})" —
+        we additionally block on a foreign writer alone, the standard 2PL
+        write-lock rule, which the paper's formula implies for its protocol
+        of write-after-read upgrades.
+        """
+        self._require_live(tid)
+        state = self._state(key)
+        blockers: Set[int] = set()
+        if state.writer is not None and state.writer != tid:
+            blockers.add(state.writer)
+        blockers.update(r for r in state.readers if r != tid)
+        if blockers:
+            self._record_wait(tid, blockers)
+            raise WouldBlock(key, blockers)
+        self._clear_wait(tid)
+        state.writer = tid
+        self._touched[tid].add(key)
+
+    # -- wait-for graph / deadlock detection -------------------------------------------
+
+    def _record_wait(self, waiter: int, blockers: Set[int]) -> None:
+        self._waits_for[waiter] = set(blockers)
+        cycle = self._find_cycle(waiter)
+        if cycle:
+            self.deadlocks_detected += 1
+            self._waits_for.pop(waiter, None)
+            raise DeadlockError(
+                f"deadlock detected involving transactions {sorted(cycle)}"
+            )
+
+    def _clear_wait(self, tid: int) -> None:
+        self._waits_for.pop(tid, None)
+
+    def _find_cycle(self, start: int) -> Optional[Set[int]]:
+        """DFS through the wait-for graph looking for a cycle containing start."""
+        stack: List[Tuple[int, List[int]]] = [(start, [start])]
+        visited: Set[int] = set()
+        while stack:
+            node, path = stack.pop()
+            for blocker in self._waits_for.get(node, ()):
+                if blocker == start:
+                    return set(path)
+                if blocker not in visited:
+                    visited.add(blocker)
+                    stack.append((blocker, path + [blocker]))
+        return None
+
+    # -- commit / abort -------------------------------------------------------------------
+
+    def commit(self, tid: int) -> None:
+        """Release all of ``tid``'s read/write marks (paper: on DB commit)."""
+        self._require_live(tid)
+        self._release(tid)
+        self.committed += 1
+
+    def abort(self, tid: int) -> List[str]:
+        """Release marks and return the keys ``tid`` wrote (caller must purge
+        them from the cache so subsequent reads go to the database)."""
+        self._require_live(tid)
+        written = [key for key in self._touched[tid]
+                   if self._keys.get(key) and self._keys[key].writer == tid]
+        self._release(tid)
+        self.aborted += 1
+        return written
+
+    def _release(self, tid: int) -> None:
+        for key in self._touched.pop(tid, set()):
+            state = self._keys.get(key)
+            if state is None:
+                continue
+            state.readers.discard(tid)
+            if state.writer == tid:
+                state.writer = None
+            if not state.readers and state.writer is None:
+                del self._keys[key]
+        self._clear_wait(tid)
+
+    # -- introspection -----------------------------------------------------------------------
+
+    def readers_of(self, key: str) -> Set[int]:
+        state = self._keys.get(key)
+        return set(state.readers) if state else set()
+
+    def writer_of(self, key: str) -> Optional[int]:
+        state = self._keys.get(key)
+        return state.writer if state else None
+
+    def active_transactions(self) -> List[int]:
+        return sorted(self._touched)
+
+
+class TransactionalCacheSession:
+    """Convenience wrapper pairing one transaction with a cache client.
+
+    Reads and writes go through the coordinator before touching the cache,
+    giving callers the §3.3 semantics without hand-managing tids.
+    """
+
+    def __init__(self, coordinator: TwoPhaseLockingCoordinator, cache_client) -> None:
+        self.coordinator = coordinator
+        self.cache = cache_client
+        self.tid = coordinator.begin()
+        self._finished = False
+
+    def get(self, key: str) -> Any:
+        self.coordinator.acquire_read(self.tid, key)
+        return self.cache.get(key)
+
+    def set(self, key: str, value: Any) -> bool:
+        self.coordinator.acquire_write(self.tid, key)
+        return self.cache.set(key, value)
+
+    def delete(self, key: str) -> bool:
+        self.coordinator.acquire_write(self.tid, key)
+        return self.cache.delete(key)
+
+    def commit(self) -> None:
+        if self._finished:
+            raise ConsistencyError("transaction already finished")
+        self.coordinator.commit(self.tid)
+        self._finished = True
+
+    def abort(self) -> None:
+        if self._finished:
+            raise ConsistencyError("transaction already finished")
+        for key in self.coordinator.abort(self.tid):
+            self.cache.delete(key)
+        self._finished = True

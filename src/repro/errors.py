@@ -1,0 +1,137 @@
+"""Shared exception hierarchy for the CacheGenie reproduction.
+
+Every subsystem (storage engine, memcache substrate, ORM, CacheGenie core)
+raises exceptions that derive from :class:`ReproError`, so callers can catch
+a single base class at API boundaries while still being able to distinguish
+failure modes precisely.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage engine errors
+# ---------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for relational storage engine errors."""
+
+
+class SchemaError(StorageError):
+    """Invalid schema definition (duplicate columns, unknown types, ...)."""
+
+
+class TableNotFoundError(StorageError):
+    """A query referenced a table that does not exist."""
+
+
+class ColumnNotFoundError(StorageError):
+    """A query referenced a column that does not exist on its table."""
+
+
+class DuplicateTableError(StorageError):
+    """Attempted to create a table that already exists."""
+
+
+class ConstraintViolation(StorageError):
+    """A NOT NULL, UNIQUE, or primary-key constraint was violated."""
+
+
+class RowNotFoundError(StorageError):
+    """An operation referenced a row id that does not exist."""
+
+
+class TransactionError(StorageError):
+    """Invalid transaction state transition (commit without begin, ...)."""
+
+
+class TriggerError(StorageError):
+    """A trigger definition or execution failed."""
+
+
+class PlannerError(StorageError):
+    """The planner could not produce a plan for a query."""
+
+
+# ---------------------------------------------------------------------------
+# Cache (memcached substrate) errors
+# ---------------------------------------------------------------------------
+
+class CacheError(ReproError):
+    """Base class for cache substrate errors."""
+
+
+class CacheKeyError(CacheError):
+    """Invalid cache key (too long, contains whitespace/control chars)."""
+
+
+class CacheValueError(CacheError):
+    """Value rejected by the cache (e.g. larger than the item size limit)."""
+
+
+class CacheServerError(CacheError):
+    """A cache server is unreachable or misconfigured."""
+
+
+class CASConflict(CacheError):
+    """A compare-and-swap operation lost the race and must be retried."""
+
+
+# ---------------------------------------------------------------------------
+# ORM errors
+# ---------------------------------------------------------------------------
+
+class ORMError(ReproError):
+    """Base class for ORM errors."""
+
+
+class ModelError(ORMError):
+    """Invalid model definition."""
+
+
+class FieldError(ORMError):
+    """Invalid field definition or unknown field referenced in a query."""
+
+
+class DoesNotExist(ORMError):
+    """``Model.objects.get(...)`` matched no rows."""
+
+
+class MultipleObjectsReturned(ORMError):
+    """``Model.objects.get(...)`` matched more than one row."""
+
+
+# ---------------------------------------------------------------------------
+# CacheGenie core errors
+# ---------------------------------------------------------------------------
+
+class CacheGenieError(ReproError):
+    """Base class for CacheGenie middleware errors."""
+
+
+class CacheClassError(CacheGenieError):
+    """Invalid cached-object definition."""
+
+
+class ConsistencyError(CacheGenieError):
+    """A consistency-protocol violation was detected (2PL extension)."""
+
+
+class DeadlockError(ConsistencyError):
+    """Timeout-based deadlock detection aborted a transaction."""
+
+
+# ---------------------------------------------------------------------------
+# Workload / simulation errors
+# ---------------------------------------------------------------------------
+
+class WorkloadError(ReproError):
+    """Invalid workload configuration."""
+
+
+class SimulationError(ReproError):
+    """Invalid simulation configuration or state."""

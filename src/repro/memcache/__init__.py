@@ -1,0 +1,24 @@
+"""memcached substrate: LRU cache servers and a consistent-hashing client.
+
+Implements the subset of memcached that CacheGenie depends on — get/gets,
+set/add/cas, delete, incr/decr, flush_all, byte-capped LRU eviction, expiry,
+and stats — plus a multi-server client with consistent hashing so the system
+presents a single logical cache (§2, Table 1 of the paper).
+"""
+
+from .client import CacheClient
+from .hashring import HashRing
+from .item import Item, sizeof_value
+from .lru import LRUStore
+from .server import CacheServer
+from .stats import CacheStats
+
+__all__ = [
+    "CacheClient",
+    "CacheServer",
+    "CacheStats",
+    "HashRing",
+    "Item",
+    "LRUStore",
+    "sizeof_value",
+]

@@ -1,0 +1,224 @@
+"""The cache client used by the application and by database triggers.
+
+The client routes keys to servers via consistent hashing, aggregates
+statistics, and charges every round trip to the shared cost recorder so the
+simulation can model cache-network time.  Two "contexts" exist:
+
+* the application client (``from_trigger=False``) — charges ``cache_*`` events;
+* the trigger client (``from_trigger=True``) — charges ``trigger_cache_ops``
+  and, once per trigger-side client construction, a connection-open cost,
+  reproducing the paper's observation that opening a remote memcached
+  connection inside a trigger dominates trigger overhead (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CacheServerError
+from ..storage.costmodel import Recorder
+from .hashring import HashRing
+from .item import sizeof_value
+from .server import CacheServer
+from .stats import CacheStats
+
+
+class CacheClient:
+    """Client over one or more :class:`CacheServer` instances."""
+
+    def __init__(
+        self,
+        servers: Sequence[CacheServer],
+        recorder: Optional[Recorder] = None,
+        from_trigger: bool = False,
+        reuse_connections: bool = False,
+    ) -> None:
+        if not servers:
+            raise CacheServerError("CacheClient requires at least one server")
+        self._servers: Dict[str, CacheServer] = {s.name: s for s in servers}
+        if len(self._servers) != len(servers):
+            raise CacheServerError("cache server names must be unique")
+        self.ring = HashRing(list(self._servers))
+        self.recorder = recorder or Recorder()
+        self.from_trigger = from_trigger
+        self.reuse_connections = reuse_connections
+        self._connected = False
+        self.stats = CacheStats()
+
+    # -- connection / accounting ----------------------------------------------
+
+    def _charge_connection(self) -> None:
+        """Charge the connection-open cost for trigger-side clients.
+
+        The paper's future-work optimization — reusing connections between
+        triggers — is modeled by ``reuse_connections``: when enabled, only the
+        first operation pays the connection cost.
+        """
+        if not self.from_trigger:
+            return
+        if self._connected and self.reuse_connections:
+            return
+        if not self._connected:
+            self.recorder.record("trigger_connections")
+            self._connected = True
+        elif not self.reuse_connections:
+            # Each trigger invocation opens a fresh connection; callers create
+            # a new logical connection by calling reset_connection().
+            pass
+
+    def reset_connection(self) -> None:
+        """Mark the trigger-side connection as closed (fired per trigger)."""
+        if not self.reuse_connections:
+            self._connected = False
+
+    def _server_for(self, key: str) -> CacheServer:
+        return self._servers[self.ring.server_for(key)]
+
+    @property
+    def servers(self) -> List[CacheServer]:
+        return list(self._servers.values())
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """Fetch a value; returns None on a miss."""
+        self._charge_connection()
+        server = self._server_for(key)
+        value = server.get(key)
+        self.stats.gets += 1
+        if self.from_trigger:
+            self.recorder.record("trigger_cache_ops")
+        else:
+            self.recorder.record("cache_gets")
+        if value is None:
+            self.stats.misses += 1
+            self.recorder.record("cache_misses")
+        else:
+            self.stats.hits += 1
+            self.recorder.record("cache_hits")
+            self.recorder.record("cache_bytes_moved", sizeof_value(value))
+        return value
+
+    def gets(self, key: str) -> Tuple[Optional[Any], Optional[int]]:
+        """Fetch a value together with its CAS token."""
+        self._charge_connection()
+        server = self._server_for(key)
+        value, token = server.gets(key)
+        self.stats.gets += 1
+        if self.from_trigger:
+            self.recorder.record("trigger_cache_ops")
+        else:
+            self.recorder.record("cache_gets")
+        if value is None:
+            self.stats.misses += 1
+            self.recorder.record("cache_misses")
+        else:
+            self.stats.hits += 1
+            self.recorder.record("cache_hits")
+            self.recorder.record("cache_bytes_moved", sizeof_value(value))
+        return value, token
+
+    def get_multi(self, keys: Sequence[str]) -> Dict[str, Any]:
+        """Fetch several keys; returns only the hits."""
+        out: Dict[str, Any] = {}
+        for key in keys:
+            value = self.get(key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    # -- writes ---------------------------------------------------------------
+
+    def set(self, key: str, value: Any, expire: Optional[float] = None) -> bool:
+        """Store a value unconditionally."""
+        self._charge_connection()
+        result = self._server_for(key).set(key, value, expire)
+        self.stats.sets += 1
+        if self.from_trigger:
+            self.recorder.record("trigger_cache_ops")
+        else:
+            self.recorder.record("cache_sets")
+        self.recorder.record("cache_bytes_moved", sizeof_value(value))
+        return result
+
+    def add(self, key: str, value: Any, expire: Optional[float] = None) -> bool:
+        """Store a value only if the key is absent."""
+        self._charge_connection()
+        result = self._server_for(key).add(key, value, expire)
+        self.stats.adds += 1
+        if self.from_trigger:
+            self.recorder.record("trigger_cache_ops")
+        else:
+            self.recorder.record("cache_sets")
+        return result
+
+    def cas(self, key: str, value: Any, cas_token: int,
+            expire: Optional[float] = None) -> bool:
+        """Compare-and-swap a value previously read with :meth:`gets`."""
+        self._charge_connection()
+        result = self._server_for(key).cas(key, value, cas_token, expire)
+        if result:
+            self.stats.cas_ok += 1
+        else:
+            self.stats.cas_mismatch += 1
+        if self.from_trigger:
+            self.recorder.record("trigger_cache_ops")
+        else:
+            self.recorder.record("cache_sets")
+        self.recorder.record("cache_bytes_moved", sizeof_value(value))
+        return result
+
+    def delete(self, key: str) -> bool:
+        """Invalidate a key."""
+        self._charge_connection()
+        result = self._server_for(key).delete(key)
+        self.stats.deletes += 1
+        if self.from_trigger:
+            self.recorder.record("trigger_cache_ops")
+        else:
+            self.recorder.record("cache_deletes")
+        return result
+
+    def incr(self, key: str, delta: int = 1) -> Optional[int]:
+        """Increment an integer value."""
+        self._charge_connection()
+        result = self._server_for(key).incr(key, delta)
+        if self.from_trigger:
+            self.recorder.record("trigger_cache_ops")
+        else:
+            self.recorder.record("cache_sets")
+        if result is None:
+            self.stats.incr_miss += 1
+        else:
+            self.stats.incr_ok += 1
+        return result
+
+    def decr(self, key: str, delta: int = 1) -> Optional[int]:
+        """Decrement an integer value (floored at zero)."""
+        self._charge_connection()
+        result = self._server_for(key).decr(key, delta)
+        if self.from_trigger:
+            self.recorder.record("trigger_cache_ops")
+        else:
+            self.recorder.record("cache_sets")
+        return result
+
+    def flush_all(self) -> None:
+        """Drop every item on every server."""
+        for server in self._servers.values():
+            server.flush_all()
+
+    # -- introspection --------------------------------------------------------
+
+    def aggregate_server_stats(self) -> CacheStats:
+        """Sum the per-server statistics."""
+        total = CacheStats()
+        for server in self._servers.values():
+            total.add(server.stats)
+        return total
+
+    def total_items(self) -> int:
+        return sum(s.item_count for s in self._servers.values())
+
+    def total_used_bytes(self) -> int:
+        return sum(s.used_bytes for s in self._servers.values())

@@ -1,0 +1,48 @@
+"""Cache items: value, flags, CAS id, expiry, and size accounting."""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+def sizeof_value(value: Any) -> int:
+    """Estimate the serialized size of a cached value in bytes.
+
+    Real memcached stores opaque byte strings; clients serialize values
+    before sending them.  We estimate the pickled size so that eviction under
+    a memory cap behaves realistically without paying full serialization cost
+    on every operation for simple types.
+    """
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8", errors="replace"))
+    if isinstance(value, (int, float, bool)) or value is None:
+        return 16
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # pragma: no cover - unpicklable exotic objects
+        return sys.getsizeof(value)
+
+
+@dataclass
+class Item:
+    """One stored cache entry."""
+
+    key: str
+    value: Any
+    cas_id: int
+    flags: int = 0
+    #: Absolute expiry time in seconds on the cache's clock; None = no expiry.
+    expires_at: Optional[float] = None
+    size: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if not self.size:
+            self.size = len(self.key) + sizeof_value(self.value) + 56  # item header
+
+    def is_expired(self, now: float) -> bool:
+        return self.expires_at is not None and now >= self.expires_at

@@ -1,0 +1,77 @@
+"""Byte-accounted LRU store used by each cache server.
+
+memcached evicts least-recently-used items when it runs out of memory; the
+paper's Experiment 4 varies the cache size to study exactly this behaviour,
+so the LRU must account bytes, not item counts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Tuple
+
+from .item import Item
+
+
+class LRUStore:
+    """An ordered map of key -> :class:`Item` with a byte capacity."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._items: "OrderedDict[str, Item]" = OrderedDict()
+        self.used_bytes = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    def get(self, key: str, *, touch: bool = True) -> Optional[Item]:
+        """Return the item for ``key`` and optionally bump its recency."""
+        item = self._items.get(key)
+        if item is not None and touch:
+            self._items.move_to_end(key)
+        return item
+
+    def put(self, item: Item) -> List[str]:
+        """Insert or replace an item; evicts LRU items if over capacity.
+
+        Returns the list of evicted keys (for statistics).
+        """
+        existing = self._items.pop(item.key, None)
+        if existing is not None:
+            self.used_bytes -= existing.size
+        self._items[item.key] = item
+        self.used_bytes += item.size
+        return self._evict_if_needed()
+
+    def delete(self, key: str) -> bool:
+        """Remove an item; returns True if it existed."""
+        item = self._items.pop(key, None)
+        if item is None:
+            return False
+        self.used_bytes -= item.size
+        return True
+
+    def clear(self) -> None:
+        self._items.clear()
+        self.used_bytes = 0
+
+    def keys(self) -> List[str]:
+        return list(self._items.keys())
+
+    def items(self) -> Iterator[Tuple[str, Item]]:
+        return iter(list(self._items.items()))
+
+    def _evict_if_needed(self) -> List[str]:
+        evicted: List[str] = []
+        while self.used_bytes > self.capacity_bytes and self._items:
+            key, item = self._items.popitem(last=False)
+            self.used_bytes -= item.size
+            self.evictions += 1
+            evicted.append(key)
+        return evicted

@@ -1,0 +1,193 @@
+"""A single cache server, API-compatible with the memcached operations
+CacheGenie relies on: ``get``/``gets``, ``set``/``add``/``cas``, ``delete``,
+``incr``/``decr``, ``flush_all``, and ``stats``.
+
+Values are arbitrary Python objects (clients of real memcached serialize
+values; we keep them as objects and account their serialized size for
+eviction purposes).  Expiry is evaluated lazily against a clock callable so
+the simulation's virtual clock can drive it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time as _time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import CacheKeyError, CacheValueError
+from .item import Item, sizeof_value
+from .lru import LRUStore
+from .stats import CacheStats
+
+#: memcached's classic limits.
+MAX_KEY_LENGTH = 250
+DEFAULT_MAX_ITEM_BYTES = 1024 * 1024
+
+
+class CacheServer:
+    """One memcached-like server instance."""
+
+    def __init__(
+        self,
+        name: str = "cache0",
+        capacity_bytes: int = 64 * 1024 * 1024,
+        max_item_bytes: int = DEFAULT_MAX_ITEM_BYTES,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.store = LRUStore(capacity_bytes)
+        self.max_item_bytes = max_item_bytes
+        self.clock = clock or _time.monotonic
+        self.stats = CacheStats()
+        self._cas_counter = itertools.count(1)
+
+    # -- validation -----------------------------------------------------------
+
+    def _check_key(self, key: str) -> None:
+        if not isinstance(key, str) or not key:
+            raise CacheKeyError(f"invalid cache key {key!r}")
+        if len(key) > MAX_KEY_LENGTH:
+            raise CacheKeyError(f"cache key longer than {MAX_KEY_LENGTH} bytes: {key[:40]}...")
+        if any(ch.isspace() or ord(ch) < 33 for ch in key):
+            raise CacheKeyError(f"cache key contains whitespace/control chars: {key!r}")
+
+    def _expiry(self, expire: Optional[float]) -> Optional[float]:
+        if expire is None or expire == 0:
+            return None
+        return self.clock() + float(expire)
+
+    def _live_item(self, key: str, *, touch: bool = True) -> Optional[Item]:
+        item = self.store.get(key, touch=touch)
+        if item is None:
+            return None
+        if item.is_expired(self.clock()):
+            self.store.delete(key)
+            self.stats.expirations += 1
+            return None
+        return item
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the value for ``key`` or None on a miss."""
+        self._check_key(key)
+        self.stats.gets += 1
+        item = self._live_item(key)
+        if item is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return item.value
+
+    def gets(self, key: str) -> Tuple[Optional[Any], Optional[int]]:
+        """Return ``(value, cas_token)`` — the CAS form of :meth:`get`."""
+        self._check_key(key)
+        self.stats.gets += 1
+        item = self._live_item(key)
+        if item is None:
+            self.stats.misses += 1
+            return None, None
+        self.stats.hits += 1
+        return item.value, item.cas_id
+
+    def touch_key(self, key: str) -> bool:
+        """Return True if the key is present (without counting a get)."""
+        return self._live_item(key, touch=False) is not None
+
+    # -- writes ---------------------------------------------------------------
+
+    def _store(self, key: str, value: Any, expire: Optional[float], flags: int) -> None:
+        size = len(key) + sizeof_value(value) + 56
+        if size > self.max_item_bytes:
+            raise CacheValueError(
+                f"item of {size} bytes exceeds the {self.max_item_bytes}-byte limit"
+            )
+        item = Item(key=key, value=value, cas_id=next(self._cas_counter),
+                    flags=flags, expires_at=self._expiry(expire), size=size)
+        evicted = self.store.put(item)
+        self.stats.evictions += len(evicted)
+
+    def set(self, key: str, value: Any, expire: Optional[float] = None, flags: int = 0) -> bool:
+        """Unconditionally store a value."""
+        self._check_key(key)
+        self.stats.sets += 1
+        self._store(key, value, expire, flags)
+        return True
+
+    def add(self, key: str, value: Any, expire: Optional[float] = None, flags: int = 0) -> bool:
+        """Store only if the key is absent; returns False if it exists."""
+        self._check_key(key)
+        self.stats.adds += 1
+        if self._live_item(key, touch=False) is not None:
+            return False
+        self._store(key, value, expire, flags)
+        return True
+
+    def cas(self, key: str, value: Any, cas_token: int,
+            expire: Optional[float] = None, flags: int = 0) -> bool:
+        """Compare-and-swap: store only if the item's CAS id still matches."""
+        self._check_key(key)
+        item = self._live_item(key, touch=False)
+        if item is None:
+            self.stats.cas_miss += 1
+            return False
+        if item.cas_id != cas_token:
+            self.stats.cas_mismatch += 1
+            return False
+        self.stats.cas_ok += 1
+        self._store(key, value, expire, flags)
+        return True
+
+    def delete(self, key: str) -> bool:
+        """Remove a key; returns True if it existed."""
+        self._check_key(key)
+        self.stats.deletes += 1
+        return self.store.delete(key)
+
+    def incr(self, key: str, delta: int = 1) -> Optional[int]:
+        """Increment an integer value; returns the new value or None on miss."""
+        self._check_key(key)
+        item = self._live_item(key, touch=False)
+        if item is None or not isinstance(item.value, int):
+            self.stats.incr_miss += 1
+            return None
+        self.stats.incr_ok += 1
+        new_value = item.value + delta
+        self._store(key, new_value, None, item.flags)
+        return new_value
+
+    def decr(self, key: str, delta: int = 1) -> Optional[int]:
+        """Decrement an integer value, floored at zero as memcached does."""
+        item = self._live_item(key, touch=False)
+        if item is None or not isinstance(item.value, int):
+            self.stats.incr_miss += 1
+            return None
+        self.stats.incr_ok += 1
+        new_value = max(0, item.value - delta)
+        self._store(key, new_value, None, item.flags)
+        return new_value
+
+    def flush_all(self) -> None:
+        """Drop every item."""
+        self.store.clear()
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self.store.used_bytes
+
+    @property
+    def item_count(self) -> int:
+        return len(self.store)
+
+    def stats_dict(self) -> Dict[str, float]:
+        out = self.stats.as_dict()
+        out["curr_items"] = self.item_count
+        out["bytes"] = self.used_bytes
+        out["limit_maxbytes"] = self.store.capacity_bytes
+        out["lru_evictions"] = self.store.evictions
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CacheServer {self.name}: {self.item_count} items, {self.used_bytes}B>"

@@ -1,0 +1,43 @@
+"""Hit/miss/eviction statistics for cache servers and clients."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+
+@dataclass
+class CacheStats:
+    """Operation counters in the spirit of memcached's ``stats`` command."""
+
+    gets: int = 0
+    hits: int = 0
+    misses: int = 0
+    sets: int = 0
+    adds: int = 0
+    deletes: int = 0
+    cas_ok: int = 0
+    cas_mismatch: int = 0
+    cas_miss: int = 0
+    incr_ok: int = 0
+    incr_miss: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["hit_ratio"] = self.hit_ratio
+        return out
+
+    def add(self, other: "CacheStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)

@@ -1,0 +1,36 @@
+"""ORM substrate (stands in for Django's model layer).
+
+Provides declarative models, fields, relationships, managers, and lazily
+evaluated QuerySets that compile to the storage engine.  The registry exposes
+the interception hook CacheGenie uses to serve queries from memcached.
+"""
+
+from .fields import (AutoField, BooleanField, CharField, DateTimeField, Field,
+                     FloatField, FloatTimestampField, ForeignKey, IntegerField,
+                     ManyToManyField, TextField)
+from .manager import Manager, RelatedManager
+from .models import Model
+from .queryset import QueryDescription, QuerySet
+from .registry import QueryInterceptor, Registry, default_registry
+
+__all__ = [
+    "AutoField",
+    "BooleanField",
+    "CharField",
+    "DateTimeField",
+    "Field",
+    "FloatField",
+    "FloatTimestampField",
+    "ForeignKey",
+    "IntegerField",
+    "Manager",
+    "ManyToManyField",
+    "Model",
+    "QueryDescription",
+    "QueryInterceptor",
+    "QuerySet",
+    "Registry",
+    "RelatedManager",
+    "TextField",
+    "default_registry",
+]

@@ -1,0 +1,107 @@
+"""Model managers: the ``Model.objects`` entry point and related managers."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .queryset import QuerySet
+
+
+class Manager:
+    """Default per-model manager, exposed as ``Model.objects``."""
+
+    def __init__(self) -> None:
+        self.model: Optional[type] = None
+
+    def contribute_to_class(self, model: type, name: str) -> None:
+        self.model = model
+        setattr(model, name, ManagerDescriptor(self))
+
+    def get_queryset(self) -> QuerySet:
+        assert self.model is not None
+        return QuerySet(self.model)
+
+    # -- convenience passthroughs ---------------------------------------------
+
+    def all(self) -> QuerySet:
+        return self.get_queryset()
+
+    def filter(self, **kwargs: Any) -> QuerySet:
+        return self.get_queryset().filter(**kwargs)
+
+    def exclude(self, **kwargs: Any) -> QuerySet:
+        return self.get_queryset().exclude(**kwargs)
+
+    def get(self, **kwargs: Any) -> Any:
+        return self.get_queryset().get(**kwargs)
+
+    def order_by(self, *names: str) -> QuerySet:
+        return self.get_queryset().order_by(*names)
+
+    def values(self, *fields: str) -> QuerySet:
+        return self.get_queryset().values(*fields)
+
+    def using_database(self) -> QuerySet:
+        """A queryset that bypasses cache interception (fresh database read)."""
+        return self.get_queryset().using_database()
+
+    def count(self) -> int:
+        return self.get_queryset().count()
+
+    def exists(self) -> bool:
+        return self.get_queryset().exists()
+
+    def first(self) -> Any:
+        return self.get_queryset().first()
+
+    def create(self, **kwargs: Any) -> Any:
+        """Instantiate and immediately save a model instance."""
+        assert self.model is not None
+        instance = self.model(**kwargs)
+        instance.save()
+        return instance
+
+    def get_or_create(self, defaults: Optional[dict] = None, **kwargs: Any):
+        """Return ``(instance, created)`` for the given lookup."""
+        from ..errors import DoesNotExist
+        try:
+            return self.get(**kwargs), False
+        except DoesNotExist:
+            params = dict(kwargs)
+            params.update(defaults or {})
+            return self.create(**params), True
+
+    def bulk_create(self, instances) -> list:
+        """Save a list of unsaved instances (one INSERT each)."""
+        for instance in instances:
+            instance.save()
+        return list(instances)
+
+
+class ManagerDescriptor:
+    """Restricts manager access to the class (``Model.objects``), like Django."""
+
+    def __init__(self, manager: Manager) -> None:
+        self.manager = manager
+
+    def __get__(self, instance: Any, owner: type) -> Manager:
+        if instance is not None:
+            raise AttributeError("Manager is not accessible via model instances")
+        return self.manager
+
+
+class RelatedManager(Manager):
+    """Manager for the reverse side of a ForeignKey (e.g. ``user.bookmark_set``)."""
+
+    def __init__(self, model: type, fk_column: str, fk_value: Any) -> None:
+        super().__init__()
+        self.model = model
+        self.fk_column = fk_column
+        self.fk_value = fk_value
+
+    def get_queryset(self) -> QuerySet:
+        return QuerySet(self.model).filter(**{self.fk_column: self.fk_value})
+
+    def create(self, **kwargs: Any) -> Any:
+        kwargs.setdefault(self.fk_column, self.fk_value)
+        return super().create(**kwargs)

@@ -1,0 +1,33 @@
+"""Simulation substrate: virtual clock, discrete-event engine, resources,
+closed-loop clients, metrics, MVA cross-checks, and the workload runner."""
+
+from .client import PageDemand, SimulatedClient
+from .clock import VirtualClock
+from .events import EventEngine
+from .metrics import PageCompletion, RunMetrics, percentile
+from .mva import MVAResult, asymptotic_bounds, exact_mva
+from .resources import DelayResource, QueueingResource
+from .runner import (ReplayResult, ReplayedPage, SimulationOptions,
+                     WorkloadReplayer, aggregate_resource_demands,
+                     simulate_population)
+
+__all__ = [
+    "DelayResource",
+    "EventEngine",
+    "MVAResult",
+    "PageCompletion",
+    "PageDemand",
+    "QueueingResource",
+    "ReplayResult",
+    "ReplayedPage",
+    "RunMetrics",
+    "SimulatedClient",
+    "SimulationOptions",
+    "VirtualClock",
+    "WorkloadReplayer",
+    "aggregate_resource_demands",
+    "asymptotic_bounds",
+    "exact_mva",
+    "percentile",
+    "simulate_population",
+]

@@ -1,0 +1,103 @@
+"""Simulated closed-loop clients.
+
+Each client owns a sequence of page-load *demands* (measured during the
+functional replay) and walks through them: a page occupies the database CPU,
+then the database disk, then incurs the cache/network delay, then the client
+"thinks" briefly and starts its next page.  Clients never overlap their own
+pages (closed loop), but all clients contend for the shared resources — which
+is where queueing, saturation, and the paper's throughput ceilings come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..storage.costmodel import Demand
+from .events import EventEngine
+from .metrics import PageCompletion, RunMetrics
+from .resources import DelayResource, QueueingResource
+
+
+@dataclass
+class PageDemand:
+    """The simulated resource demand of one page load."""
+
+    page: str
+    user_id: int
+    demand: Demand
+
+    @property
+    def total_ms(self) -> float:
+        return self.demand.total_ms
+
+
+class SimulatedClient:
+    """One closed-loop client replaying its page-demand sequence."""
+
+    def __init__(
+        self,
+        client_id: int,
+        engine: EventEngine,
+        db_cpu: QueueingResource,
+        db_disk: QueueingResource,
+        cache_net: DelayResource,
+        pages: List[PageDemand],
+        metrics: RunMetrics,
+        think_time_ms: float = 0.0,
+        on_finished: Optional[Callable[["SimulatedClient"], None]] = None,
+    ) -> None:
+        self.client_id = client_id
+        self.engine = engine
+        self.db_cpu = db_cpu
+        self.db_disk = db_disk
+        self.cache_net = cache_net
+        self.pages = pages
+        self.metrics = metrics
+        self.think_time_ms = think_time_ms
+        self.on_finished = on_finished
+        self._index = 0
+        self.finish_time: Optional[float] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin executing the client's first page load."""
+        self.engine.schedule(0.0, self._start_next_page)
+
+    @property
+    def finished(self) -> bool:
+        return self._index >= len(self.pages)
+
+    def _start_next_page(self) -> None:
+        if self.finished:
+            self.finish_time = self.engine.now
+            if self.on_finished is not None:
+                self.on_finished(self)
+            return
+        page = self.pages[self._index]
+        self._index += 1
+        start_time = self.engine.now
+
+        # Stage 1: database CPU, Stage 2: database disk, Stage 3: cache network.
+        def after_cache() -> None:
+            completion = PageCompletion(
+                client_id=self.client_id,
+                page=page.page,
+                user_id=page.user_id,
+                start_time=start_time / 1000.0,
+                end_time=self.engine.now / 1000.0,
+            )
+            self.metrics.record(completion)
+            if self.think_time_ms > 0:
+                self.engine.schedule(self.think_time_ms, self._start_next_page)
+            else:
+                self.engine.schedule(0.0, self._start_next_page)
+
+        def after_disk() -> None:
+            self.cache_net.request(page.demand.cache_net_ms, after_cache)
+
+        def after_cpu() -> None:
+            self.db_disk.request(page.demand.db_disk_ms, after_disk)
+
+        self.db_cpu.request(page.demand.db_cpu_ms, after_cpu)

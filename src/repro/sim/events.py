@@ -1,0 +1,64 @@
+"""A minimal discrete-event simulation engine.
+
+Events are (time, sequence, callback) triples on a heap; the engine pops them
+in time order and invokes the callbacks, which may schedule further events.
+Resources and simulated clients are built on top of this engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class EventEngine:
+    """Priority-queue discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._sequence = itertools.count()
+        self._events: List[Tuple[float, int, Callback]] = []
+        self.processed_events = 0
+
+    def schedule(self, delay: float, callback: Callback) -> None:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} in the past")
+        heapq.heappush(self._events, (self.now + delay, next(self._sequence), callback))
+
+    def schedule_at(self, timestamp: float, callback: Callback) -> None:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if timestamp < self.now:
+            raise SimulationError(f"cannot schedule an event at {timestamp} < now={self.now}")
+        heapq.heappush(self._events, (timestamp, next(self._sequence), callback))
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._events)
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Run until the event queue drains (or ``until`` / ``max_events``).
+
+        Returns the final simulation time.
+        """
+        processed = 0
+        while self._events:
+            timestamp, _seq, callback = self._events[0]
+            if until is not None and timestamp > until:
+                self.now = until
+                break
+            heapq.heappop(self._events)
+            self.now = timestamp
+            callback()
+            processed += 1
+            self.processed_events += 1
+            if processed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; likely a scheduling loop"
+                )
+        return self.now

@@ -1,0 +1,106 @@
+"""Measurement aggregation: throughput, latency, percentiles, per-page stats."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class PageCompletion:
+    """One completed page load in the simulation."""
+
+    client_id: int
+    page: str
+    user_id: int
+    start_time: float   # seconds
+    end_time: float     # seconds
+
+    @property
+    def latency(self) -> float:
+        return self.end_time - self.start_time
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (``fraction`` in [0, 1])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class RunMetrics:
+    """Throughput and latency statistics for one simulated run."""
+
+    completions: List[PageCompletion] = field(default_factory=list)
+    #: End of the measurement window: the time the first client ran out of work
+    #: (the paper averages over the interval during which all clients run).
+    window_end: Optional[float] = None
+    duration: float = 0.0
+
+    def record(self, completion: PageCompletion) -> None:
+        self.completions.append(completion)
+
+    # -- derived metrics -------------------------------------------------------
+
+    def _measured(self) -> List[PageCompletion]:
+        if self.window_end is None:
+            return self.completions
+        return [c for c in self.completions if c.end_time <= self.window_end]
+
+    @property
+    def measured_window(self) -> float:
+        if self.window_end is not None:
+            return self.window_end
+        return self.duration
+
+    @property
+    def completed_pages(self) -> int:
+        return len(self._measured())
+
+    @property
+    def throughput(self) -> float:
+        """Page loads per second inside the measurement window."""
+        window = self.measured_window
+        if window <= 0:
+            return 0.0
+        return self.completed_pages / window
+
+    @property
+    def mean_latency(self) -> float:
+        measured = self._measured()
+        if not measured:
+            return 0.0
+        return sum(c.latency for c in measured) / len(measured)
+
+    def latency_percentile(self, fraction: float) -> float:
+        return percentile([c.latency for c in self._measured()], fraction)
+
+    def latency_by_page(self) -> Dict[str, float]:
+        """Average latency per page type (Table 2 of the paper)."""
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for completion in self._measured():
+            sums[completion.page] = sums.get(completion.page, 0.0) + completion.latency
+            counts[completion.page] = counts.get(completion.page, 0) + 1
+        return {page: sums[page] / counts[page] for page in sums}
+
+    def throughput_by_page(self) -> Dict[str, float]:
+        window = self.measured_window
+        if window <= 0:
+            return {}
+        counts: Dict[str, int] = {}
+        for completion in self._measured():
+            counts[completion.page] = counts.get(completion.page, 0) + 1
+        return {page: count / window for page, count in counts.items()}
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "throughput_pages_per_s": self.throughput,
+            "mean_latency_s": self.mean_latency,
+            "p95_latency_s": self.latency_percentile(0.95),
+            "completed_pages": float(self.completed_pages),
+            "window_s": self.measured_window,
+        }

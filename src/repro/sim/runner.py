@@ -1,0 +1,193 @@
+"""Workload replay and closed-loop simulation.
+
+Running an experiment has two phases, mirroring how the paper's final
+measurements replay query traces:
+
+1. **Functional replay** — every page load in the workload trace is executed
+   for real against the system under test (ORM + CacheGenie + database +
+   memcached).  The cache warms up, triggers fire, hit ratios evolve; the
+   database's event recorder measures each page load, and the cost model
+   converts the events into per-resource service demands.
+
+2. **Closed-loop simulation** — the measured per-page demands are replayed
+   through a discrete-event model of the testbed (N clients contending for
+   the database CPU and disk, with cache/network as a delay), yielding the
+   throughput and latency numbers the paper's figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..apps.social.pages import SocialApplication
+from ..storage.costmodel import CostCounters, Demand
+from ..storage.database import Database
+from ..workload.trace import PageLoad, WorkloadTrace
+from .client import PageDemand, SimulatedClient
+from .events import EventEngine
+from .metrics import RunMetrics
+from .resources import DelayResource, QueueingResource
+
+
+@dataclass
+class SimulationOptions:
+    """Knobs of the discrete-event testbed model."""
+
+    #: Client-side processing between page loads (ms): page assembly on the
+    #: application layer plus the client turnaround.  Calibrated so the
+    #: throughput knee falls in the 5–15 client range, as in Figure 2a.
+    think_time_ms: float = 30.0
+    db_cpu_servers: int = 1
+    db_disk_servers: int = 1
+
+
+@dataclass
+class ReplayedPage:
+    """One functionally executed page load and its measured demand."""
+
+    client_id: int
+    page: str
+    user_id: int
+    demand: Demand
+    counters: CostCounters
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of the functional replay phase."""
+
+    pages: List[ReplayedPage] = field(default_factory=list)
+    total_counters: CostCounters = field(default_factory=CostCounters)
+
+    def pages_for_client(self, client_id: int) -> List[ReplayedPage]:
+        return [p for p in self.pages if p.client_id == client_id]
+
+    def client_ids(self) -> List[int]:
+        return sorted({p.client_id for p in self.pages})
+
+    def mean_demand(self) -> Demand:
+        """Average per-page demand across the whole replay."""
+        total = Demand()
+        if not self.pages:
+            return total
+        for page in self.pages:
+            total.add(page.demand)
+        return total.scaled(1.0 / len(self.pages))
+
+    def mean_demand_by_page(self) -> Dict[str, Demand]:
+        sums: Dict[str, Demand] = {}
+        counts: Dict[str, int] = {}
+        for page in self.pages:
+            sums.setdefault(page.page, Demand()).add(page.demand)
+            counts[page.page] = counts.get(page.page, 0) + 1
+        return {name: sums[name].scaled(1.0 / counts[name]) for name in sums}
+
+
+class WorkloadReplayer:
+    """Executes workload traces against the application, measuring demands."""
+
+    def __init__(self, app: SocialApplication, database: Database) -> None:
+        self.app = app
+        self.database = database
+
+    def replay(self, trace: WorkloadTrace, record: bool = True) -> ReplayResult:
+        """Replay ``trace`` page by page, interleaving clients round-robin.
+
+        ``record=False`` runs the pages without keeping per-page results
+        (used for warm-up, like the paper's 40-client warm-up phase).
+        """
+        result = ReplayResult()
+        for page_load in self._interleave(trace):
+            with self.database.measure() as counters:
+                self.app.render(page_load.page, page_load.user_id)
+            if not record:
+                continue
+            demand = self.database.demand_of(counters)
+            result.pages.append(ReplayedPage(
+                client_id=page_load.client_id,
+                page=page_load.page,
+                user_id=page_load.user_id,
+                demand=demand,
+                counters=counters,
+            ))
+            result.total_counters.add(counters)
+        return result
+
+    @staticmethod
+    def _interleave(trace: WorkloadTrace) -> List[PageLoad]:
+        """Round-robin page loads across clients to approximate concurrency."""
+        per_client: Dict[int, List[PageLoad]] = {}
+        for page_load in trace.page_loads():
+            per_client.setdefault(page_load.client_id, []).append(page_load)
+        ordered: List[PageLoad] = []
+        cursors = {client: 0 for client in per_client}
+        remaining = sum(len(v) for v in per_client.values())
+        while remaining:
+            for client_id in sorted(per_client):
+                cursor = cursors[client_id]
+                loads = per_client[client_id]
+                if cursor < len(loads):
+                    ordered.append(loads[cursor])
+                    cursors[client_id] = cursor + 1
+                    remaining -= 1
+        return ordered
+
+
+def simulate_population(
+    replay: ReplayResult,
+    clients: Optional[int] = None,
+    options: Optional[SimulationOptions] = None,
+) -> RunMetrics:
+    """Simulate ``clients`` closed-loop clients replaying their measured pages.
+
+    When ``clients`` is smaller than the number of clients in the replay, only
+    the first ``clients`` demand streams are simulated (the paper likewise
+    varies the number of parallel clients over the same workload).
+    """
+    options = options or SimulationOptions()
+    client_ids = replay.client_ids()
+    if clients is not None:
+        client_ids = client_ids[:clients]
+    if not client_ids:
+        return RunMetrics()
+
+    engine = EventEngine()
+    db_cpu = QueueingResource(engine, "db_cpu", servers=options.db_cpu_servers)
+    db_disk = QueueingResource(engine, "db_disk", servers=options.db_disk_servers)
+    cache_net = DelayResource(engine, "cache_net")
+    metrics = RunMetrics()
+
+    finish_times: List[float] = []
+
+    def on_finished(client: SimulatedClient) -> None:
+        finish_times.append(client.finish_time or engine.now)
+
+    simulated: List[SimulatedClient] = []
+    for client_id in client_ids:
+        pages = [PageDemand(page=p.page, user_id=p.user_id, demand=p.demand)
+                 for p in replay.pages_for_client(client_id)]
+        client = SimulatedClient(
+            client_id=client_id, engine=engine,
+            db_cpu=db_cpu, db_disk=db_disk, cache_net=cache_net,
+            pages=pages, metrics=metrics,
+            think_time_ms=options.think_time_ms,
+            on_finished=on_finished,
+        )
+        simulated.append(client)
+
+    for client in simulated:
+        client.start()
+    end_time = engine.run()
+
+    metrics.duration = end_time / 1000.0
+    if finish_times:
+        # Measure only the interval during which every client was still running.
+        metrics.window_end = min(finish_times) / 1000.0
+    return metrics
+
+
+def aggregate_resource_demands(replay: ReplayResult) -> Dict[str, float]:
+    """Mean per-page demand at each queueing station, in ms (for MVA checks)."""
+    mean = replay.mean_demand()
+    return {"db_cpu": mean.db_cpu_ms, "db_disk": mean.db_disk_ms}

@@ -1,0 +1,89 @@
+"""A page-granular LRU buffer pool.
+
+The buffer pool does not hold data (rows live in the heap's Python lists);
+it tracks *which pages are memory-resident* so that the cost model can charge
+disk reads only on misses — reproducing the paper's observation that the
+NoCache system is CPU-bound (its working set fits the buffer pool thanks to
+repeated queries) while the cached systems become disk-bound (their residual
+queries are mostly unrepeated or writes).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from .costmodel import Recorder
+
+PageId = Tuple[str, int]
+
+
+class BufferPool:
+    """LRU set of (table, page_no) identifiers with hit/miss accounting."""
+
+    def __init__(self, capacity_pages: int, recorder: Optional[Recorder] = None) -> None:
+        if capacity_pages < 1:
+            raise ValueError("buffer pool capacity must be >= 1 page")
+        self.capacity_pages = capacity_pages
+        self.recorder = recorder or Recorder()
+        self._pages: "OrderedDict[PageId, bool]" = OrderedDict()  # value: dirty flag
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_writebacks = 0
+
+    # -- core access ----------------------------------------------------------
+
+    def access(self, table: str, page_no: int, *, dirty: bool = False) -> bool:
+        """Touch a page; return True on a hit, False on a (simulated) disk read."""
+        page_id: PageId = (table, page_no)
+        if page_id in self._pages:
+            self.hits += 1
+            self.recorder.record("pages_hit")
+            self._pages.move_to_end(page_id)
+            if dirty:
+                self._pages[page_id] = True
+                self.recorder.record("pages_dirtied")
+            return True
+
+        self.misses += 1
+        self.recorder.record("pages_missed")
+        self._pages[page_id] = dirty
+        if dirty:
+            self.recorder.record("pages_dirtied")
+        if len(self._pages) > self.capacity_pages:
+            _, was_dirty = self._pages.popitem(last=False)
+            self.evictions += 1
+            if was_dirty:
+                self.dirty_writebacks += 1
+        return False
+
+    # -- management -----------------------------------------------------------
+
+    def invalidate_table(self, table: str) -> int:
+        """Drop all cached pages of ``table`` (used by DROP TABLE).  Returns count."""
+        victims = [pid for pid in self._pages if pid[0] == table]
+        for pid in victims:
+            del self._pages[pid]
+        return len(victims)
+
+    def clear(self) -> None:
+        """Empty the pool (simulates a cold restart)."""
+        self._pages.clear()
+
+    def resident_pages(self, table: Optional[str] = None) -> int:
+        """Number of resident pages, optionally restricted to one table."""
+        if table is None:
+            return len(self._pages)
+        return sum(1 for pid in self._pages if pid[0] == table)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BufferPool {len(self._pages)}/{self.capacity_pages} pages, "
+            f"hit_ratio={self.hit_ratio:.2f}>"
+        )

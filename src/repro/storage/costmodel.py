@@ -1,0 +1,210 @@
+"""Event counting and the simulated cost model.
+
+The storage engine and the memcache client do all work functionally (real
+data structures, real results) but *charge* their work to an event recorder.
+The cost model then converts event counts into simulated service demands on
+three resources:
+
+* ``db_cpu``  — query parsing/planning, per-row evaluation, trigger Python
+* ``db_disk`` — buffer-pool misses and WAL/commit writes
+* ``cache_net`` — round trips between a client (or a trigger) and memcached
+
+The default parameters are calibrated from the paper's §5.3 microbenchmarks:
+a memcached round trip costs ~0.2 ms, a plain INSERT ~6.3 ms, a no-op trigger
+adds ~0.2 ms, opening a remote memcached connection inside a trigger adds
+~5.4 ms, and each cache operation inside a trigger adds ~0.2 ms.  Simple
+B+Tree lookups end up 10–25× slower than a cache get depending on index
+depth and buffer-pool residency, matching the paper's reported range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterator, Optional
+import contextlib
+
+
+@dataclass
+class CostCounters:
+    """Raw event counts accumulated while executing one operation."""
+
+    # Buffer pool / heap events
+    pages_hit: int = 0
+    pages_missed: int = 0
+    pages_dirtied: int = 0
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    index_node_touches: int = 0
+    # Statement events
+    statements: int = 0
+    inserts: int = 0
+    updates: int = 0
+    deletes: int = 0
+    commits: int = 0
+    sorts: int = 0
+    sorted_rows: int = 0
+    joins: int = 0
+    # Trigger events
+    trigger_launches: int = 0
+    trigger_connections: int = 0
+    trigger_cache_ops: int = 0
+    trigger_rows_examined: int = 0
+    # Cache client events (issued by the application, not by triggers)
+    cache_gets: int = 0
+    cache_sets: int = 0
+    cache_deletes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bytes_moved: int = 0
+
+    def add(self, other: "CostCounters") -> None:
+        """Accumulate another counter set into this one."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def copy(self) -> "CostCounters":
+        return CostCounters(**self.as_dict())
+
+
+class Recorder:
+    """Collects :class:`CostCounters` events for the currently active scope.
+
+    The database, its triggers, and the memcache client all write into the
+    same recorder so that a single measured operation (for example, one ORM
+    query, or one INSERT whose trigger updates three cache keys) produces one
+    combined counter set.
+    """
+
+    def __init__(self) -> None:
+        self.total = CostCounters()
+        self._active: Optional[CostCounters] = None
+
+    def record(self, event: str, n: int = 1) -> None:
+        """Record ``n`` occurrences of ``event`` (a CostCounters field name)."""
+        setattr(self.total, event, getattr(self.total, event) + n)
+        if self._active is not None:
+            setattr(self._active, event, getattr(self._active, event) + n)
+
+    @contextlib.contextmanager
+    def measure(self) -> Iterator[CostCounters]:
+        """Collect the events recorded inside the ``with`` block.
+
+        Nested measurements are not supported (the inner block would steal
+        events from the outer one); the previous scope is restored on exit so
+        accidental nesting degrades to outer-scope attribution.
+        """
+        previous = self._active
+        counters = CostCounters()
+        self._active = counters
+        try:
+            yield counters
+        finally:
+            self._active = previous
+            if previous is not None:
+                previous.add(counters)
+
+
+@dataclass
+class Demand:
+    """Simulated service demand of one operation, split by resource (ms)."""
+
+    db_cpu_ms: float = 0.0
+    db_disk_ms: float = 0.0
+    cache_net_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return self.db_cpu_ms + self.db_disk_ms + self.cache_net_ms
+
+    def add(self, other: "Demand") -> None:
+        self.db_cpu_ms += other.db_cpu_ms
+        self.db_disk_ms += other.db_disk_ms
+        self.cache_net_ms += other.cache_net_ms
+
+    def scaled(self, factor: float) -> "Demand":
+        return Demand(
+            self.db_cpu_ms * factor,
+            self.db_disk_ms * factor,
+            self.cache_net_ms * factor,
+        )
+
+
+@dataclass
+class CostModel:
+    """Converts event counts into per-resource service demands.
+
+    All parameters are in milliseconds per event.  Defaults are calibrated
+    against the microbenchmarks reported in §5.3 of the paper.
+    """
+
+    # --- DB CPU costs ---
+    statement_overhead_ms: float = 0.45     # parse/plan/dispatch per statement
+    row_scan_cpu_ms: float = 0.006          # evaluate predicate against one row
+    row_return_cpu_ms: float = 0.012        # materialize one result row
+    index_node_cpu_ms: float = 0.02         # walk one B+Tree node
+    sort_row_cpu_ms: float = 0.008          # comparison-sort work per row
+    join_overhead_ms: float = 0.08          # per join in a statement
+    page_hit_cpu_ms: float = 0.02           # touch a page already in the pool
+    trigger_launch_cpu_ms: float = 0.2      # fire one trigger (paper: 6.5 - 6.3 ms)
+    trigger_row_cpu_ms: float = 0.05        # per-row Python work inside a trigger
+    trigger_op_cpu_ms: float = 0.6          # marshal/serialize one value inside a trigger
+    # --- DB disk costs ---
+    page_read_disk_ms: float = 3.0          # random read on a buffer miss
+    page_write_disk_ms: float = 0.5         # write back one dirtied page (amortized)
+    insert_disk_ms: float = 6.0             # WAL + heap/index writes for one INSERT
+    update_disk_ms: float = 4.0             # WAL + in-place write for one UPDATE
+    delete_disk_ms: float = 4.0             # WAL + tombstone for one DELETE
+    commit_disk_ms: float = 2.5             # group-commit fsync share per write
+    # --- cache / network costs ---
+    cache_op_net_ms: float = 0.2            # one memcached round trip (paper: ~0.2 ms)
+    cache_byte_net_ms: float = 0.00002      # marginal per-byte transfer cost
+    # Opening a remote memcached connection from inside a trigger costs ~5.4 ms
+    # in the paper's microbenchmark.  Roughly half of that is CPU on the
+    # database host (socket setup, plpython marshalling) and half is waiting
+    # on the network — split accordingly so trigger-heavy writes consume real
+    # database capacity as well as latency.
+    trigger_connection_cpu_ms: float = 2.7
+    trigger_connection_net_ms: float = 2.7
+    trigger_cache_op_ms: float = 0.2        # each memcached op issued from a trigger
+
+    @property
+    def trigger_connection_ms(self) -> float:
+        """Total simulated cost of opening a memcached connection in a trigger."""
+        return self.trigger_connection_cpu_ms + self.trigger_connection_net_ms
+
+    def demand(self, counters: CostCounters) -> Demand:
+        """Convert ``counters`` into a per-resource service demand."""
+        cpu = (
+            counters.statements * self.statement_overhead_ms
+            + counters.rows_scanned * self.row_scan_cpu_ms
+            + counters.rows_returned * self.row_return_cpu_ms
+            + counters.index_node_touches * self.index_node_cpu_ms
+            + counters.sorted_rows * self.sort_row_cpu_ms
+            + counters.joins * self.join_overhead_ms
+            + counters.pages_hit * self.page_hit_cpu_ms
+            + counters.trigger_launches * self.trigger_launch_cpu_ms
+            + counters.trigger_rows_examined * self.trigger_row_cpu_ms
+            + counters.trigger_cache_ops * self.trigger_op_cpu_ms
+            + counters.trigger_connections * self.trigger_connection_cpu_ms
+        )
+        disk = (
+            counters.pages_missed * self.page_read_disk_ms
+            + counters.pages_dirtied * self.page_write_disk_ms
+            + counters.inserts * self.insert_disk_ms
+            + counters.updates * self.update_disk_ms
+            + counters.deletes * self.delete_disk_ms
+            + counters.commits * self.commit_disk_ms
+        )
+        net = (
+            (counters.cache_gets + counters.cache_sets + counters.cache_deletes)
+            * self.cache_op_net_ms
+            + counters.cache_bytes_moved * self.cache_byte_net_ms
+            # The network-wait half of opening a trigger-side memcached
+            # connection, plus each memcached round trip issued by a trigger.
+            + counters.trigger_connections * self.trigger_connection_net_ms
+            + counters.trigger_cache_ops * self.trigger_cache_op_ms
+        )
+        return Demand(db_cpu_ms=cpu, db_disk_ms=disk, cache_net_ms=net)

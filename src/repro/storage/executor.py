@@ -1,0 +1,237 @@
+"""Query execution.
+
+The executor takes logical query objects (``repro.storage.query``), asks the
+planner for an access path on the base table, applies predicates, executes
+inner equi-joins as index nested-loop joins, sorts, limits, and returns plain
+dictionaries.  All physical work is charged to the database's event recorder
+so the cost model can convert it into simulated service time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set
+
+from ..errors import PlannerError, TableNotFoundError
+from .planner import AccessPath, IndexLookup, IndexRange, PkLookup, SeqScan, plan_access
+from .predicates import ALWAYS_TRUE, Predicate
+from .query import CountQuery, DeleteQuery, InsertQuery, Join, SelectQuery, UpdateQuery
+from .rows import Row
+from .table import Table
+
+
+class Executor:
+    """Executes logical queries against a mapping of tables."""
+
+    def __init__(self, tables: Dict[str, Table], recorder) -> None:
+        self._tables = tables
+        self._recorder = recorder
+
+    # -- helpers --------------------------------------------------------------
+
+    def _table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(f"table {name!r} does not exist") from None
+
+    def _base_rows(self, table: Table, query, path: AccessPath) -> Iterator[Row]:
+        """Produce candidate rows of the base table for the chosen access path."""
+        if isinstance(path, PkLookup):
+            row = table.fetch_by_pk(path.value)
+            return iter([row] if row is not None else [])
+        if isinstance(path, IndexLookup):
+            rowids = path.index.lookup(path.value)
+            return iter(table.fetch_rows(rowids))
+        if isinstance(path, IndexRange):
+            def generate() -> Iterator[Row]:
+                for _key, rowids in path.index.range(
+                    path.low, path.high,
+                    reverse=path.reverse,
+                    include_low=path.include_low,
+                    include_high=path.include_high,
+                ):
+                    for row in table.fetch_rows(rowids):
+                        yield row
+            return generate()
+        if isinstance(path, SeqScan):
+            return table.scan()
+        raise PlannerError(f"unknown access path {path!r}")  # pragma: no cover
+
+    def _filter(self, rows: Iterable[Row], predicate: Predicate) -> Iterator[Row]:
+        for row in rows:
+            self._recorder.record("rows_scanned")
+            if predicate.matches(row):
+                yield row
+
+    # -- joins ----------------------------------------------------------------
+
+    def _execute_joins(
+        self,
+        base_table: Table,
+        base_rows: Iterable[Row],
+        query: SelectQuery,
+    ) -> Iterator[Dict[str, Row]]:
+        """Run the join chain, yielding {table_name: row} binding maps."""
+        bindings: Iterator[Dict[str, Row]] = ({base_table.name: row} for row in base_rows)
+        for join in query.joins:
+            self._recorder.record("joins")
+            bindings = self._join_step(bindings, join, query)
+        return bindings
+
+    def _join_step(
+        self,
+        bindings: Iterator[Dict[str, Row]],
+        join: Join,
+        query: SelectQuery,
+    ) -> Iterator[Dict[str, Row]]:
+        right_table = self._table(join.right_table)
+        right_predicate = query.join_predicates.get(join.right_table, ALWAYS_TRUE)
+        index = right_table.index_for_column(join.right_column)
+        for binding in bindings:
+            left_row = binding.get(join.left_table)
+            if left_row is None:
+                continue
+            left_value = left_row.get(join.left_column)
+            if left_value is None:
+                continue
+            if index is not None:
+                rowids = index.lookup(left_value)
+                matches = right_table.fetch_rows(rowids)
+            else:
+                matches = [
+                    row for row in right_table.scan()
+                    if row.get(join.right_column) == left_value
+                ]
+            for right_row in matches:
+                self._recorder.record("rows_scanned")
+                if right_predicate.matches(right_row):
+                    new_binding = dict(binding)
+                    new_binding[join.right_table] = right_row
+                    yield new_binding
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def select(self, query: SelectQuery) -> List[Dict[str, Any]]:
+        """Execute a SELECT and return a list of result-row dictionaries."""
+        self._recorder.record("statements")
+        base_table = self._table(query.table)
+        path = plan_access(base_table, query)
+        base_rows = self._filter(self._base_rows(base_table, query, path), query.predicate)
+
+        if query.joins:
+            bindings = self._execute_joins(base_table, base_rows, query)
+            result_table = query.result_table
+            rows = (binding[result_table] for binding in bindings
+                    if result_table in binding)
+        else:
+            rows = base_rows
+
+        materialized: List[Dict[str, Any]] = []
+        seen_keys: Set[Any] = set()
+        result_table_name = query.result_table
+        result_schema = self._table(result_table_name).schema
+
+        ordered_by_path = (
+            isinstance(path, IndexRange)
+            and not query.joins
+            and len(query.order_by) == 1
+            and query.order_by[0].column == path.index.columns[0]
+            and query.order_by[0].descending == path.reverse
+        )
+
+        for row in rows:
+            values = row.to_dict()
+            if query.distinct:
+                key = tuple(values.get(c) for c in (query.columns or result_schema.column_names))
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+            materialized.append(values)
+            self._recorder.record("rows_returned")
+            # Early exit when the access path already yields the right order.
+            if ordered_by_path and query.limit is not None and not query.distinct:
+                if len(materialized) >= query.limit + query.offset:
+                    break
+
+        if query.order_by and not ordered_by_path:
+            self._recorder.record("sorts")
+            self._recorder.record("sorted_rows", len(materialized))
+            for term in reversed(query.order_by):
+                materialized.sort(
+                    key=lambda r, c=term.column: (r.get(c) is None, r.get(c)),
+                    reverse=term.descending,
+                )
+
+        if query.offset:
+            materialized = materialized[query.offset:]
+        if query.limit is not None:
+            materialized = materialized[: query.limit]
+
+        if query.columns is not None:
+            materialized = [
+                {col: row.get(col) for col in query.columns} for row in materialized
+            ]
+        return materialized
+
+    # -- COUNT ----------------------------------------------------------------
+
+    def count(self, query: CountQuery) -> int:
+        """Execute a COUNT(*) query."""
+        self._recorder.record("statements")
+        base_table = self._table(query.table)
+        path = plan_access(base_table, query)
+        base_rows = self._filter(self._base_rows(base_table, query, path), query.predicate)
+
+        if not query.joins:
+            if query.distinct_column:
+                return len({row.get(query.distinct_column) for row in base_rows})
+            return sum(1 for _ in base_rows)
+
+        select_equivalent = SelectQuery(
+            table=query.table,
+            predicate=query.predicate,
+            join_predicates=query.join_predicates,
+            joins=query.joins,
+        )
+        bindings = self._execute_joins(base_table, base_rows, select_equivalent)
+        if query.distinct_column:
+            result_table = select_equivalent.result_table
+            values = {
+                binding[result_table].get(query.distinct_column)
+                for binding in bindings if result_table in binding
+            }
+            return len(values)
+        return sum(1 for _ in bindings)
+
+    # -- DML ------------------------------------------------------------------
+
+    def insert(self, query: InsertQuery) -> Dict[str, Any]:
+        """Execute an INSERT; returns the inserted row (with assigned pk)."""
+        self._recorder.record("statements")
+        table = self._table(query.table)
+        row = table.insert(query.values)
+        return row.to_dict()
+
+    def update(self, query: UpdateQuery) -> List[Dict[str, Any]]:
+        """Execute an UPDATE; returns the new versions of all affected rows."""
+        self._recorder.record("statements")
+        table = self._table(query.table)
+        path = plan_access(table, SelectQuery(table=query.table, predicate=query.predicate))
+        victims = list(self._filter(self._base_rows(table, query, path), query.predicate))
+        results: List[Dict[str, Any]] = []
+        for row in victims:
+            _old, new = table.update_row(row.rowid, query.changes)
+            results.append(new.to_dict())
+        return results
+
+    def delete(self, query: DeleteQuery) -> List[Dict[str, Any]]:
+        """Execute a DELETE; returns the deleted rows."""
+        self._recorder.record("statements")
+        table = self._table(query.table)
+        path = plan_access(table, SelectQuery(table=query.table, predicate=query.predicate))
+        victims = list(self._filter(self._base_rows(table, query, path), query.predicate))
+        results: List[Dict[str, Any]] = []
+        for row in victims:
+            deleted = table.delete_row(row.rowid)
+            results.append(deleted.to_dict())
+        return results

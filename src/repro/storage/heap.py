@@ -1,0 +1,159 @@
+"""Heap storage: rows packed into fixed-size pages.
+
+The heap stores the actual row data for a table.  Rows are assigned
+monotonically increasing row ids and packed into pages based on their
+estimated byte width, so the number of pages a scan touches is proportional
+to the table's data volume — which is what makes the buffer pool and disk
+cost model meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import RowNotFoundError
+from .bufferpool import BufferPool
+from .rows import Row
+from .schema import TableSchema
+
+#: Default page size in bytes (Postgres uses 8 KB pages).
+DEFAULT_PAGE_SIZE = 8192
+
+
+class HeapFile:
+    """Page-structured row storage for one table."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        buffer_pool: BufferPool,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        self.schema = schema
+        self.buffer_pool = buffer_pool
+        self.page_size = page_size
+        self._next_rowid = 1
+        # rowid -> (page_no, values); deleted rows are removed from the map.
+        self._rows: Dict[int, Tuple[int, Dict[str, Any]]] = {}
+        # page_no -> free bytes remaining
+        self._page_free: List[int] = []
+        # page_no -> set of rowids living there (kept as list for iteration order)
+        self._page_rows: List[List[int]] = []
+
+    # -- page management ------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        return len(self._page_free)
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def _allocate_page(self) -> int:
+        self._page_free.append(self.page_size)
+        self._page_rows.append([])
+        return len(self._page_free) - 1
+
+    def _place_row(self, width: int) -> int:
+        """Find (or allocate) a page with enough free space for ``width`` bytes."""
+        if self._page_free and self._page_free[-1] >= width:
+            return len(self._page_free) - 1
+        return self._allocate_page()
+
+    # -- mutations ------------------------------------------------------------
+
+    def insert(self, values: Dict[str, Any]) -> Row:
+        """Append a row and return it (with its new rowid)."""
+        width = min(self.schema.estimate_row_width(values), self.page_size)
+        page_no = self._place_row(width)
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        stored = dict(values)
+        self._rows[rowid] = (page_no, stored)
+        self._page_free[page_no] -= width
+        self._page_rows[page_no].append(rowid)
+        self.buffer_pool.access(self.schema.name, page_no, dirty=True)
+        return Row(rowid, dict(stored))
+
+    def update(self, rowid: int, changes: Dict[str, Any]) -> Tuple[Row, Row]:
+        """Apply ``changes`` to a row.  Returns (old_row, new_row)."""
+        try:
+            page_no, stored = self._rows[rowid]
+        except KeyError:
+            raise RowNotFoundError(
+                f"table {self.schema.name!r} has no row id {rowid}"
+            ) from None
+        old = Row(rowid, dict(stored))
+        stored.update(changes)
+        self.buffer_pool.access(self.schema.name, page_no, dirty=True)
+        return old, Row(rowid, dict(stored))
+
+    def delete(self, rowid: int) -> Row:
+        """Remove a row.  Returns the deleted row."""
+        try:
+            page_no, stored = self._rows.pop(rowid)
+        except KeyError:
+            raise RowNotFoundError(
+                f"table {self.schema.name!r} has no row id {rowid}"
+            ) from None
+        try:
+            self._page_rows[page_no].remove(rowid)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        self.buffer_pool.access(self.schema.name, page_no, dirty=True)
+        return Row(rowid, dict(stored))
+
+    # -- reads ----------------------------------------------------------------
+
+    def fetch(self, rowid: int) -> Row:
+        """Fetch one row by rowid, charging a page access."""
+        try:
+            page_no, stored = self._rows[rowid]
+        except KeyError:
+            raise RowNotFoundError(
+                f"table {self.schema.name!r} has no row id {rowid}"
+            ) from None
+        self.buffer_pool.access(self.schema.name, page_no)
+        return Row(rowid, dict(stored))
+
+    def fetch_many(self, rowids: Iterator[int]) -> List[Row]:
+        """Fetch several rows, charging one page access per distinct page."""
+        rows: List[Row] = []
+        touched: set = set()
+        for rowid in rowids:
+            try:
+                page_no, stored = self._rows[rowid]
+            except KeyError:
+                continue
+            if page_no not in touched:
+                self.buffer_pool.access(self.schema.name, page_no)
+                touched.add(page_no)
+            rows.append(Row(rowid, dict(stored)))
+        return rows
+
+    def exists(self, rowid: int) -> bool:
+        return rowid in self._rows
+
+    def scan(self) -> Iterator[Row]:
+        """Full scan in page order, charging one access per page."""
+        for page_no, rowids in enumerate(self._page_rows):
+            if not rowids:
+                continue
+            self.buffer_pool.access(self.schema.name, page_no)
+            for rowid in list(rowids):
+                entry = self._rows.get(rowid)
+                if entry is None:
+                    continue
+                yield Row(rowid, dict(entry[1]))
+
+    def peek(self, rowid: int) -> Optional[Dict[str, Any]]:
+        """Return a row's values without charging any cost (internal use)."""
+        entry = self._rows.get(rowid)
+        return dict(entry[1]) if entry else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<HeapFile {self.schema.name}: {self.row_count} rows, "
+            f"{self.page_count} pages>"
+        )

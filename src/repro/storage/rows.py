@@ -1,0 +1,58 @@
+"""Row representation used throughout the storage engine.
+
+Rows are immutable-ish mappings of column name to value plus a ``rowid``
+assigned by the heap.  Query results hand plain dicts back to callers so that
+application code (and cached values) never alias live storage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping
+
+
+class Row(Mapping[str, Any]):
+    """A stored row: column values plus the heap row id.
+
+    The class implements the ``Mapping`` protocol so that executor code and
+    triggers can treat rows like dictionaries, while the heap retains the
+    ability to locate the row by ``rowid``.
+    """
+
+    __slots__ = ("rowid", "_values")
+
+    def __init__(self, rowid: int, values: Dict[str, Any]) -> None:
+        self.rowid = rowid
+        self._values = values
+
+    # -- Mapping protocol ----------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- conversions ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a detached copy of the row's values."""
+        return dict(self._values)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._values.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Row #{self.rowid} {self._values!r}>"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self.rowid == other.rowid and self._values == other._values
+        if isinstance(other, dict):
+            return self._values == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.rowid)

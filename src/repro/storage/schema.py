@@ -1,0 +1,174 @@
+"""Schema objects: column definitions, index definitions, table schemas.
+
+A :class:`TableSchema` is a purely declarative description of a table — the
+storage engine (``table.py``) turns it into heap storage plus B+Tree indexes.
+The ORM layer generates these schemas from model definitions, mirroring how
+Django's ``syncdb`` creates Postgres tables from models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ColumnNotFoundError, SchemaError
+from .datatypes import DataType, type_by_name
+
+
+@dataclass
+class ColumnDef:
+    """Definition of a single column.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be unique within the table.
+    dtype:
+        Either a :class:`DataType` instance or its SQL-ish name (``"integer"``).
+    nullable:
+        Whether NULL values are accepted.
+    default:
+        Default value used when an INSERT omits the column.  May be a callable
+        (invoked per row) or a plain value.
+    """
+
+    name: str
+    dtype: Any
+    nullable: bool = True
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if isinstance(self.dtype, str):
+            self.dtype = type_by_name(self.dtype)
+        if not isinstance(self.dtype, DataType):
+            raise SchemaError(f"invalid column type for {self.name!r}: {self.dtype!r}")
+
+    def resolve_default(self) -> Any:
+        """Return the default value for this column for a new row."""
+        if callable(self.default):
+            return self.default()
+        return self.default
+
+
+@dataclass
+class IndexDef:
+    """Definition of a secondary index over one or more columns."""
+
+    name: str
+    columns: Tuple[str, ...]
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if isinstance(self.columns, list):
+            self.columns = tuple(self.columns)
+        if not self.columns:
+            raise SchemaError(f"index {self.name!r} must cover at least one column")
+
+
+class TableSchema:
+    """Declarative description of a table: columns, primary key, indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[ColumnDef],
+        primary_key: str = "id",
+        indexes: Optional[Sequence[IndexDef]] = None,
+    ) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self.name = name
+        self.columns: List[ColumnDef] = list(columns)
+        self.primary_key = primary_key
+        self.indexes: List[IndexDef] = list(indexes or [])
+
+        seen: Dict[str, ColumnDef] = {}
+        for col in self.columns:
+            if col.name in seen:
+                raise SchemaError(f"duplicate column {col.name!r} in table {name!r}")
+            seen[col.name] = col
+        self._by_name = seen
+
+        if primary_key not in self._by_name:
+            raise SchemaError(
+                f"primary key column {primary_key!r} not defined on table {name!r}"
+            )
+
+        for idx in self.indexes:
+            for col in idx.columns:
+                if col not in self._by_name:
+                    raise SchemaError(
+                        f"index {idx.name!r} references unknown column {col!r}"
+                    )
+
+    # -- column access ------------------------------------------------------
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> ColumnDef:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ColumnNotFoundError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    # -- index helpers ------------------------------------------------------
+
+    def add_index(self, index: IndexDef) -> None:
+        """Register an additional secondary index definition."""
+        for col in index.columns:
+            if col not in self._by_name:
+                raise SchemaError(
+                    f"index {index.name!r} references unknown column {col!r}"
+                )
+        self.indexes.append(index)
+
+    def indexes_covering(self, column: str) -> List[IndexDef]:
+        """Return indexes whose leading column is ``column``."""
+        return [idx for idx in self.indexes if idx.columns[0] == column]
+
+    # -- row helpers ---------------------------------------------------------
+
+    def coerce_row(self, values: Dict[str, Any], *, for_insert: bool = True) -> Dict[str, Any]:
+        """Validate and coerce a mapping of column values.
+
+        For inserts, missing columns get their defaults and NOT NULL
+        constraints are checked (except the primary key, which the table
+        assigns automatically when omitted).  For updates, only the provided
+        columns are validated.
+        """
+        out: Dict[str, Any] = {}
+        for key in values:
+            if key not in self._by_name:
+                raise ColumnNotFoundError(
+                    f"table {self.name!r} has no column {key!r}"
+                )
+        if for_insert:
+            for col in self.columns:
+                if col.name in values:
+                    out[col.name] = col.dtype.coerce(values[col.name])
+                else:
+                    out[col.name] = col.dtype.coerce(col.resolve_default())
+        else:
+            for key, value in values.items():
+                out[key] = self._by_name[key].dtype.coerce(value)
+        return out
+
+    def estimate_row_width(self, row: Dict[str, Any]) -> int:
+        """Estimate the storage footprint of ``row`` in bytes."""
+        total = 8  # per-row header
+        for col in self.columns:
+            total += col.dtype.estimate_width(row.get(col.name))
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(self.column_names)
+        return f"<TableSchema {self.name}({cols})>"

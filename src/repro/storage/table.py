@@ -1,0 +1,255 @@
+"""Table: heap storage + indexes + constraints + trigger firing.
+
+A table owns a :class:`~repro.storage.heap.HeapFile`, a primary-key B+Tree,
+and any secondary B+Trees declared in the schema.  All mutations keep every
+index synchronized, enforce NOT NULL / UNIQUE constraints, and fire AFTER
+row-level triggers through the database's :class:`TriggerManager`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from ..errors import ConstraintViolation, RowNotFoundError, SchemaError
+from .btree import BPlusTree
+from .bufferpool import BufferPool
+from .costmodel import Recorder
+from .heap import HeapFile
+from .rows import Row
+from .schema import IndexDef, TableSchema
+from .triggers import TriggerManager
+
+
+class Index:
+    """A secondary (or primary) index: a B+Tree keyed on one or more columns."""
+
+    def __init__(self, definition: IndexDef, recorder: Recorder) -> None:
+        self.definition = definition
+        self.tree = BPlusTree(unique=definition.unique)
+        self.recorder = recorder
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self.definition.columns
+
+    def key_for(self, values: Dict[str, Any]) -> Any:
+        """Extract this index's key from a row's values."""
+        if len(self.columns) == 1:
+            return values.get(self.columns[0])
+        return tuple(values.get(col) for col in self.columns)
+
+    def _charge(self, before: int) -> None:
+        self.recorder.record("index_node_touches", self.tree.node_touches - before)
+
+    def insert(self, values: Dict[str, Any], rowid: int) -> None:
+        before = self.tree.node_touches
+        try:
+            self.tree.insert(self.key_for(values), rowid)
+        except ValueError as exc:
+            raise ConstraintViolation(str(exc)) from None
+        finally:
+            self._charge(before)
+
+    def delete(self, values: Dict[str, Any], rowid: int) -> None:
+        before = self.tree.node_touches
+        self.tree.delete(self.key_for(values), rowid)
+        self._charge(before)
+
+    def lookup(self, key: Any) -> Set[int]:
+        before = self.tree.node_touches
+        result = self.tree.search(key)
+        self._charge(before)
+        return result
+
+    def range(self, low: Any = None, high: Any = None, *, reverse: bool = False,
+              include_low: bool = True, include_high: bool = True) -> Iterator[Tuple[Any, Set[int]]]:
+        before = self.tree.node_touches
+        result = list(self.tree.range_scan(
+            low, high, reverse=reverse,
+            include_low=include_low, include_high=include_high,
+        ))
+        self._charge(before)
+        return iter(result)
+
+
+class Table:
+    """A table with heap storage, indexes, constraints, and triggers."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        buffer_pool: BufferPool,
+        trigger_manager: TriggerManager,
+        recorder: Recorder,
+    ) -> None:
+        self.schema = schema
+        self.recorder = recorder
+        self.trigger_manager = trigger_manager
+        self.heap = HeapFile(schema, buffer_pool)
+        self._pk_counter = itertools.count(1)
+
+        pk_index_def = IndexDef(
+            name=f"{schema.name}_pkey", columns=(schema.primary_key,), unique=True
+        )
+        self.primary_index = Index(pk_index_def, recorder)
+        self.secondary_indexes: Dict[str, Index] = {}
+        for index_def in schema.indexes:
+            self.secondary_indexes[index_def.name] = Index(index_def, recorder)
+
+    # -- metadata -------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def row_count(self) -> int:
+        return self.heap.row_count
+
+    def all_indexes(self) -> List[Index]:
+        return [self.primary_index, *self.secondary_indexes.values()]
+
+    def add_index(self, definition: IndexDef) -> Index:
+        """Create a secondary index and backfill it from existing rows."""
+        if definition.name in self.secondary_indexes:
+            raise SchemaError(f"index {definition.name!r} already exists")
+        self.schema.add_index(definition)
+        index = Index(definition, self.recorder)
+        for row in self.heap.scan():
+            index.insert(row.to_dict(), row.rowid)
+        self.secondary_indexes[definition.name] = index
+        return index
+
+    # -- constraint helpers ---------------------------------------------------
+
+    def _check_not_null(self, values: Dict[str, Any]) -> None:
+        for col in self.schema.columns:
+            if col.name == self.schema.primary_key:
+                continue
+            if not col.nullable and values.get(col.name) is None:
+                raise ConstraintViolation(
+                    f"column {col.name!r} of table {self.name!r} may not be NULL"
+                )
+
+    def _next_pk(self) -> int:
+        return next(self._pk_counter)
+
+    # -- mutations ------------------------------------------------------------
+
+    def insert(self, values: Dict[str, Any], *, fire_triggers: bool = True) -> Row:
+        """Insert one row; assigns the primary key if missing; fires triggers."""
+        coerced = self.schema.coerce_row(values, for_insert=True)
+        pk_col = self.schema.primary_key
+        if coerced.get(pk_col) is None:
+            coerced[pk_col] = self._next_pk()
+        else:
+            # Keep auto-assignment ahead of explicitly provided keys.
+            provided = coerced[pk_col]
+            if isinstance(provided, int):
+                current = next(self._pk_counter)
+                self._pk_counter = itertools.count(max(current, provided + 1))
+        self._check_not_null(coerced)
+
+        self.recorder.record("inserts")
+        row = self.heap.insert(coerced)
+        try:
+            self.primary_index.insert(coerced, row.rowid)
+        except ConstraintViolation:
+            self.heap.delete(row.rowid)
+            raise
+        inserted_secondaries: List[Index] = []
+        try:
+            for index in self.secondary_indexes.values():
+                index.insert(coerced, row.rowid)
+                inserted_secondaries.append(index)
+        except ConstraintViolation:
+            for index in inserted_secondaries:
+                index.delete(coerced, row.rowid)
+            self.primary_index.delete(coerced, row.rowid)
+            self.heap.delete(row.rowid)
+            raise
+
+        if fire_triggers:
+            self.trigger_manager.fire(self.name, "insert", new=row.to_dict(), old=None)
+        return row
+
+    def update_row(self, rowid: int, changes: Dict[str, Any],
+                   *, fire_triggers: bool = True) -> Tuple[Row, Row]:
+        """Update one row by rowid; maintains indexes; fires triggers."""
+        coerced = self.schema.coerce_row(changes, for_insert=False)
+        if self.schema.primary_key in coerced:
+            raise ConstraintViolation(
+                f"primary key of table {self.name!r} cannot be updated"
+            )
+        current = self.heap.peek(rowid)
+        if current is None:
+            raise RowNotFoundError(f"table {self.name!r} has no row id {rowid}")
+        for col in self.schema.columns:
+            if col.name in coerced and not col.nullable and coerced[col.name] is None:
+                raise ConstraintViolation(
+                    f"column {col.name!r} of table {self.name!r} may not be NULL"
+                )
+
+        self.recorder.record("updates")
+        old, new = self.heap.update(rowid, coerced)
+        for index in self.all_indexes():
+            old_key = index.key_for(old.to_dict())
+            new_key = index.key_for(new.to_dict())
+            if old_key != new_key:
+                index.delete(old.to_dict(), rowid)
+                try:
+                    index.insert(new.to_dict(), rowid)
+                except ConstraintViolation:
+                    # Roll the heap and already-moved indexes back.
+                    self.heap.update(rowid, old.to_dict())
+                    index.insert(old.to_dict(), rowid)
+                    raise
+        if fire_triggers:
+            self.trigger_manager.fire(self.name, "update",
+                                      new=new.to_dict(), old=old.to_dict())
+        return old, new
+
+    def delete_row(self, rowid: int, *, fire_triggers: bool = True) -> Row:
+        """Delete one row by rowid; maintains indexes; fires triggers."""
+        current = self.heap.peek(rowid)
+        if current is None:
+            raise RowNotFoundError(f"table {self.name!r} has no row id {rowid}")
+        self.recorder.record("deletes")
+        row = self.heap.delete(rowid)
+        for index in self.all_indexes():
+            index.delete(row.to_dict(), rowid)
+        if fire_triggers:
+            self.trigger_manager.fire(self.name, "delete", new=None, old=row.to_dict())
+        return row
+
+    # -- reads ----------------------------------------------------------------
+
+    def fetch_by_pk(self, pk: Any) -> Optional[Row]:
+        """Point lookup through the primary-key index."""
+        rowids = self.primary_index.lookup(pk)
+        if not rowids:
+            return None
+        return self.heap.fetch(next(iter(rowids)))
+
+    def fetch_rows(self, rowids: Set[int]) -> List[Row]:
+        return self.heap.fetch_many(iter(sorted(rowids)))
+
+    def scan(self) -> Iterator[Row]:
+        return self.heap.scan()
+
+    def index_for_column(self, column: str) -> Optional[Index]:
+        """Return an index whose leading column is ``column``, if any."""
+        if column == self.schema.primary_key:
+            return self.primary_index
+        for index in self.secondary_indexes.values():
+            if index.columns[0] == column:
+                return index
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Table {self.name}: {self.row_count} rows>"

@@ -1,0 +1,136 @@
+"""Transactions: autocommit statements, explicit transactions, and undo.
+
+CacheGenie serializes all writes through the database (§1, §3.3), so the
+engine provides a straightforward single-writer transaction model:
+
+* every statement runs inside a transaction — either the currently open
+  explicit transaction or an implicit autocommit transaction;
+* committed statements charge a commit (fsync) cost to the disk resource;
+* aborting an explicit transaction undoes its heap/index changes using an
+  undo log (triggers are *not* re-fired during undo, matching the paper's
+  non-transactional cache propagation: the cache may transiently reflect an
+  aborted write, i.e. dirty but never stale data).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import TransactionError
+from .costmodel import Recorder
+
+
+@dataclass
+class UndoRecord:
+    """One inverse operation to apply if the transaction aborts."""
+
+    apply: Callable[[], None]
+    description: str = ""
+
+
+@dataclass
+class Transaction:
+    """An open transaction: id, undo log, and a few bookkeeping counters."""
+
+    tid: int
+    autocommit: bool
+    undo_log: List[UndoRecord] = field(default_factory=list)
+    statements: int = 0
+    status: str = "active"  # active | committed | aborted
+
+    def record_undo(self, apply: Callable[[], None], description: str = "") -> None:
+        self.undo_log.append(UndoRecord(apply=apply, description=description))
+
+
+class TransactionManager:
+    """Manages the (single) open transaction and assigns transaction ids.
+
+    The engine is single-threaded per database instance — concurrency in the
+    evaluation comes from the discrete-event simulation layer — so at most
+    one explicit transaction is open at a time, exactly like one Django
+    worker's connection.
+    """
+
+    def __init__(self, recorder: Recorder) -> None:
+        self.recorder = recorder
+        self._tid_counter = itertools.count(1)
+        self._current: Optional[Transaction] = None
+        self.committed = 0
+        self.aborted = 0
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Transaction]:
+        return self._current
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._current is not None and not self._current.autocommit
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Open an explicit transaction."""
+        if self.in_transaction:
+            raise TransactionError("a transaction is already open")
+        txn = Transaction(tid=next(self._tid_counter), autocommit=False)
+        self._current = txn
+        return txn
+
+    def ensure_transaction(self) -> Transaction:
+        """Return the open transaction, or start an autocommit one."""
+        if self._current is None:
+            self._current = Transaction(tid=next(self._tid_counter), autocommit=True)
+        return self._current
+
+    def statement_finished(self, wrote: bool) -> None:
+        """Called by the database after each statement.
+
+        Autocommit transactions commit immediately; explicit transactions
+        stay open until :meth:`commit` / :meth:`abort`.
+        """
+        txn = self._current
+        if txn is None:
+            return
+        txn.statements += 1
+        if txn.autocommit:
+            if wrote:
+                self.recorder.record("commits")
+            txn.status = "committed"
+            self.committed += 1
+            self._current = None
+
+    def commit(self) -> Transaction:
+        """Commit the open explicit transaction."""
+        txn = self._current
+        if txn is None or txn.autocommit:
+            raise TransactionError("no explicit transaction is open")
+        if txn.undo_log:
+            self.recorder.record("commits")
+        txn.status = "committed"
+        txn.undo_log.clear()
+        self.committed += 1
+        self._current = None
+        return txn
+
+    def abort(self) -> Transaction:
+        """Abort the open explicit transaction, undoing its changes."""
+        txn = self._current
+        if txn is None or txn.autocommit:
+            raise TransactionError("no explicit transaction is open")
+        for record in reversed(txn.undo_log):
+            record.apply()
+        txn.undo_log.clear()
+        txn.status = "aborted"
+        self.aborted += 1
+        self._current = None
+        return txn
+
+    def record_undo(self, apply: Callable[[], None], description: str = "") -> None:
+        """Attach an undo record to the open explicit transaction (if any)."""
+        txn = self._current
+        if txn is not None and not txn.autocommit:
+            txn.record_undo(apply, description)

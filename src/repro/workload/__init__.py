@@ -1,0 +1,17 @@
+"""Workload substrate: configuration, zipf user selection, trace generation."""
+
+from .config import DEFAULT_PAGE_MIX, WorkloadConfig
+from .generator import WorkloadGenerator
+from .trace import PageLoad, Session, WorkloadTrace
+from .zipf import SessionCountSampler, ZipfSampler
+
+__all__ = [
+    "DEFAULT_PAGE_MIX",
+    "PageLoad",
+    "Session",
+    "SessionCountSampler",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "WorkloadTrace",
+    "ZipfSampler",
+]

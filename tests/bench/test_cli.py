@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro.bench`` command-line interface."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("micro-lookup", "micro-trigger", "effort", "table1",
+                        "exp1", "exp2", "exp3", "exp4", "exp5"):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+    def test_exp1_accepts_client_list(self):
+        args = build_parser().parse_args(["exp1", "--clients", "1", "8"])
+        assert args.clients == [1, 8]
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "CacheGenie" in out
+
+    def test_micro_trigger_command(self, capsys):
+        assert main(["micro-trigger"]) == 0
+        out = capsys.readouterr().out
+        assert "Plain INSERT" in out
+
+    def test_effort_command(self, capsys):
+        assert main(["effort"]) == 0
+        out = capsys.readouterr().out
+        assert "Cached objects defined" in out

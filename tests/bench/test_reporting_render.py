@@ -1,0 +1,74 @@
+"""Tests for the result-rendering helpers (figures/tables as text)."""
+
+from repro.bench import (format_series, format_table, render_experiment1,
+                         render_experiment2, render_experiment3,
+                         render_experiment4)
+from repro.bench.experiments import (Experiment1Result, Experiment2Result,
+                                     Experiment3Result, Experiment4Result)
+from repro.bench.scenarios import INVALIDATE_SCENARIO, NO_CACHE, UPDATE_SCENARIO
+
+
+def _series(values):
+    return {NO_CACHE: values[0], INVALIDATE_SCENARIO: values[1],
+            UPDATE_SCENARIO: values[2]}
+
+
+class TestRenderers:
+    def test_render_experiment1_contains_all_sections(self):
+        result = Experiment1Result(
+            client_counts=[1, 15],
+            throughput=_series([[10.0, 30.0], [20.0, 60.0], [22.0, 70.0]]),
+            latency=_series([[0.1, 0.3], [0.05, 0.1], [0.05, 0.09]]),
+            latency_by_page={
+                NO_CACHE: {"LookupBM": 0.2, "CreateBM": 0.1},
+                INVALIDATE_SCENARIO: {"LookupBM": 0.05, "CreateBM": 0.2},
+                UPDATE_SCENARIO: {"LookupBM": 0.04, "CreateBM": 0.21},
+            },
+            cache_hit_ratio={NO_CACHE: 0.0, INVALIDATE_SCENARIO: 0.9,
+                             UPDATE_SCENARIO: 0.95},
+        )
+        text = render_experiment1(result)
+        assert "Figure 2a" in text and "Figure 2b" in text and "Table 2" in text
+        assert "LookupBM" in text and "CreateBM" in text
+        assert result.speedup_over_nocache(UPDATE_SCENARIO) > 2.0
+
+    def test_render_experiment2_percentages(self):
+        result = Experiment2Result(
+            read_fractions=[0.0, 1.0],
+            throughput=_series([[10.0, 20.0], [10.0, 100.0], [11.0, 110.0]]))
+        text = render_experiment2(result)
+        assert "0%" in text and "100%" in text
+        assert result.read_only_speedup(UPDATE_SCENARIO) == 5.5
+
+    def test_render_experiment3_skew_gain(self):
+        result = Experiment3Result(
+            zipf_parameters=[1.2, 2.0],
+            throughput=_series([[10.0, 10.0], [60.0, 40.0], [75.0, 50.0]]))
+        assert result.skew_gain(UPDATE_SCENARIO) == 1.5
+        assert "zipf" in render_experiment3(result)
+
+    def test_render_experiment4_plateau(self):
+        result = Experiment4Result(
+            cache_sizes_bytes=[1024, 2048, 4096],
+            throughput={UPDATE_SCENARIO: [50.0, 90.0, 100.0],
+                        INVALIDATE_SCENARIO: [60.0, 85.0, 88.0]},
+            evictions={UPDATE_SCENARIO: [10, 2, 0],
+                       INVALIDATE_SCENARIO: [8, 1, 0]},
+            nocache_reference=30.0)
+        assert result.plateau_size(UPDATE_SCENARIO) == 4096
+        assert result.plateau_size(INVALIDATE_SCENARIO) == 2048
+        text = render_experiment4(result)
+        assert "NoCache reference" in text and "1 KB" in text
+
+
+class TestFormatting:
+    def test_format_table_pads_columns(self):
+        text = format_table(["name", "v"], [["a", 1], ["longer-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) >= len("longer-name") for line in lines[2:])
+
+    def test_format_series_column_order_stable(self):
+        text = format_series("x", [1], {"B": [2.0], "A": [1.0]})
+        header = text.splitlines()[0]
+        assert header.index("B (req/s)") < header.index("A (req/s)")

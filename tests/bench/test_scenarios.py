@@ -1,0 +1,83 @@
+"""Tests for scenario assembly (NoCache / Invalidate / Update)."""
+
+import pytest
+
+from repro.apps.social import SeedScale
+from repro.bench import (INVALIDATE_SCENARIO, NO_CACHE, Scenario,
+                         ScenarioConfig, UPDATE_SCENARIO, build_scenario)
+from repro.core import INVALIDATE, UPDATE_IN_PLACE
+
+
+TINY = SeedScale.tiny()
+
+
+class TestScenarioConfig:
+    def test_strategies_by_name(self):
+        assert ScenarioConfig(name=NO_CACHE).strategy is None
+        assert ScenarioConfig(name=INVALIDATE_SCENARIO).strategy == INVALIDATE
+        assert ScenarioConfig(name=UPDATE_SCENARIO).strategy == UPDATE_IN_PLACE
+
+    def test_variant_overrides(self):
+        config = ScenarioConfig(name=UPDATE_SCENARIO).variant(cache_size_bytes=123)
+        assert config.cache_size_bytes == 123
+        assert config.name == UPDATE_SCENARIO
+
+    def test_unknown_scenario_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_scenario("WriteThrough")
+
+
+class TestScenarioAssembly:
+    def test_nocache_has_no_genie(self):
+        scenario = Scenario(ScenarioConfig(name=NO_CACHE, seed_scale=TINY)).setup()
+        try:
+            assert scenario.genie is None
+            assert scenario.cached_objects == {}
+            assert scenario.seed_summary.users == TINY.users
+            assert scenario.cache_hit_ratio() == 0.0
+        finally:
+            scenario.teardown()
+
+    def test_update_scenario_installs_cachegenie(self):
+        scenario = Scenario(ScenarioConfig(name=UPDATE_SCENARIO, seed_scale=TINY)).setup()
+        try:
+            assert scenario.genie is not None
+            assert scenario.genie.cached_object_count == 14
+            assert all(obj.update_strategy == UPDATE_IN_PLACE
+                       for obj in scenario.cached_objects.values())
+            description = scenario.describe()
+            assert description["strategy"] == UPDATE_IN_PLACE
+        finally:
+            scenario.teardown()
+
+    def test_invalidate_scenario_uses_invalidation(self):
+        scenario = Scenario(ScenarioConfig(name=INVALIDATE_SCENARIO, seed_scale=TINY)).setup()
+        try:
+            assert all(obj.update_strategy == INVALIDATE
+                       for obj in scenario.cached_objects.values())
+        finally:
+            scenario.teardown()
+
+    def test_triggers_disabled_for_ideal_system(self):
+        scenario = Scenario(ScenarioConfig(name=UPDATE_SCENARIO, seed_scale=TINY,
+                                           triggers_enabled=False)).setup()
+        try:
+            assert scenario.database.triggers.globally_enabled is False
+        finally:
+            scenario.teardown()
+
+    def test_scenarios_can_be_built_sequentially(self):
+        for name in (NO_CACHE, UPDATE_SCENARIO, INVALIDATE_SCENARIO):
+            with Scenario(ScenarioConfig(name=name, seed_scale=TINY)) as scenario:
+                result = scenario.app.lookup_bookmarks(1)
+                assert result.page == "LookupBM"
+
+    def test_cache_size_respected(self):
+        scenario = Scenario(ScenarioConfig(name=UPDATE_SCENARIO, seed_scale=TINY,
+                                           cache_size_bytes=1024 * 1024,
+                                           cache_server_count=2)).setup()
+        try:
+            assert len(scenario.cache_servers) == 2
+            assert sum(s.store.capacity_bytes for s in scenario.cache_servers) == 1024 * 1024
+        finally:
+            scenario.teardown()

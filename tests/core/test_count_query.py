@@ -1,0 +1,113 @@
+"""Tests for the CountQuery cache class."""
+
+import pytest
+
+from repro.core import INVALIDATE
+
+
+@pytest.fixture
+def items_setup(stack):
+    Person, Item = stack["Person"], stack["Item"]
+    owners = [Person.objects.create(name=f"owner{i}") for i in range(2)]
+    for i in range(5):
+        Item.objects.create(owner=owners[0], label=f"item{i}")
+    for i in range(2):
+        Item.objects.create(owner=owners[1], label=f"other{i}")
+    stack["owners"] = owners
+    return stack
+
+
+class TestCountQuery:
+    def test_evaluate_returns_int(self, items_setup):
+        genie = items_setup["genie"]
+        cached = genie.cacheable(cache_class_type="CountQuery", main_model="Item",
+                                 where_fields=["owner_id"])
+        assert cached.evaluate(owner_id=items_setup["owners"][0].pk) == 5
+        assert cached.evaluate(owner_id=items_setup["owners"][1].pk) == 2
+
+    def test_transparent_count_interception(self, items_setup):
+        genie = items_setup["genie"]
+        Item = items_setup["Item"]
+        cached = genie.cacheable(cache_class_type="CountQuery", main_model="Item",
+                                 where_fields=["owner_id"])
+        owner = items_setup["owners"][0]
+        assert Item.objects.filter(owner_id=owner.pk).count() == 5
+        assert Item.objects.filter(owner_id=owner.pk).count() == 5
+        assert cached.stats.cache_hits == 1
+        assert cached.stats.transparent_fetches == 2
+
+    def test_insert_increments_cached_count(self, items_setup):
+        genie = items_setup["genie"]
+        Item = items_setup["Item"]
+        cached = genie.cacheable(cache_class_type="CountQuery", main_model="Item",
+                                 where_fields=["owner_id"])
+        owner = items_setup["owners"][0]
+        cached.evaluate(owner_id=owner.pk)
+        Item.objects.create(owner=owner, label="new")
+        assert cached.peek(owner_id=owner.pk) == 6
+        assert cached.stats.updates_applied >= 1
+
+    def test_delete_decrements_cached_count(self, items_setup):
+        genie = items_setup["genie"]
+        Item = items_setup["Item"]
+        cached = genie.cacheable(cache_class_type="CountQuery", main_model="Item",
+                                 where_fields=["owner_id"])
+        owner = items_setup["owners"][0]
+        cached.evaluate(owner_id=owner.pk)
+        Item.objects.filter(owner_id=owner.pk, label="item0").delete()
+        assert cached.peek(owner_id=owner.pk) == 4
+
+    def test_uncached_key_not_created_by_trigger(self, items_setup):
+        genie = items_setup["genie"]
+        Item = items_setup["Item"]
+        cached = genie.cacheable(cache_class_type="CountQuery", main_model="Item",
+                                 where_fields=["owner_id"])
+        owner = items_setup["owners"][1]
+        Item.objects.create(owner=owner, label="extra")
+        assert cached.peek(owner_id=owner.pk) is None
+
+    def test_update_moving_row_adjusts_both_counts(self, items_setup):
+        genie = items_setup["genie"]
+        Item = items_setup["Item"]
+        cached = genie.cacheable(cache_class_type="CountQuery", main_model="Item",
+                                 where_fields=["owner_id"])
+        a, b = items_setup["owners"]
+        cached.evaluate(owner_id=a.pk)
+        cached.evaluate(owner_id=b.pk)
+        victim = Item.objects.filter(owner_id=a.pk).first()
+        Item.objects.filter(id=victim.pk).update(owner_id=b.pk)
+        assert cached.peek(owner_id=a.pk) == 4
+        assert cached.peek(owner_id=b.pk) == 3
+
+    def test_update_not_affecting_group_leaves_count(self, items_setup):
+        genie = items_setup["genie"]
+        Item = items_setup["Item"]
+        cached = genie.cacheable(cache_class_type="CountQuery", main_model="Item",
+                                 where_fields=["owner_id"])
+        a = items_setup["owners"][0]
+        cached.evaluate(owner_id=a.pk)
+        Item.objects.filter(owner_id=a.pk).update(rank=5)
+        assert cached.peek(owner_id=a.pk) == 5
+
+    def test_invalidate_strategy_deletes_key(self, items_setup):
+        genie = items_setup["genie"]
+        Item = items_setup["Item"]
+        cached = genie.cacheable(cache_class_type="CountQuery", main_model="Item",
+                                 where_fields=["owner_id"],
+                                 update_strategy=INVALIDATE)
+        owner = items_setup["owners"][0]
+        cached.evaluate(owner_id=owner.pk)
+        Item.objects.create(owner=owner, label="boom")
+        assert cached.peek(owner_id=owner.pk) is None
+        assert cached.evaluate(owner_id=owner.pk) == 6
+
+    def test_count_of_zero_is_a_valid_cached_value(self, items_setup):
+        genie = items_setup["genie"]
+        Person = items_setup["Person"]
+        cached = genie.cacheable(cache_class_type="CountQuery", main_model="Item",
+                                 where_fields=["owner_id"])
+        lonely = Person.objects.create(name="lonely")
+        assert cached.evaluate(owner_id=lonely.pk) == 0
+        # Second evaluate must be a cache hit, not a recomputation of zero.
+        cached.evaluate(owner_id=lonely.pk)
+        assert cached.stats.cache_hits == 1

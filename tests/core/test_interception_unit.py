@@ -1,0 +1,79 @@
+"""Unit tests for the CacheGenie interceptor, independent of a full stack."""
+
+from repro.core.interception import CacheGenieInterceptor
+from repro.orm.queryset import QueryDescription
+
+
+class FakeCachedObject:
+    """Minimal stand-in implementing the interceptor-facing surface."""
+
+    def __init__(self, table, value, transparent=True):
+        self.table = table
+        self.value = value
+        self.use_transparently = transparent
+        self.evaluated_with = None
+
+        class _Stats:
+            transparent_fetches = 0
+        self.stats = _Stats()
+
+    def matches(self, description):
+        if description.table == self.table:
+            return dict(description.filters)
+        return None
+
+    def evaluate(self, **params):
+        self.evaluated_with = params
+        return self.value
+
+    def result_for_application(self, value, description):
+        return value
+
+
+class FakeModel:
+    class _meta:
+        db_table = "profiles"
+
+
+def make_description(table="profiles", **filters):
+    description = QueryDescription(model=FakeModel, kind="select", filters=filters)
+    FakeModel._meta.db_table = table
+    return description
+
+
+class TestInterceptor:
+    def test_first_matching_object_wins(self):
+        interceptor = CacheGenieInterceptor()
+        first = FakeCachedObject("profiles", ["first"])
+        second = FakeCachedObject("profiles", ["second"])
+        interceptor.register(first)
+        interceptor.register(second)
+        handled, result = interceptor.try_fetch(make_description(user_id=1))
+        assert handled and result == ["first"]
+        assert first.evaluated_with == {"user_id": 1}
+        assert first.stats.transparent_fetches == 1
+        assert second.evaluated_with is None
+
+    def test_non_transparent_objects_skipped(self):
+        interceptor = CacheGenieInterceptor()
+        hidden = FakeCachedObject("profiles", ["hidden"], transparent=False)
+        interceptor.register(hidden)
+        handled, _ = interceptor.try_fetch(make_description(user_id=1))
+        assert not handled
+
+    def test_no_match_returns_unhandled(self):
+        interceptor = CacheGenieInterceptor()
+        interceptor.register(FakeCachedObject("walls", ["x"]))
+        handled, result = interceptor.try_fetch(make_description(table="profiles"))
+        assert not handled and result is None
+
+    def test_unregister_and_clear(self):
+        interceptor = CacheGenieInterceptor()
+        obj = FakeCachedObject("profiles", ["x"])
+        interceptor.register(obj)
+        interceptor.unregister(obj)
+        assert interceptor.cached_objects == []
+        interceptor.register(obj)
+        interceptor.clear()
+        handled, _ = interceptor.try_fetch(make_description())
+        assert not handled

@@ -1,0 +1,55 @@
+"""Tests for cache-key construction and consistency strategies."""
+
+import pytest
+
+from repro.core.keys import KeyScheme, fingerprint
+from repro.core.strategies import (EXPIRY, INVALIDATE, UPDATE_IN_PLACE,
+                                   needs_triggers, validate_strategy)
+from repro.errors import CacheClassError
+
+
+class TestKeyScheme:
+    def test_keys_are_deterministic(self):
+        a = KeyScheme("user_profile", fingerprint("FeatureQuery", "profiles", "user_id"))
+        b = KeyScheme("user_profile", fingerprint("FeatureQuery", "profiles", "user_id"))
+        assert a.key_for([42]) == b.key_for([42])
+
+    def test_different_definitions_do_not_collide(self):
+        a = KeyScheme("counts", fingerprint("CountQuery", "bookmarks", "user_id"))
+        b = KeyScheme("counts", fingerprint("CountQuery", "wall", "user_id"))
+        assert a.key_for([42]) != b.key_for([42])
+
+    def test_distinct_values_distinct_keys(self):
+        scheme = KeyScheme("obj", "fp")
+        assert scheme.key_for([1]) != scheme.key_for([2])
+        assert scheme.key_for([1, 2]) != scheme.key_for([2, 1])
+
+    def test_keys_are_memcached_safe(self):
+        scheme = KeyScheme("weird name!", "fp")
+        key = scheme.key_for(["value with spaces", None, 3.5])
+        assert len(key) <= 250
+        assert not any(ch.isspace() for ch in key)
+
+    def test_key_for_mapping(self):
+        scheme = KeyScheme("obj", "fp")
+        assert scheme.key_for_mapping(["a", "b"], {"b": 2, "a": 1}) == scheme.key_for([1, 2])
+
+    def test_long_values_are_hashed(self):
+        scheme = KeyScheme("obj", "fp")
+        key = scheme.key_for(["x" * 500])
+        assert len(key) <= 250
+
+
+class TestStrategies:
+    def test_validate_known(self):
+        for strategy in (UPDATE_IN_PLACE, INVALIDATE, EXPIRY):
+            assert validate_strategy(strategy) == strategy
+
+    def test_validate_unknown_raises(self):
+        with pytest.raises(CacheClassError):
+            validate_strategy("write-through")
+
+    def test_needs_triggers(self):
+        assert needs_triggers(UPDATE_IN_PLACE)
+        assert needs_triggers(INVALIDATE)
+        assert not needs_triggers(EXPIRY)

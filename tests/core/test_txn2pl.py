@@ -1,0 +1,134 @@
+"""Tests for the §3.3 full-serializability extension (2PL over cache keys)."""
+
+import pytest
+
+from repro.core import (TransactionalCacheSession, TwoPhaseLockingCoordinator,
+                        WouldBlock)
+from repro.errors import ConsistencyError, DeadlockError
+from repro.memcache import CacheClient, CacheServer
+
+
+@pytest.fixture
+def coordinator():
+    return TwoPhaseLockingCoordinator()
+
+
+class TestBlockingRules:
+    def test_read_blocks_on_foreign_writer(self, coordinator):
+        t1 = coordinator.begin()
+        t2 = coordinator.begin()
+        coordinator.acquire_write(t1, "k")
+        with pytest.raises(WouldBlock) as excinfo:
+            coordinator.acquire_read(t2, "k")
+        assert excinfo.value.waiting_for == {t1}
+
+    def test_read_does_not_block_on_own_write(self, coordinator):
+        t1 = coordinator.begin()
+        coordinator.acquire_write(t1, "k")
+        coordinator.acquire_read(t1, "k")   # no exception
+
+    def test_concurrent_readers_allowed(self, coordinator):
+        t1, t2 = coordinator.begin(), coordinator.begin()
+        coordinator.acquire_read(t1, "k")
+        coordinator.acquire_read(t2, "k")
+        assert coordinator.readers_of("k") == {t1, t2}
+
+    def test_write_blocks_on_readers(self, coordinator):
+        t1, t2 = coordinator.begin(), coordinator.begin()
+        coordinator.acquire_read(t1, "k")
+        with pytest.raises(WouldBlock):
+            coordinator.acquire_write(t2, "k")
+
+    def test_write_after_own_read_upgrades(self, coordinator):
+        t1 = coordinator.begin()
+        coordinator.acquire_read(t1, "k")
+        coordinator.acquire_write(t1, "k")
+        assert coordinator.writer_of("k") == t1
+
+    def test_commit_releases_locks(self, coordinator):
+        t1, t2 = coordinator.begin(), coordinator.begin()
+        coordinator.acquire_write(t1, "k")
+        coordinator.commit(t1)
+        coordinator.acquire_write(t2, "k")   # now allowed
+        assert coordinator.writer_of("k") == t2
+
+    def test_unknown_transaction_rejected(self, coordinator):
+        with pytest.raises(ConsistencyError):
+            coordinator.acquire_read(999, "k")
+
+    def test_readers_tracked_even_for_missing_keys(self, coordinator):
+        # §3.3: "we need to add T to readers_k even if k has not yet been
+        # added to the cache".
+        t1 = coordinator.begin()
+        coordinator.acquire_read(t1, "not-in-cache")
+        assert coordinator.readers_of("not-in-cache") == {t1}
+
+
+class TestDeadlockDetection:
+    def test_cycle_detected(self, coordinator):
+        t1, t2 = coordinator.begin(), coordinator.begin()
+        coordinator.acquire_write(t1, "a")
+        coordinator.acquire_write(t2, "b")
+        with pytest.raises(WouldBlock):
+            coordinator.acquire_write(t1, "b")
+        with pytest.raises(DeadlockError):
+            coordinator.acquire_write(t2, "a")
+        assert coordinator.deadlocks_detected == 1
+
+    def test_no_false_deadlock_on_simple_wait(self, coordinator):
+        t1, t2 = coordinator.begin(), coordinator.begin()
+        coordinator.acquire_write(t1, "a")
+        with pytest.raises(WouldBlock):
+            coordinator.acquire_read(t2, "a")
+        assert coordinator.deadlocks_detected == 0
+
+
+class TestAbortSemantics:
+    def test_abort_reports_written_keys(self, coordinator):
+        t1 = coordinator.begin()
+        coordinator.acquire_write(t1, "a")
+        coordinator.acquire_read(t1, "b")
+        written = coordinator.abort(t1)
+        assert written == ["a"]
+        assert coordinator.active_transactions() == []
+
+
+class TestTransactionalSession:
+    def make_session_pair(self):
+        coordinator = TwoPhaseLockingCoordinator()
+        client = CacheClient([CacheServer("txn-cache", capacity_bytes=1024 * 1024)])
+        return coordinator, client
+
+    def test_session_reads_and_writes_through_cache(self):
+        coordinator, client = self.make_session_pair()
+        session = TransactionalCacheSession(coordinator, client)
+        session.set("k", 42)
+        assert session.get("k") == 42
+        session.commit()
+        assert client.get("k") == 42
+
+    def test_abort_purges_written_keys_from_cache(self):
+        coordinator, client = self.make_session_pair()
+        client.set("k", "original")
+        session = TransactionalCacheSession(coordinator, client)
+        session.set("k", "dirty")
+        session.abort()
+        # The key is removed so subsequent reads go to the database.
+        assert client.get("k") is None
+
+    def test_conflicting_sessions_block(self):
+        coordinator, client = self.make_session_pair()
+        s1 = TransactionalCacheSession(coordinator, client)
+        s2 = TransactionalCacheSession(coordinator, client)
+        s1.set("k", 1)
+        with pytest.raises(WouldBlock):
+            s2.get("k")
+        s1.commit()
+        assert s2.get("k") == 1
+
+    def test_double_commit_rejected(self):
+        coordinator, client = self.make_session_pair()
+        session = TransactionalCacheSession(coordinator, client)
+        session.commit()
+        with pytest.raises(ConsistencyError):
+            session.commit()

@@ -1,0 +1,63 @@
+"""Shared test helpers: small model sets bound to throwaway registries."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.memcache import CacheServer
+from repro.orm import (CharField, FloatTimestampField, ForeignKey,
+                       IntegerField, Model, Registry, TextField)
+from repro.storage import Database
+
+
+def build_blog_models(name: str = "blog") -> Dict[str, object]:
+    """Create a small Author/Post/Comment model set on a fresh registry.
+
+    The classes are created inside this function so every caller gets an
+    isolated registry (no cross-test pollution through the default registry).
+    """
+    reg = Registry(name)
+
+    class Author(Model):
+        username = CharField(max_length=50, unique=True)
+        karma = IntegerField(default=0)
+
+        class Meta:
+            registry = reg
+
+    class Post(Model):
+        author = ForeignKey(Author, related_name="posts")
+        title = CharField(max_length=120)
+        body = TextField(null=True)
+        score = IntegerField(default=0, db_index=True)
+        published = FloatTimestampField(auto_now_add=True, db_index=True)
+
+        class Meta:
+            registry = reg
+
+    class Comment(Model):
+        post = ForeignKey(Post, related_name="comments")
+        author = ForeignKey(Author, related_name="comments")
+        text = TextField()
+        created = FloatTimestampField(auto_now_add=True)
+
+        class Meta:
+            registry = reg
+
+    registry = reg
+
+    database = Database(name=f"{name}-db")
+    registry.bind(database)
+    registry.create_all()
+    return {
+        "registry": registry,
+        "database": database,
+        "Author": Author,
+        "Post": Post,
+        "Comment": Comment,
+    }
+
+
+def build_cache_servers(count: int = 2, capacity: int = 4 * 1024 * 1024):
+    """Build a list of small cache servers for CacheGenie tests."""
+    return [CacheServer(f"test-cache{i}", capacity_bytes=capacity) for i in range(count)]

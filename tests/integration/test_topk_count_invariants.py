@@ -1,0 +1,105 @@
+"""Property-based invariants for Top-K and Count cached objects.
+
+These drive a cached object with random insert/delete/update sequences and
+assert, after every step, that the cached value equals the value recomputed
+from the database — the paper's "dirty but never stale" guarantee applied to
+the two cache classes whose incremental maintenance is most intricate.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CacheGenie
+from repro.memcache import CacheServer
+from repro.orm import FloatField, ForeignKey, IntegerField, Model, Registry, CharField
+from repro.storage import Database
+
+_IDS = itertools.count()
+
+
+def build_stack():
+    reg = Registry(f"invariant{next(_IDS)}")
+
+    class Owner(Model):
+        name = CharField(max_length=20)
+
+        class Meta:
+            registry = reg
+
+    class Entry(Model):
+        owner = ForeignKey(Owner, related_name="entries")
+        score = FloatField(default=0.0, db_index=True)
+        group = IntegerField(default=0)
+
+        class Meta:
+            registry = reg
+
+    database = Database(buffer_pool_pages=256)
+    reg.bind(database)
+    reg.create_all()
+    genie = CacheGenie(registry=reg, database=database,
+                       cache_servers=[CacheServer("inv-cache", capacity_bytes=2 ** 22)]
+                       ).activate()
+    return reg, genie, Owner, Entry
+
+
+#: One workload step: (operation, owner index, score value).
+steps = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete", "update", "read"]),
+              st.integers(0, 2),
+              st.floats(min_value=0.0, max_value=100.0, allow_nan=False)),
+    min_size=5, max_size=40,
+)
+
+
+class TestTopKAndCountInvariants:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(sequence=steps)
+    def test_cached_values_match_database_after_every_write(self, sequence):
+        reg, genie, Owner, Entry = build_stack()
+        try:
+            owners = [Owner.objects.create(name=f"o{i}") for i in range(3)]
+            topk = genie.cacheable(cache_class_type="TopKQuery", name="topk",
+                                   main_model="Entry", where_fields=["owner_id"],
+                                   sort_field="score", sort_order="descending",
+                                   k=3, reserve=2, use_transparently=False)
+            count = genie.cacheable(cache_class_type="CountQuery", name="count",
+                                    main_model="Entry", where_fields=["owner_id"],
+                                    use_transparently=False)
+            for op, owner_idx, score in sequence:
+                owner = owners[owner_idx]
+                if op == "insert":
+                    Entry.objects.create(owner=owner, score=score)
+                elif op == "delete":
+                    victim = Entry.objects.filter(owner_id=owner.pk).first()
+                    if victim is not None:
+                        Entry.objects.filter(id=victim.pk).delete()
+                elif op == "update":
+                    victim = Entry.objects.filter(owner_id=owner.pk).first()
+                    if victim is not None:
+                        Entry.objects.filter(id=victim.pk).update(score=score)
+                else:
+                    topk.evaluate(owner_id=owner.pk)
+                    count.evaluate(owner_id=owner.pk)
+
+                # Invariant: any cached value equals the database truth.
+                for check_owner in owners:
+                    truth = [e.to_dict() for e in
+                             Entry.objects.using_database().filter(owner_id=check_owner.pk)]
+                    truth.sort(key=lambda r: r["score"], reverse=True)
+
+                    cached_top = topk.peek(owner_id=check_owner.pk)
+                    if cached_top is not None:
+                        k = min(topk.k, len(truth))
+                        assert [r["id"] for r in cached_top[:k]] == \
+                            [r["id"] for r in truth[:k]]
+
+                    cached_count = count.peek(owner_id=check_owner.pk)
+                    if cached_count is not None:
+                        assert cached_count == len(truth)
+        finally:
+            genie.deactivate()

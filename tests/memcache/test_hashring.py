@@ -1,0 +1,69 @@
+"""Tests for the consistent-hashing ring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CacheServerError
+from repro.memcache import HashRing
+
+
+class TestHashRing:
+    def test_requires_servers(self):
+        with pytest.raises(CacheServerError):
+            HashRing([])
+
+    def test_single_server_gets_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.server_for(f"key{i}") == "only" for i in range(50))
+
+    def test_mapping_is_deterministic(self):
+        ring_a = HashRing(["s1", "s2", "s3"])
+        ring_b = HashRing(["s1", "s2", "s3"])
+        keys = [f"user:{i}" for i in range(200)]
+        assert [ring_a.server_for(k) for k in keys] == [ring_b.server_for(k) for k in keys]
+
+    def test_distribution_is_roughly_balanced(self):
+        ring = HashRing(["s1", "s2", "s3", "s4"], replicas=200)
+        keys = [f"key:{i}" for i in range(4000)]
+        counts = ring.distribution(keys)
+        assert set(counts) == {"s1", "s2", "s3", "s4"}
+        for count in counts.values():
+            assert 0.5 * 1000 < count < 1.6 * 1000
+
+    def test_duplicate_server_rejected(self):
+        ring = HashRing(["s1"])
+        with pytest.raises(CacheServerError):
+            ring.add_server("s1")
+
+    def test_remove_unknown_server_rejected(self):
+        with pytest.raises(CacheServerError):
+            HashRing(["s1"]).remove_server("s2")
+
+    def test_removing_server_only_remaps_its_keys(self):
+        ring = HashRing(["s1", "s2", "s3"], replicas=100)
+        keys = [f"key:{i}" for i in range(1000)]
+        before = {k: ring.server_for(k) for k in keys}
+        ring.remove_server("s3")
+        after = {k: ring.server_for(k) for k in keys}
+        for key in keys:
+            if before[key] != "s3":
+                assert after[key] == before[key]
+            else:
+                assert after[key] in {"s1", "s2"}
+
+    def test_adding_server_moves_only_a_fraction(self):
+        ring = HashRing(["s1", "s2", "s3"], replicas=100)
+        keys = [f"key:{i}" for i in range(2000)]
+        before = {k: ring.server_for(k) for k in keys}
+        ring.add_server("s4")
+        moved = sum(1 for k in keys if ring.server_for(k) != before[k])
+        # Consistent hashing: roughly 1/4 of keys move, never the majority.
+        assert moved < len(keys) * 0.45
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                   min_size=1, max_size=40))
+    def test_every_key_maps_to_a_registered_server(self, key):
+        ring = HashRing(["a", "b", "c"])
+        assert ring.server_for(key) in {"a", "b", "c"}

@@ -1,0 +1,41 @@
+"""Tests for cache items and size estimation."""
+
+import pytest
+
+from repro.memcache.item import Item, sizeof_value
+
+
+class TestSizeofValue:
+    def test_bytes_and_str(self):
+        assert sizeof_value(b"abcd") == 4
+        assert sizeof_value("abcd") == 4
+
+    def test_scalars_fixed_cost(self):
+        assert sizeof_value(5) == 16
+        assert sizeof_value(3.5) == 16
+        assert sizeof_value(None) == 16
+
+    def test_containers_grow_with_content(self):
+        small = sizeof_value([{"id": 1}])
+        large = sizeof_value([{"id": i, "text": "x" * 50} for i in range(20)])
+        assert large > small
+
+    def test_unicode_measured_in_bytes(self):
+        assert sizeof_value("héllo") > len("hello")
+
+
+class TestItem:
+    def test_size_computed_when_missing(self):
+        item = Item(key="k", value="x" * 100, cas_id=1)
+        assert item.size >= 100
+
+    def test_explicit_size_kept(self):
+        item = Item(key="k", value="x", cas_id=1, size=999)
+        assert item.size == 999
+
+    def test_expiry_check(self):
+        item = Item(key="k", value=1, cas_id=1, expires_at=100.0)
+        assert not item.is_expired(99.9)
+        assert item.is_expired(100.0)
+        eternal = Item(key="k", value=1, cas_id=1, expires_at=None)
+        assert not eternal.is_expired(1e12)

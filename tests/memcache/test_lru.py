@@ -1,0 +1,76 @@
+"""Tests for the byte-accounted LRU store."""
+
+import pytest
+
+from repro.memcache.item import Item
+from repro.memcache.lru import LRUStore
+
+
+def make_item(key, size=100):
+    return Item(key=key, value="x", cas_id=1, size=size)
+
+
+class TestLRUStore:
+    def test_put_get(self):
+        store = LRUStore(1000)
+        store.put(make_item("a"))
+        assert store.get("a").key == "a"
+        assert store.get("missing") is None
+        assert "a" in store and len(store) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUStore(0)
+
+    def test_replacement_updates_accounting(self):
+        store = LRUStore(1000)
+        store.put(make_item("a", 100))
+        store.put(make_item("a", 300))
+        assert store.used_bytes == 300
+        assert len(store) == 1
+
+    def test_eviction_when_over_capacity(self):
+        store = LRUStore(250)
+        store.put(make_item("a", 100))
+        store.put(make_item("b", 100))
+        evicted = store.put(make_item("c", 100))
+        assert evicted == ["a"]
+        assert store.evictions == 1
+        assert "a" not in store and "c" in store
+
+    def test_get_refreshes_recency(self):
+        store = LRUStore(250)
+        store.put(make_item("a", 100))
+        store.put(make_item("b", 100))
+        store.get("a")
+        evicted = store.put(make_item("c", 100))
+        assert evicted == ["b"]
+
+    def test_get_without_touch_does_not_refresh(self):
+        store = LRUStore(250)
+        store.put(make_item("a", 100))
+        store.put(make_item("b", 100))
+        store.get("a", touch=False)
+        evicted = store.put(make_item("c", 100))
+        assert evicted == ["a"]
+
+    def test_delete_frees_bytes(self):
+        store = LRUStore(1000)
+        store.put(make_item("a", 100))
+        assert store.delete("a") is True
+        assert store.used_bytes == 0
+        assert store.delete("a") is False
+
+    def test_oversized_item_evicts_everything_but_stays(self):
+        store = LRUStore(150)
+        store.put(make_item("a", 100))
+        evicted = store.put(make_item("big", 200))
+        # The oversized item itself is evicted too (capacity can never hold it).
+        assert "a" in evicted
+        assert store.used_bytes <= 200
+
+    def test_clear(self):
+        store = LRUStore(1000)
+        store.put(make_item("a"))
+        store.clear()
+        assert len(store) == 0 and store.used_bytes == 0

@@ -1,0 +1,113 @@
+"""Tests for fields, model declaration, and instance persistence."""
+
+import pytest
+
+from repro.errors import DoesNotExist, ModelError
+from repro.orm import (CharField, IntegerField, Model, Registry)
+from repro.storage import Database
+
+from tests.helpers import build_blog_models
+
+
+class TestModelDeclaration:
+    def test_implicit_id_primary_key(self):
+        stack = build_blog_models("decl1")
+        Author = stack["Author"]
+        assert Author._meta.pk.name == "id"
+        assert Author._meta.pk_column == "id"
+
+    def test_db_table_defaults_to_lowercased_name(self):
+        stack = build_blog_models("decl2")
+        assert stack["Author"]._meta.db_table == "author"
+
+    def test_fk_creates_id_column_and_index(self):
+        stack = build_blog_models("decl3")
+        Post = stack["Post"]
+        schema = Post._meta.build_schema()
+        assert schema.has_column("author_id")
+        assert any(idx.columns == ("author_id",) for idx in schema.indexes)
+
+    def test_unique_field_gets_unique_index(self):
+        stack = build_blog_models("decl4")
+        schema = stack["Author"]._meta.build_schema()
+        unique = [idx for idx in schema.indexes if idx.unique]
+        assert any(idx.columns == ("username",) for idx in unique)
+
+    def test_unknown_constructor_kwarg_rejected(self):
+        stack = build_blog_models("decl5")
+        with pytest.raises(ModelError):
+            stack["Author"](nonexistent="x")
+
+    def test_registry_registration(self):
+        stack = build_blog_models("decl6")
+        registry = stack["registry"]
+        assert registry.get_model("author") is stack["Author"]
+        assert registry.model_for_table("post") is stack["Post"]
+
+
+class TestPersistence:
+    def test_create_assigns_pk(self):
+        stack = build_blog_models("persist1")
+        author = stack["Author"].objects.create(username="alice")
+        assert author.pk == 1
+
+    def test_save_twice_updates_not_inserts(self):
+        stack = build_blog_models("persist2")
+        Author = stack["Author"]
+        author = Author.objects.create(username="alice")
+        author.karma = 10
+        author.save()
+        assert Author.objects.count() == 1
+        assert Author.objects.get(id=author.pk).karma == 10
+
+    def test_delete_removes_row(self):
+        stack = build_blog_models("persist3")
+        Author = stack["Author"]
+        author = Author.objects.create(username="alice")
+        author.delete()
+        assert Author.objects.count() == 0
+        with pytest.raises(DoesNotExist):
+            Author.objects.get(id=author.pk)
+
+    def test_delete_unsaved_raises(self):
+        stack = build_blog_models("persist4")
+        with pytest.raises(ModelError):
+            stack["Author"](username="x").delete()
+
+    def test_refresh_from_db(self):
+        stack = build_blog_models("persist5")
+        Author = stack["Author"]
+        author = Author.objects.create(username="alice")
+        Author.objects.filter(id=author.pk).update(karma=77)
+        author.refresh_from_db()
+        assert author.karma == 77
+
+    def test_auto_now_add_uses_registry_clock(self):
+        stack = build_blog_models("persist6")
+        stack["registry"].clock = lambda: 1234.5
+        post = stack["Post"].objects.create(
+            author=stack["Author"].objects.create(username="a"), title="t")
+        assert post.published == 1234.5
+
+    def test_equality_and_hash_by_pk(self):
+        stack = build_blog_models("persist7")
+        Author = stack["Author"]
+        a1 = Author.objects.create(username="alice")
+        same = Author.objects.get(id=a1.pk)
+        other = Author.objects.create(username="bob")
+        assert a1 == same
+        assert a1 != other
+        assert len({a1, same, other}) == 2
+
+    def test_to_dict(self):
+        stack = build_blog_models("persist8")
+        author = stack["Author"].objects.create(username="alice", karma=3)
+        assert author.to_dict() == {"id": author.pk, "username": "alice", "karma": 3}
+
+    def test_writes_go_through_database_triggers(self):
+        stack = build_blog_models("persist9")
+        events = []
+        stack["database"].create_trigger(
+            "audit", "author", "insert", lambda d: events.append(d["new"]["username"]))
+        stack["Author"].objects.create(username="carol")
+        assert events == ["carol"]

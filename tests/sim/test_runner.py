@@ -1,0 +1,88 @@
+"""Tests for the workload replayer and closed-loop simulation."""
+
+import pytest
+
+from repro.sim import (SimulationOptions, WorkloadReplayer, exact_mva,
+                       aggregate_resource_demands, simulate_population)
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+@pytest.fixture
+def replayed(social_genie):
+    config = WorkloadConfig(clients=4, sessions_per_client=1,
+                            page_loads_per_session=4, seed=11)
+    trace = WorkloadGenerator(config, list(range(1, 21))).generate()
+    replayer = WorkloadReplayer(social_genie["app"], social_genie["database"])
+    replay = replayer.replay(trace)
+    return replay, trace
+
+
+class TestReplay:
+    def test_every_page_load_measured(self, replayed):
+        replay, trace = replayed
+        assert len(replay.pages) == trace.total_page_loads
+        assert replay.client_ids() == [0, 1, 2, 3]
+
+    def test_demands_are_positive(self, replayed):
+        replay, _ = replayed
+        mean = replay.mean_demand()
+        assert mean.db_cpu_ms > 0
+        assert mean.total_ms > 0
+
+    def test_mean_demand_by_page_has_all_types(self, replayed):
+        replay, trace = replayed
+        by_page = replay.mean_demand_by_page()
+        assert set(by_page) == set(trace.page_type_histogram())
+
+    def test_unrecorded_replay_returns_empty(self, social_genie):
+        config = WorkloadConfig(clients=1, sessions_per_client=1,
+                                page_loads_per_session=2)
+        trace = WorkloadGenerator(config, [1, 2, 3]).generate()
+        replayer = WorkloadReplayer(social_genie["app"], social_genie["database"])
+        result = replayer.replay(trace, record=False)
+        assert result.pages == []
+
+    def test_interleaving_round_robins_clients(self, replayed):
+        replay, _ = replayed
+        first_clients = [p.client_id for p in replay.pages[:4]]
+        assert first_clients == [0, 1, 2, 3]
+
+
+class TestSimulation:
+    def test_throughput_positive_and_window_set(self, replayed):
+        replay, _ = replayed
+        metrics = simulate_population(replay, clients=4)
+        assert metrics.throughput > 0
+        assert metrics.mean_latency > 0
+        assert metrics.window_end is not None
+
+    def test_more_clients_do_not_reduce_throughput_before_saturation(self, replayed):
+        replay, _ = replayed
+        one = simulate_population(replay, clients=1)
+        four = simulate_population(replay, clients=4)
+        assert four.throughput >= one.throughput * 0.9
+
+    def test_empty_population(self, replayed):
+        replay, _ = replayed
+        assert simulate_population(replay, clients=0).throughput == 0.0
+
+    def test_think_time_lowers_low_load_throughput(self, replayed):
+        replay, _ = replayed
+        fast = simulate_population(replay, clients=1,
+                                   options=SimulationOptions(think_time_ms=1.0))
+        slow = simulate_population(replay, clients=1,
+                                   options=SimulationOptions(think_time_ms=200.0))
+        assert fast.throughput > slow.throughput
+
+    def test_simulation_roughly_agrees_with_mva(self, replayed):
+        """Cross-check the event simulation against exact MVA."""
+        replay, _ = replayed
+        options = SimulationOptions(think_time_ms=30.0)
+        metrics = simulate_population(replay, clients=4, options=options)
+        demands = aggregate_resource_demands(replay)
+        mean = replay.mean_demand()
+        mva = exact_mva(demands, clients=4,
+                        think_time_ms=options.think_time_ms + mean.cache_net_ms)
+        # The replayed pages are heterogeneous while MVA assumes homogeneous
+        # demands, so agreement within ~40% is the expected envelope.
+        assert metrics.throughput == pytest.approx(mva.throughput_per_s, rel=0.4)

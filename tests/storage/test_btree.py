@@ -1,0 +1,148 @@
+"""Tests (including property-based) for the B+Tree index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BPlusTree
+
+
+class TestBasicOperations:
+    def test_insert_and_search(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, 100)
+        tree.insert(5, 101)
+        tree.insert(7, 102)
+        assert tree.search(5) == {100, 101}
+        assert tree.search(7) == {102}
+        assert tree.search(99) == set()
+
+    def test_len_counts_pairs(self):
+        tree = BPlusTree(order=4)
+        for i in range(10):
+            tree.insert(i, i)
+        assert len(tree) == 10
+
+    def test_delete_removes_pair(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, 10)
+        tree.insert(1, 11)
+        assert tree.delete(1, 10) is True
+        assert tree.search(1) == {11}
+        assert tree.delete(1, 999) is False
+
+    def test_unique_index_rejects_duplicates(self):
+        tree = BPlusTree(order=4, unique=True)
+        tree.insert("a", 1)
+        with pytest.raises(ValueError):
+            tree.insert("a", 2)
+        # Re-inserting the same rowid is idempotent, not a violation.
+        tree.insert("a", 1)
+
+    def test_null_keys_live_in_side_bucket(self):
+        tree = BPlusTree(order=4)
+        tree.insert(None, 1)
+        tree.insert(None, 2)
+        assert tree.search(None) == {1, 2}
+        assert tree.delete(None, 1)
+        assert tree.search(None) == {2}
+
+    def test_splits_grow_height(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.insert(i, i)
+        assert tree.height > 1
+        tree.check_invariants()
+
+    def test_node_touches_accumulate(self):
+        tree = BPlusTree(order=4)
+        for i in range(200):
+            tree.insert(i, i)
+        before = tree.node_touches
+        tree.search(150)
+        assert tree.node_touches > before
+
+
+class TestRangeScan:
+    def setup_method(self):
+        self.tree = BPlusTree(order=8)
+        for i in range(0, 100, 2):  # even keys 0..98
+            self.tree.insert(i, i)
+
+    def test_full_scan_is_ordered(self):
+        keys = [k for k, _ in self.tree.items()]
+        assert keys == sorted(keys)
+        assert len(keys) == 50
+
+    def test_bounded_range(self):
+        keys = [k for k, _ in self.tree.range_scan(10, 20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_bounds(self):
+        keys = [k for k, _ in self.tree.range_scan(10, 20, include_low=False,
+                                                   include_high=False)]
+        assert keys == [12, 14, 16, 18]
+
+    def test_open_ended_ranges(self):
+        low_open = [k for k, _ in self.tree.range_scan(None, 6)]
+        high_open = [k for k, _ in self.tree.range_scan(94, None)]
+        assert low_open == [0, 2, 4, 6]
+        assert high_open == [94, 96, 98]
+
+    def test_reverse_scan(self):
+        keys = [k for k, _ in self.tree.range_scan(10, 20, reverse=True)]
+        assert keys == [20, 18, 16, 14, 12, 10]
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(-1000, 1000), st.integers(0, 50)),
+                    max_size=300))
+    def test_matches_reference_dict(self, pairs):
+        """The tree agrees with a reference dict-of-sets under random inserts."""
+        tree = BPlusTree(order=6)
+        reference = {}
+        for key, rowid in pairs:
+            tree.insert(key, rowid)
+            reference.setdefault(key, set()).add(rowid)
+        for key, rowids in reference.items():
+            assert tree.search(key) == rowids
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == sorted(reference)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=200),
+           st.data())
+    def test_deletions_match_reference(self, keys, data):
+        """Random interleaved deletes keep the tree consistent with a dict."""
+        tree = BPlusTree(order=6)
+        reference = {}
+        for rowid, key in enumerate(keys):
+            tree.insert(key, rowid)
+            reference.setdefault(key, set()).add(rowid)
+        victims = data.draw(st.lists(st.sampled_from(sorted(reference)),
+                                     max_size=len(reference)))
+        for key in victims:
+            if reference.get(key):
+                rowid = next(iter(reference[key]))
+                assert tree.delete(key, rowid)
+                reference[key].discard(rowid)
+                if not reference[key]:
+                    del reference[key]
+        for key, rowids in reference.items():
+            assert tree.search(key) == rowids
+        tree.check_invariants()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 500), min_size=1, max_size=300),
+           st.integers(0, 500), st.integers(0, 500))
+    def test_range_scan_matches_filter(self, keys, a, b):
+        low, high = min(a, b), max(a, b)
+        tree = BPlusTree(order=8)
+        for rowid, key in enumerate(keys):
+            tree.insert(key, rowid)
+        expected = sorted({k for k in keys if low <= k <= high})
+        got = [k for k, _ in tree.range_scan(low, high)]
+        assert got == expected

@@ -1,0 +1,95 @@
+"""Tests for the Database facade (DDL, DML, measurement)."""
+
+import pytest
+
+from repro.errors import DuplicateTableError, TableNotFoundError
+from repro.storage import ColumnDef, Database, IndexDef, TableSchema
+
+
+def users_schema():
+    return TableSchema(
+        "users",
+        [ColumnDef("id", "integer", nullable=True), ColumnDef("name", "text")],
+        primary_key="id",
+    )
+
+
+class TestDDL:
+    def test_create_and_drop_table(self):
+        db = Database()
+        db.create_table(users_schema())
+        assert db.has_table("users")
+        assert db.table_names() == ["users"]
+        db.drop_table("users")
+        assert not db.has_table("users")
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table(users_schema())
+        with pytest.raises(DuplicateTableError):
+            db.create_table(users_schema())
+
+    def test_drop_missing_table_raises(self):
+        with pytest.raises(TableNotFoundError):
+            Database().drop_table("nope")
+
+    def test_drop_table_removes_its_triggers(self):
+        db = Database()
+        db.create_table(users_schema())
+        db.create_trigger("t", "users", "insert", lambda d: None)
+        db.drop_table("users")
+        assert len(db.triggers) == 0
+
+    def test_create_index_on_existing_table(self):
+        db = Database()
+        db.create_table(users_schema())
+        db.insert("users", {"name": "alice"})
+        db.create_index("users", IndexDef("users_name_idx", ("name",)))
+        assert db.table("users").index_for_column("name") is not None
+
+    def test_trigger_on_missing_table_rejected(self):
+        with pytest.raises(TableNotFoundError):
+            Database().create_trigger("t", "nope", "insert", lambda d: None)
+
+
+class TestDMLHelpers:
+    def test_insert_find_get(self):
+        db = Database()
+        db.create_table(users_schema())
+        stored = db.insert("users", {"name": "alice"})
+        assert stored["id"] == 1
+        assert db.get_by_pk("users", 1)["name"] == "alice"
+        assert db.get_by_pk("users", 999) is None
+        assert db.find("users", where={"name": "alice"})[0]["id"] == 1
+
+    def test_update_and_delete_with_where(self):
+        db = Database()
+        db.create_table(users_schema())
+        db.insert("users", {"name": "alice"})
+        db.insert("users", {"name": "bob"})
+        updated = db.update("users", {"name": "carol"}, where={"name": "alice"})
+        assert len(updated) == 1
+        deleted = db.delete("users", where={"name": "bob"})
+        assert len(deleted) == 1
+        assert len(db.find("users")) == 1
+
+    def test_find_with_limit(self):
+        db = Database()
+        db.create_table(users_schema())
+        for i in range(5):
+            db.insert("users", {"name": f"u{i}"})
+        assert len(db.find("users", limit=3)) == 3
+
+
+class TestMeasurement:
+    def test_measure_and_demand(self):
+        db = Database()
+        db.create_table(users_schema())
+        with db.measure() as counters:
+            db.insert("users", {"name": "alice"})
+            db.find("users", where={"id": 1})
+        assert counters.inserts == 1
+        assert counters.statements == 2
+        demand = db.demand_of(counters)
+        assert demand.db_cpu_ms > 0
+        assert demand.db_disk_ms > 0

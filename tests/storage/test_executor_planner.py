@@ -1,0 +1,146 @@
+"""Tests for the planner's access-path selection and the executor's results."""
+
+import pytest
+
+from repro.storage import (ColumnDef, CountQuery, Database, IndexDef, Join,
+                           OrderBy, SelectQuery, TableSchema,
+                           predicate_from_filters)
+from repro.storage.planner import (IndexLookup, IndexRange, PkLookup, SeqScan,
+                                    plan_access)
+
+
+@pytest.fixture
+def database():
+    db = Database(buffer_pool_pages=128)
+    db.create_table(TableSchema(
+        "authors",
+        [ColumnDef("id", "integer", nullable=True), ColumnDef("name", "text")],
+        primary_key="id",
+    ))
+    db.create_table(TableSchema(
+        "posts",
+        [
+            ColumnDef("id", "integer", nullable=True),
+            ColumnDef("author_id", "integer"),
+            ColumnDef("title", "text"),
+            ColumnDef("score", "integer"),
+        ],
+        primary_key="id",
+        indexes=[IndexDef("posts_author_idx", ("author_id",)),
+                 IndexDef("posts_score_idx", ("score",))],
+    ))
+    for author in range(1, 6):
+        db.insert("authors", {"id": author, "name": f"author{author}"})
+        for post in range(10):
+            db.insert("posts", {"author_id": author,
+                                "title": f"post {author}-{post}",
+                                "score": author * 10 + post})
+    return db
+
+
+class TestPlanner:
+    def test_pk_lookup_preferred(self, database):
+        table = database.table("posts")
+        query = SelectQuery("posts", predicate_from_filters({"id": 3}))
+        assert isinstance(plan_access(table, query), PkLookup)
+
+    def test_secondary_index_lookup(self, database):
+        table = database.table("posts")
+        query = SelectQuery("posts", predicate_from_filters({"author_id": 2}))
+        path = plan_access(table, query)
+        assert isinstance(path, IndexLookup)
+        assert path.index.columns == ("author_id",)
+
+    def test_range_predicate_uses_index_range(self, database):
+        table = database.table("posts")
+        query = SelectQuery("posts", predicate_from_filters({"score__gte": 30}))
+        path = plan_access(table, query)
+        assert isinstance(path, IndexRange)
+        assert path.low == 30
+
+    def test_order_by_limit_uses_index_range(self, database):
+        table = database.table("posts")
+        query = SelectQuery("posts", order_by=[OrderBy("score", descending=True)],
+                            limit=5)
+        path = plan_access(table, query)
+        assert isinstance(path, IndexRange)
+        assert path.reverse is True
+
+    def test_unindexed_filter_falls_back_to_seq_scan(self, database):
+        table = database.table("posts")
+        query = SelectQuery("posts", predicate_from_filters({"title": "post 1-1"}))
+        assert isinstance(plan_access(table, query), SeqScan)
+
+
+class TestExecutorSelect:
+    def test_equality_select(self, database):
+        rows = database.select(SelectQuery(
+            "posts", predicate_from_filters({"author_id": 3})))
+        assert len(rows) == 10
+        assert all(row["author_id"] == 3 for row in rows)
+
+    def test_order_limit_offset(self, database):
+        query = SelectQuery("posts", predicate_from_filters({"author_id": 1}),
+                            order_by=[OrderBy("score", descending=True)],
+                            limit=3, offset=1)
+        rows = database.select(query)
+        assert [row["score"] for row in rows] == [18, 17, 16]
+
+    def test_top_k_via_index_matches_sort(self, database):
+        by_index = database.select(SelectQuery(
+            "posts", order_by=[OrderBy("score", descending=True)], limit=5))
+        assert [row["score"] for row in by_index] == [59, 58, 57, 56, 55]
+
+    def test_column_projection(self, database):
+        rows = database.select(SelectQuery(
+            "posts", predicate_from_filters({"id": 1}), columns=["title"]))
+        assert rows == [{"title": "post 1-0"}]
+
+    def test_distinct(self, database):
+        query = SelectQuery("posts", columns=["author_id"], distinct=True)
+        rows = database.select(query)
+        assert len(rows) == 5
+
+    def test_join_returns_far_end_rows(self, database):
+        query = SelectQuery(
+            "posts",
+            predicate_from_filters({"author_id": 2}),
+            joins=[Join("posts", "author_id", "authors", "id")],
+        )
+        rows = database.select(query)
+        assert len(rows) == 10
+        assert all(row["name"] == "author2" for row in rows)
+
+    def test_join_with_predicate_on_joined_table(self, database):
+        query = SelectQuery(
+            "authors",
+            predicate_from_filters({"id": 4}),
+            joins=[Join("authors", "id", "posts", "author_id")],
+            join_predicates={"posts": predicate_from_filters({"score__gte": 45})},
+        )
+        rows = database.select(query)
+        assert sorted(row["score"] for row in rows) == [45, 46, 47, 48, 49]
+
+
+class TestExecutorCountAndDml:
+    def test_count(self, database):
+        assert database.count(CountQuery(
+            "posts", predicate_from_filters({"author_id": 5}))) == 10
+
+    def test_count_with_join_and_distinct(self, database):
+        query = CountQuery(
+            "authors",
+            joins=[Join("authors", "id", "posts", "author_id")],
+            distinct_column="author_id",
+        )
+        assert database.count(query) == 5
+
+    def test_update_returns_new_rows(self, database):
+        updated = database.update("posts", {"score": 0}, where={"author_id": 1})
+        assert len(updated) == 10
+        assert all(row["score"] == 0 for row in updated)
+
+    def test_delete_returns_deleted_rows(self, database):
+        deleted = database.delete("posts", where={"author_id": 2})
+        assert len(deleted) == 10
+        assert database.count(CountQuery("posts")) == 40

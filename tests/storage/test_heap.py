@@ -1,0 +1,86 @@
+"""Tests for heap (page-structured row) storage."""
+
+import pytest
+
+from repro.errors import RowNotFoundError
+from repro.storage import BufferPool, ColumnDef, TableSchema
+from repro.storage.heap import HeapFile
+
+
+def make_heap(page_size=512, pool_pages=64):
+    schema = TableSchema(
+        "notes",
+        [ColumnDef("id", "integer", nullable=True), ColumnDef("text", "text")],
+        primary_key="id",
+    )
+    return HeapFile(schema, BufferPool(pool_pages), page_size=page_size)
+
+
+class TestHeapFile:
+    def test_insert_assigns_monotonic_rowids(self):
+        heap = make_heap()
+        r1 = heap.insert({"id": 1, "text": "a"})
+        r2 = heap.insert({"id": 2, "text": "b"})
+        assert r2.rowid > r1.rowid
+        assert heap.row_count == 2
+
+    def test_fetch_returns_copy(self):
+        heap = make_heap()
+        row = heap.insert({"id": 1, "text": "a"})
+        fetched = heap.fetch(row.rowid)
+        fetched.to_dict()["text"] = "mutated"
+        assert heap.fetch(row.rowid)["text"] == "a"
+
+    def test_fetch_missing_raises(self):
+        with pytest.raises(RowNotFoundError):
+            make_heap().fetch(99)
+
+    def test_update_returns_old_and_new(self):
+        heap = make_heap()
+        row = heap.insert({"id": 1, "text": "a"})
+        old, new = heap.update(row.rowid, {"text": "b"})
+        assert old["text"] == "a"
+        assert new["text"] == "b"
+        assert heap.fetch(row.rowid)["text"] == "b"
+
+    def test_delete_removes_row(self):
+        heap = make_heap()
+        row = heap.insert({"id": 1, "text": "a"})
+        deleted = heap.delete(row.rowid)
+        assert deleted["text"] == "a"
+        assert not heap.exists(row.rowid)
+        with pytest.raises(RowNotFoundError):
+            heap.delete(row.rowid)
+
+    def test_rows_spill_onto_multiple_pages(self):
+        heap = make_heap(page_size=256)
+        for i in range(50):
+            heap.insert({"id": i, "text": "x" * 100})
+        assert heap.page_count > 1
+
+    def test_scan_returns_all_live_rows(self):
+        heap = make_heap()
+        rows = [heap.insert({"id": i, "text": str(i)}) for i in range(10)]
+        heap.delete(rows[3].rowid)
+        scanned = {row["id"] for row in heap.scan()}
+        assert scanned == {i for i in range(10) if i != 3}
+
+    def test_scan_charges_one_access_per_page(self):
+        heap = make_heap(page_size=256)
+        for i in range(40):
+            heap.insert({"id": i, "text": "x" * 100})
+        pool = heap.buffer_pool
+        before = pool.hits + pool.misses
+        list(heap.scan())
+        accesses = (pool.hits + pool.misses) - before
+        assert accesses == heap.page_count
+
+    def test_fetch_many_deduplicates_page_accesses(self):
+        heap = make_heap(page_size=4096)
+        rows = [heap.insert({"id": i, "text": "small"}) for i in range(20)]
+        pool = heap.buffer_pool
+        before = pool.hits + pool.misses
+        fetched = heap.fetch_many(iter(r.rowid for r in rows))
+        assert len(fetched) == 20
+        # All 20 small rows share a single 4 KB page.
+        assert (pool.hits + pool.misses) - before == 1

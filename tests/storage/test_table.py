@@ -1,0 +1,129 @@
+"""Tests for the table layer: constraints, indexes, trigger firing."""
+
+import pytest
+
+from repro.errors import ConstraintViolation, RowNotFoundError
+from repro.storage import (BufferPool, ColumnDef, IndexDef, Recorder,
+                           TableSchema)
+from repro.storage.table import Table
+from repro.storage.triggers import TriggerManager
+
+
+def make_table(unique_email=False):
+    recorder = Recorder()
+    indexes = [IndexDef("users_age_idx", ("age",))]
+    if unique_email:
+        indexes.append(IndexDef("users_email_uniq", ("email",), unique=True))
+    schema = TableSchema(
+        "users",
+        [
+            ColumnDef("id", "integer", nullable=True),
+            ColumnDef("email", "text", nullable=False),
+            ColumnDef("age", "integer", default=0),
+        ],
+        primary_key="id",
+        indexes=indexes,
+    )
+    return Table(schema, BufferPool(64, recorder), TriggerManager(recorder), recorder)
+
+
+class TestInsert:
+    def test_auto_assigns_primary_key(self):
+        table = make_table()
+        row1 = table.insert({"email": "a@x"})
+        row2 = table.insert({"email": "b@x"})
+        assert row1["id"] == 1
+        assert row2["id"] == 2
+
+    def test_explicit_pk_respected_and_counter_advanced(self):
+        table = make_table()
+        table.insert({"id": 10, "email": "a@x"})
+        row = table.insert({"email": "b@x"})
+        assert row["id"] == 11
+
+    def test_not_null_enforced(self):
+        table = make_table()
+        with pytest.raises(ConstraintViolation):
+            table.insert({"email": None})
+
+    def test_duplicate_pk_rejected_and_rolled_back(self):
+        table = make_table()
+        table.insert({"id": 1, "email": "a@x"})
+        with pytest.raises(ConstraintViolation):
+            table.insert({"id": 1, "email": "b@x"})
+        assert table.row_count == 1
+
+    def test_unique_secondary_index_enforced(self):
+        table = make_table(unique_email=True)
+        table.insert({"email": "a@x"})
+        with pytest.raises(ConstraintViolation):
+            table.insert({"email": "a@x"})
+        assert table.row_count == 1
+
+    def test_secondary_index_populated(self):
+        table = make_table()
+        row = table.insert({"email": "a@x", "age": 30})
+        index = table.index_for_column("age")
+        assert index.lookup(30) == {row.rowid}
+
+
+class TestUpdateDelete:
+    def test_update_moves_index_entries(self):
+        table = make_table()
+        row = table.insert({"email": "a@x", "age": 30})
+        table.update_row(row.rowid, {"age": 31})
+        index = table.index_for_column("age")
+        assert index.lookup(30) == set()
+        assert index.lookup(31) == {row.rowid}
+
+    def test_update_cannot_touch_primary_key(self):
+        table = make_table()
+        row = table.insert({"email": "a@x"})
+        with pytest.raises(ConstraintViolation):
+            table.update_row(row.rowid, {"id": 99})
+
+    def test_update_missing_row(self):
+        with pytest.raises(RowNotFoundError):
+            make_table().update_row(5, {"age": 1})
+
+    def test_delete_cleans_indexes(self):
+        table = make_table()
+        row = table.insert({"email": "a@x", "age": 25})
+        table.delete_row(row.rowid)
+        assert table.index_for_column("age").lookup(25) == set()
+        assert table.fetch_by_pk(row["id"]) is None
+
+
+class TestTriggers:
+    def test_insert_update_delete_fire_triggers(self):
+        table = make_table()
+        events = []
+        table.trigger_manager.create_trigger(
+            "t_ins", "users", "insert", lambda d: events.append(("insert", d["new"]["email"])))
+        table.trigger_manager.create_trigger(
+            "t_upd", "users", "update",
+            lambda d: events.append(("update", d["old"]["age"], d["new"]["age"])))
+        table.trigger_manager.create_trigger(
+            "t_del", "users", "delete", lambda d: events.append(("delete", d["old"]["email"])))
+        row = table.insert({"email": "a@x", "age": 1})
+        table.update_row(row.rowid, {"age": 2})
+        table.delete_row(row.rowid)
+        assert events == [("insert", "a@x"), ("update", 1, 2), ("delete", "a@x")]
+
+    def test_fire_triggers_false_suppresses(self):
+        table = make_table()
+        events = []
+        table.trigger_manager.create_trigger(
+            "t_ins", "users", "insert", lambda d: events.append("fired"))
+        table.insert({"email": "a@x"}, fire_triggers=False)
+        assert events == []
+
+
+class TestAddIndex:
+    def test_backfills_existing_rows(self):
+        table = make_table()
+        table.insert({"email": "a@x", "age": 10})
+        table.insert({"email": "b@x", "age": 20})
+        index = table.add_index(IndexDef("users_email_idx", ("email",)))
+        assert len(index.lookup("a@x")) == 1
+        assert table.index_for_column("email") is index

@@ -1,0 +1,95 @@
+"""Tests for transactions: autocommit, explicit commit/abort, undo."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.storage import ColumnDef, Database, TableSchema
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    db.create_table(TableSchema(
+        "accounts",
+        [ColumnDef("id", "integer", nullable=True),
+         ColumnDef("owner", "text"), ColumnDef("balance", "integer", default=0)],
+        primary_key="id",
+    ))
+    return db
+
+
+class TestAutocommit:
+    def test_each_statement_commits(self, database):
+        database.insert("accounts", {"owner": "alice", "balance": 10})
+        assert database.transactions.committed == 1
+        assert database.transactions.current is None
+
+    def test_commit_without_transaction_raises(self, database):
+        with pytest.raises(TransactionError):
+            database.commit()
+
+
+class TestExplicitTransactions:
+    def test_commit_persists(self, database):
+        database.begin()
+        database.insert("accounts", {"owner": "alice", "balance": 10})
+        database.insert("accounts", {"owner": "bob", "balance": 20})
+        database.commit()
+        assert len(database.find("accounts")) == 2
+
+    def test_abort_undoes_insert(self, database):
+        database.begin()
+        database.insert("accounts", {"owner": "alice"})
+        database.abort()
+        assert database.find("accounts") == []
+
+    def test_abort_undoes_update(self, database):
+        database.insert("accounts", {"owner": "alice", "balance": 10})
+        database.begin()
+        database.update("accounts", {"balance": 99}, where={"owner": "alice"})
+        database.abort()
+        assert database.find("accounts", where={"owner": "alice"})[0]["balance"] == 10
+
+    def test_abort_undoes_delete(self, database):
+        database.insert("accounts", {"owner": "alice", "balance": 10})
+        database.begin()
+        database.delete("accounts", where={"owner": "alice"})
+        database.abort()
+        rows = database.find("accounts", where={"owner": "alice"})
+        assert len(rows) == 1
+        assert rows[0]["balance"] == 10
+
+    def test_nested_begin_rejected(self, database):
+        database.begin()
+        with pytest.raises(TransactionError):
+            database.begin()
+        database.abort()
+
+    def test_context_manager_commits(self, database):
+        with database.transaction():
+            database.insert("accounts", {"owner": "alice"})
+        assert len(database.find("accounts")) == 1
+
+    def test_context_manager_aborts_on_error(self, database):
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.insert("accounts", {"owner": "alice"})
+                raise RuntimeError("boom")
+        assert database.find("accounts") == []
+
+    def test_undo_does_not_refire_triggers(self, database):
+        fired = []
+        database.create_trigger("t", "accounts", "delete", lambda d: fired.append(1))
+        database.begin()
+        database.insert("accounts", {"owner": "alice"})
+        database.abort()
+        # The abort removes the inserted row without firing the DELETE trigger
+        # (the paper's cache propagation is non-transactional).
+        assert fired == []
+
+    def test_commit_counts(self, database):
+        database.begin()
+        database.insert("accounts", {"owner": "a"})
+        database.commit()
+        assert database.transactions.committed == 1
+        assert database.transactions.aborted == 0
