@@ -15,14 +15,22 @@ query goes to the database.  Join-shaped queries (friends, friend bookmarks)
 use the corresponding LinkQuery cached object when one is registered and fall
 back to ORM traversals otherwise, matching the paper's explicit-``evaluate``
 usage for objects flagged ``use_transparently=False``.
+
+With ``batch_reads=True`` (the ``--batch-ops`` ablation) the hot cached
+fragments of each page — header badges, account rows, the wall Top-K, the
+bookmark lists — are fetched through :func:`repro.core.evaluate_many`
+instead of one cache round trip per query: all of a fragment group's keys
+travel in a single multi-get per cache server.  Query shapes that no cached
+object covers keep going to the database, exactly as before.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ...core.cache_classes.base import evaluate_many
 from ...errors import DoesNotExist
 from .models import (Bookmark, BookmarkInstance, Friendship,
                      FriendshipInvitation, Profile, User, WallPost)
@@ -54,9 +62,31 @@ class SocialApplication:
     """Renders the social site's pages against the ORM (and cached objects)."""
 
     def __init__(self, cached_objects: Optional[Dict[str, Any]] = None,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 batch_reads: bool = False) -> None:
         self.cached = cached_objects or {}
         self.rng = rng or random.Random(0)
+        self.batch_reads = batch_reads
+
+    # -- batched fragment fetching ----------------------------------------------
+
+    def _fetch_many(self, requests: Sequence[Tuple[str, Dict[str, Any]]],
+                    ) -> Optional[List[Any]]:
+        """Fetch several cached fragments with one multi-get round trip.
+
+        ``requests`` names registered cached objects and their parameters.
+        Returns None (caller falls back to per-query rendering) unless
+        batching is enabled and every named object is registered.
+        """
+        if not self.batch_reads or not self.cached:
+            return None
+        pairs = []
+        for name, params in requests:
+            cached_object = self.cached.get(name)
+            if cached_object is None:
+                return None
+            pairs.append((cached_object, params))
+        return evaluate_many(pairs)
 
     # -- shared fragments -------------------------------------------------------
 
@@ -65,8 +95,28 @@ class SocialApplication:
 
         Pinax templates recompute these fragments in several template blocks,
         which is why the paper observes ~80 queries per page load; the header
-        alone accounts for a dozen (all of them cacheable patterns).
+        alone accounts for a dozen (all of them cacheable patterns).  With
+        batching on, the whole dozen rides one multi-get per cache server.
         """
+        fetched = self._fetch_many([
+            ("user_by_id", {"id": user_id}),
+            ("user_profile", {"user_id": user_id}),
+            ("friend_count", {"from_user_id": user_id}),
+            ("pending_invitation_count", {"to_user_id": user_id}),
+            ("user_bookmark_count", {"user_id": user_id}),
+            ("wall_post_count", {"user_id": user_id}),
+            ("friendships_of_user", {"from_user_id": user_id}),
+            ("invitations_to_user", {"to_user_id": user_id}),
+        ])
+        if fetched is not None:
+            (_user, _profile, friend_count, invitation_count,
+             bookmark_count, wall_count, _friendships, _invitations) = fetched
+            return {
+                "friends": friend_count,
+                "invitations": invitation_count,
+                "bookmarks": bookmark_count,
+                "wall_posts": wall_count,
+            }
         list(User.objects.filter(id=user_id))
         list(Profile.objects.filter(user_id=user_id))
         friend_count = Friendship.objects.filter(from_user_id=user_id).count()
@@ -97,8 +147,15 @@ class SocialApplication:
         WallPost.objects.filter(sender_id=user_id).count()
 
     def _load_account(self, user_id: int) -> Dict[str, Any]:
-        users = list(User.objects.filter(id=user_id))
-        profiles = list(Profile.objects.filter(user_id=user_id))
+        fetched = self._fetch_many([
+            ("user_by_id", {"id": user_id}),
+            ("user_profile", {"user_id": user_id}),
+        ])
+        if fetched is not None:
+            users, profiles = fetched
+        else:
+            users = list(User.objects.filter(id=user_id))
+            profiles = list(Profile.objects.filter(user_id=user_id))
         return {
             "user": users[0] if users else None,
             "profile": profiles[0] if profiles else None,
@@ -132,9 +189,16 @@ class SocialApplication:
         """Login: load the account, profile, header badges, and the user's wall."""
         account = self._load_account(user_id)
         header = self._render_header(user_id)
-        wall = list(WallPost.objects.filter(user_id=user_id)
-                    .order_by("-date_posted")[:20])
-        WallPost.objects.filter(user_id=user_id).count()
+        wall_fragment = self._fetch_many([
+            ("latest_wall_posts", {"user_id": user_id}),
+            ("wall_post_count", {"user_id": user_id}),
+        ])
+        if wall_fragment is not None:
+            wall = wall_fragment[0]
+        else:
+            wall = list(WallPost.objects.filter(user_id=user_id)
+                        .order_by("-date_posted")[:20])
+            WallPost.objects.filter(user_id=user_id).count()
         self._render_uncacheable_fragments(user_id)
         return PageResult(page=PAGE_LOGIN, user_id=user_id,
                           items=len(wall), detail={"header": header,
@@ -143,36 +207,58 @@ class SocialApplication:
     def logout(self, user_id: int) -> PageResult:
         """Logout: a light page — account row plus a couple of badges."""
         self._load_account(user_id)
-        BookmarkInstance.objects.filter(user_id=user_id).count()
+        if self._fetch_many([("user_bookmark_count", {"user_id": user_id})]) is None:
+            BookmarkInstance.objects.filter(user_id=user_id).count()
         return PageResult(page=PAGE_LOGOUT, user_id=user_id)
 
     def lookup_bookmarks(self, user_id: int) -> PageResult:
         """LookupBM: the user's saved bookmarks with per-bookmark save counts."""
         self._load_account(user_id)
         header = self._render_header(user_id)
-        instances = list(BookmarkInstance.objects.filter(user_id=user_id))
-        # The Pinax template shows, for each listed bookmark, how many users
-        # saved it, plus the unique bookmark's details (not a cached pattern:
-        # the Bookmark-by-id rows are fetched straight from the database).
-        for instance in instances[:20]:
-            BookmarkInstance.objects.filter(bookmark_id=instance.bookmark_id).count()
-        for instance in instances[:1]:
-            list(Bookmark.objects.filter(id=instance.bookmark_id))
-        latest = list(BookmarkInstance.objects.filter(user_id=user_id)
-                      .order_by("-added")[:10])
+        lists_fragment = self._fetch_many([
+            ("bookmarks_of_user", {"user_id": user_id}),
+            ("latest_bookmarks", {"user_id": user_id}),
+        ])
+        if lists_fragment is not None:
+            instance_rows, latest = lists_fragment
+            # One more multi-get for the per-bookmark save-count badges (the
+            # keys depend on the instance list, so they form a second batch).
+            self._fetch_many([("bookmark_save_count", {"bookmark_id": r["bookmark_id"]})
+                              for r in instance_rows[:20]])
+            bookmark_ids = [r["bookmark_id"] for r in instance_rows[:1]]
+        else:
+            instances = list(BookmarkInstance.objects.filter(user_id=user_id))
+            instance_rows = instances
+            # The Pinax template shows, for each listed bookmark, how many users
+            # saved it, plus the unique bookmark's details (not a cached pattern:
+            # the Bookmark-by-id rows are fetched straight from the database).
+            for instance in instances[:20]:
+                BookmarkInstance.objects.filter(bookmark_id=instance.bookmark_id).count()
+            bookmark_ids = [instance.bookmark_id for instance in instances[:1]]
+            latest = list(BookmarkInstance.objects.filter(user_id=user_id)
+                          .order_by("-added")[:10])
+        for bookmark_id in bookmark_ids:
+            list(Bookmark.objects.filter(id=bookmark_id))
         self._render_uncacheable_fragments(user_id)
         return PageResult(page=PAGE_LOOKUP_BM, user_id=user_id,
-                          items=len(instances), detail={"header": header,
-                                                        "latest": len(latest)})
+                          items=len(instance_rows), detail={"header": header,
+                                                            "latest": len(latest)})
 
     def lookup_friend_bookmarks(self, user_id: int) -> PageResult:
         """LookupFBM: bookmarks created by the user's friends."""
         self._load_account(user_id)
         header = self._render_header(user_id)
-        friend_bookmarks = self._friend_bookmarks(user_id)
-        # Show save counts and bookmark details for the first page of results.
-        for row in friend_bookmarks[:10]:
-            BookmarkInstance.objects.filter(bookmark_id=row["bookmark_id"]).count()
+        fetched = self._fetch_many([("friend_bookmarks", {"from_user_id": user_id})])
+        if fetched is not None:
+            friend_bookmarks = fetched[0]
+            # Save-count badges for the first page of results, batched.
+            self._fetch_many([("bookmark_save_count", {"bookmark_id": row["bookmark_id"]})
+                              for row in friend_bookmarks[:10]])
+        else:
+            friend_bookmarks = self._friend_bookmarks(user_id)
+            # Show save counts for the first page of results, one query each.
+            for row in friend_bookmarks[:10]:
+                BookmarkInstance.objects.filter(bookmark_id=row["bookmark_id"]).count()
         for row in friend_bookmarks[:1]:
             list(Bookmark.objects.filter(id=row["bookmark_id"]))
         return PageResult(page=PAGE_LOOKUP_FBM, user_id=user_id,
@@ -195,10 +281,16 @@ class SocialApplication:
         instance.save()
         # Post-save renders: the redirect shows the user's bookmark list again,
         # including the fresh entry, its save count, and the latest-first view.
-        BookmarkInstance.objects.filter(user_id=user_id).count()
-        list(BookmarkInstance.objects.filter(user_id=user_id))
-        list(BookmarkInstance.objects.filter(user_id=user_id).order_by("-added")[:10])
-        BookmarkInstance.objects.filter(bookmark_id=bookmark.pk).count()
+        if self._fetch_many([
+            ("user_bookmark_count", {"user_id": user_id}),
+            ("bookmarks_of_user", {"user_id": user_id}),
+            ("latest_bookmarks", {"user_id": user_id}),
+            ("bookmark_save_count", {"bookmark_id": bookmark.pk}),
+        ]) is None:
+            BookmarkInstance.objects.filter(user_id=user_id).count()
+            list(BookmarkInstance.objects.filter(user_id=user_id))
+            list(BookmarkInstance.objects.filter(user_id=user_id).order_by("-added")[:10])
+            BookmarkInstance.objects.filter(bookmark_id=bookmark.pk).count()
         self._render_header(user_id)
         return PageResult(page=PAGE_CREATE_BM, user_id=user_id, wrote=True,
                           items=1, detail={"header": header,
@@ -209,16 +301,24 @@ class SocialApplication:
         """AcceptFR: accept one pending invitation (or send one if none pending)."""
         self._load_account(user_id)
         header = self._render_header(user_id)
-        pending = [inv for inv in FriendshipInvitation.objects.filter(to_user_id=user_id)
-                   if inv.status == FriendshipInvitation.STATUS_PENDING]
+        fetched = self._fetch_many([("invitations_to_user", {"to_user_id": user_id})])
+        if fetched is not None:
+            pending = [row for row in fetched[0]
+                       if row.get("status") == FriendshipInvitation.STATUS_PENDING]
+            pending = [{"pk": row["id"], "from_user_id": row["from_user_id"]}
+                       for row in pending]
+        else:
+            pending = [{"pk": inv.pk, "from_user_id": inv.from_user_id}
+                       for inv in FriendshipInvitation.objects.filter(to_user_id=user_id)
+                       if inv.status == FriendshipInvitation.STATUS_PENDING]
         if pending:
             invitation = pending[0]
-            FriendshipInvitation.objects.filter(id=invitation.pk).update(
+            FriendshipInvitation.objects.filter(id=invitation["pk"]).update(
                 status=FriendshipInvitation.STATUS_ACCEPTED)
-            Friendship(from_user_id=user_id, to_user_id=invitation.from_user_id).save()
-            Friendship(from_user_id=invitation.from_user_id, to_user_id=user_id).save()
+            Friendship(from_user_id=user_id, to_user_id=invitation["from_user_id"]).save()
+            Friendship(from_user_id=invitation["from_user_id"], to_user_id=user_id).save()
             accepted = True
-            other = invitation.from_user_id
+            other = invitation["from_user_id"]
         else:
             # Nothing to accept: send a new invitation so the page still writes.
             other = self._pick_other_user(user_id)
@@ -228,10 +328,16 @@ class SocialApplication:
             accepted = False
         # Re-render the friends panel after the write: the updated counts, the
         # friend list, and the new friend's recent activity (their bookmarks).
-        Friendship.objects.filter(from_user_id=user_id).count()
-        self._friends_of(user_id)
-        FriendshipInvitation.objects.filter(to_user_id=user_id).count()
-        self._friend_bookmarks(user_id)
+        if self._fetch_many([
+            ("friend_count", {"from_user_id": user_id}),
+            ("friends_of_user", {"from_user_id": user_id}),
+            ("pending_invitation_count", {"to_user_id": user_id}),
+            ("friend_bookmarks", {"from_user_id": user_id}),
+        ]) is None:
+            Friendship.objects.filter(from_user_id=user_id).count()
+            self._friends_of(user_id)
+            FriendshipInvitation.objects.filter(to_user_id=user_id).count()
+            self._friend_bookmarks(user_id)
         self._render_header(user_id)
         return PageResult(page=PAGE_ACCEPT_FR, user_id=user_id, wrote=True,
                           detail={"header": header, "accepted": accepted,

@@ -12,6 +12,7 @@ code::
     python -m repro.bench exp3
     python -m repro.bench exp4
     python -m repro.bench exp5
+    python -m repro.bench exp-batch --batch-ops both
 
 Each command prints the same rendered rows/series the corresponding
 ``benchmarks/`` target saves under ``benchmarks/_results/``.
@@ -66,6 +67,16 @@ def _cmd_exp5(_args: argparse.Namespace) -> str:
     return reporting.render_experiment5(experiments.experiment5())
 
 
+def _cmd_exp_batch(args: argparse.Namespace) -> str:
+    modes = {
+        "off": (experiments.UNBATCHED,),
+        "on": (experiments.BATCHED,),
+        "both": (experiments.UNBATCHED, experiments.BATCHED),
+    }[args.batch_ops]
+    result = experiments.experiment_batching(scenario=args.scenario, modes=modes)
+    return reporting.render_experiment_batching(result)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for ``python -m repro.bench``."""
     parser = argparse.ArgumentParser(
@@ -103,6 +114,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("exp5", help="Experiment 5 (trigger overhead)") \
         .set_defaults(func=_cmd_exp5)
+
+    exp_batch = sub.add_parser(
+        "exp-batch",
+        help="Batching ablation: multi-key cache protocol + commit-time "
+             "trigger-op coalescing on the wall/top-k workload")
+    exp_batch.add_argument(
+        "--batch-ops", choices=["on", "off", "both"], default="both",
+        help="run with the batched protocol on, off, or both (compares "
+             "recorded cache round trips and throughput; default: both)")
+    exp_batch.add_argument(
+        "--scenario", choices=["Update", "Invalidate"], default="Update",
+        help="cached scenario to ablate (default: Update)")
+    exp_batch.set_defaults(func=_cmd_exp_batch)
     return parser
 
 

@@ -307,6 +307,87 @@ def experiment5(
 
 
 # ---------------------------------------------------------------------------
+# Batching ablation — multi-key protocol + commit-time trigger-op coalescing
+# ---------------------------------------------------------------------------
+
+#: Mode names of the batching ablation.
+UNBATCHED = "Unbatched"
+BATCHED = "Batched"
+
+#: Wall/Top-K-heavy workload for the batching ablation: short sessions mean
+#: frequent Login pages (the wall Top-K plus the full header), and the
+#: LookupBM-leaning mix keeps the latest-bookmarks Top-K and the count badges
+#: hot — the paths the multi-key protocol converts to one round trip each.
+WALL_TOPK_WORKLOAD = WorkloadConfig(
+    clients=8, sessions_per_client=3, page_loads_per_session=5,
+    page_mix={"LookupBM": 55.0, "LookupFBM": 25.0,
+              "CreateBM": 10.0, "AcceptFR": 10.0})
+
+#: The cache-counter events the ablation reports individually.
+BATCHING_EVENTS = (
+    "cache_gets", "cache_sets", "cache_deletes",
+    "cache_multi_gets", "cache_multi_sets", "cache_multi_deletes",
+    "trigger_cache_ops", "trigger_cache_batches", "trigger_connections",
+)
+
+
+@dataclass
+class BatchingResult:
+    """Round-trip accounting with the batched protocol off vs on."""
+
+    scenario: str
+    round_trips: Dict[str, int]            # mode -> total cache round trips
+    events: Dict[str, Dict[str, int]]      # mode -> per-counter breakdown
+    throughput: Dict[str, float]
+    cache_hit_ratio: Dict[str, float]
+
+    @property
+    def round_trip_reduction(self) -> float:
+        """How many times fewer round trips the batched mode performs."""
+        batched = self.round_trips.get(BATCHED, 0)
+        if not batched:
+            return 0.0
+        return self.round_trips.get(UNBATCHED, 0) / batched
+
+    def speedup(self) -> float:
+        base = self.throughput.get(UNBATCHED, 0.0)
+        return self.throughput.get(BATCHED, 0.0) / base if base else 0.0
+
+
+def experiment_batching(
+    scenario: str = UPDATE_SCENARIO,
+    workload: Optional[WorkloadConfig] = None,
+    modes: Sequence[str] = (UNBATCHED, BATCHED),
+) -> BatchingResult:
+    """Run the batching ablation: the same scenario with ``batch_ops`` off/on.
+
+    Replays the wall/top-k-heavy workload and compares the recorded
+    cache-network round trips (single ops count one each; a multi-key batch
+    counts one per server it touches) plus the resulting throughput.
+    """
+    base_workload = workload or WALL_TOPK_WORKLOAD
+    round_trips: Dict[str, int] = {}
+    events: Dict[str, Dict[str, int]] = {}
+    throughput: Dict[str, float] = {}
+    hit_ratio: Dict[str, float] = {}
+    for mode in modes:
+        config = _scenario_config(scenario, batch_ops=(mode == BATCHED))
+        run = run_scenario(config, workload=base_workload)
+        counters = run.replay.total_counters
+        round_trips[mode] = counters.cache_round_trips
+        events[mode] = {name: getattr(counters, name) for name in BATCHING_EVENTS}
+        throughput[mode] = run.throughput
+        hit_ratio[mode] = run.cache_hit_ratio
+    return BatchingResult(
+        scenario=scenario,
+        round_trips=round_trips,
+        events=events,
+        throughput=throughput,
+        cache_hit_ratio=hit_ratio,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Microbenchmarks (§5.3)
 # ---------------------------------------------------------------------------
 

@@ -4,10 +4,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
-from .experiments import (EffortResult, Experiment1Result, Experiment2Result,
-                          Experiment3Result, Experiment4Result,
-                          Experiment5Result, MicroLookupResult,
-                          MicroTriggerResult)
+from .experiments import (BatchingResult, EffortResult, Experiment1Result,
+                          Experiment2Result, Experiment3Result,
+                          Experiment4Result, Experiment5Result,
+                          MicroLookupResult, MicroTriggerResult)
 
 #: Table 1 of the paper: qualitative comparison with representative systems.
 TABLE1_ROWS: List[Dict[str, str]] = [
@@ -126,6 +126,43 @@ def render_experiment5(result: Experiment5Result) -> str:
         ])
     return "\n".join(["Experiment 5 — trigger overhead on the full workload",
                       format_table(headers, rows)])
+
+
+def render_experiment_batching(result: BatchingResult) -> str:
+    """Render the batching ablation: round trips and throughput, off vs on."""
+    modes = list(result.round_trips)
+    headers = ["Cache-network event"] + modes
+    event_labels = [
+        ("cache_gets", "Single get round trips"),
+        ("cache_sets", "Single set round trips"),
+        ("cache_deletes", "Single delete round trips"),
+        ("cache_multi_gets", "Multi-get batches (1 RT/server)"),
+        ("cache_multi_sets", "Multi-set batches (1 RT/server)"),
+        ("cache_multi_deletes", "Multi-delete batches (1 RT/server)"),
+        ("trigger_cache_ops", "Trigger single ops"),
+        ("trigger_cache_batches", "Trigger batches (commit-time flush)"),
+        ("trigger_connections", "Trigger connections opened"),
+    ]
+    rows = []
+    for event, label in event_labels:
+        rows.append([label] + [result.events[mode].get(event, 0) for mode in modes])
+    rows.append(["TOTAL round trips"] + [result.round_trips[mode] for mode in modes])
+    rows.append(["Throughput (req/s)"]
+                + [f"{result.throughput[mode]:.1f}" for mode in modes])
+    rows.append(["Cache hit ratio"]
+                + [f"{result.cache_hit_ratio[mode] * 100.0:.0f}%" for mode in modes])
+    lines = [
+        f"Batching ablation — {result.scenario} scenario, wall/top-k workload",
+        format_table(headers, rows),
+    ]
+    if len(modes) > 1:
+        lines += [
+            "",
+            f"Round-trip reduction: {result.round_trip_reduction:.1f}x "
+            f"fewer cache round trips with batching",
+            f"Throughput speedup:   {result.speedup():.2f}x",
+        ]
+    return "\n".join(lines)
 
 
 def render_micro_lookup(result: MicroLookupResult) -> str:

@@ -51,6 +51,10 @@ class ScenarioConfig:
     triggers_enabled: bool = True
     #: Future-work optimization: reuse memcached connections between triggers.
     reuse_trigger_connections: bool = False
+    #: Batched multi-key cache protocol: application hot paths read through
+    #: multi-get, and trigger-side ops coalesce per key and flush as batched
+    #: multi-ops at transaction commit (the ``--batch-ops`` ablation).
+    batch_ops: bool = False
     seed_scale: SeedScale = field(default_factory=SeedScale)
     rng_seed: int = 99
 
@@ -112,11 +116,13 @@ class Scenario:
                 database=self.database,
                 cache_servers=self.cache_servers,
                 reuse_trigger_connections=self.config.reuse_trigger_connections,
+                batch_trigger_ops=self.config.batch_ops,
             ).activate()
             self.cached_objects = install_cached_objects(
                 self.genie, update_strategy=self.config.strategy)
             self.app = SocialApplication(cached_objects=self.cached_objects,
-                                         rng=random.Random(self.config.rng_seed))
+                                         rng=random.Random(self.config.rng_seed),
+                                         batch_reads=self.config.batch_ops)
             if not self.config.triggers_enabled:
                 self.database.triggers.disable_all()
         return self

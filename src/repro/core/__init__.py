@@ -9,11 +9,13 @@ extension.
 from .cache_classes import (BUILTIN_CACHE_CLASSES, CacheClass, ChainStep,
                             CountQuery, FeatureQuery, LinkQuery, TopKQuery,
                             TriggerSpec)
+from .cache_classes.base import evaluate_many
 from .interception import CacheGenieInterceptor
 from .keys import KeyScheme
 from .manager import CacheGenie, cacheable
 from .stats import CachedObjectStats, CacheGenieStats
 from .strategies import EXPIRY, INVALIDATE, UPDATE_IN_PLACE
+from .trigger_queue import TriggerOpQueue
 from .triggergen import TriggerGenerator, render_trigger_source
 from .txn2pl import (TransactionalCacheSession, TwoPhaseLockingCoordinator,
                      WouldBlock)
@@ -35,10 +37,12 @@ __all__ = [
     "TopKQuery",
     "TransactionalCacheSession",
     "TriggerGenerator",
+    "TriggerOpQueue",
     "TriggerSpec",
     "TwoPhaseLockingCoordinator",
     "UPDATE_IN_PLACE",
     "WouldBlock",
     "cacheable",
+    "evaluate_many",
     "render_trigger_source",
 ]

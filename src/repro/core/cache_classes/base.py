@@ -107,6 +107,10 @@ class CacheClass:
     def trigger_cache(self):
         return self.genie.trigger_cache
 
+    def _op_queue(self):
+        """The genie's commit-time trigger-op queue, or None when eager."""
+        return getattr(self.genie, "trigger_op_queue", None)
+
     def _expire(self) -> Optional[float]:
         return self.expiry_seconds if self.update_strategy == EXPIRY else None
 
@@ -184,12 +188,29 @@ class CacheClass:
         value = self.app_cache.get(key)
         if value is not None:
             self.stats.cache_hits += 1
-            return self._thaw(value)
+            return self._present(self._thaw(value))
         self.stats.cache_misses += 1
         self.stats.db_fallbacks += 1
         value = self.compute_from_db(normalized)
         self.app_cache.set(key, self._freeze(value), expire=self._expire())
-        return self._thaw(self._freeze(value))
+        return self._present(self._thaw(self._freeze(value)))
+
+    def evaluate_multi(self, params_list: Sequence[Dict[str, Any]]) -> List[Any]:
+        """Batched :meth:`evaluate`: one multi-get round trip per server.
+
+        Misses are computed from the database and written back with a single
+        batched ``set_multi``.  Results come back in request order.
+        """
+        return evaluate_many([(self, params) for params in params_list])
+
+    def _present(self, thawed: Any) -> Any:
+        """Shape a thawed cached value the way evaluate() hands it out.
+
+        Subclasses whose :meth:`evaluate` post-processes the raw cached value
+        (TopKQuery trims the reserve rows) override this so the batched
+        :func:`evaluate_many` path returns the same shape.
+        """
+        return thawed
 
     def peek(self, **params: Any) -> Optional[Any]:
         """Return the cached value without falling back to the database."""
@@ -250,8 +271,11 @@ class CacheClass:
         for row in (new, old):
             if row is not None:
                 keys.update(self.affected_keys(table, row))
+        queue = self._op_queue()
         for key in keys:
-            if self.trigger_cache.delete(key):
+            if queue is not None:
+                queue.enqueue_delete(self, key)
+            elif self.trigger_cache.delete(key):
                 self.stats.invalidations += 1
 
     def affected_keys(self, table: str, row: Dict[str, Any]) -> List[str]:
@@ -280,7 +304,15 @@ class CacheClass:
         ``None`` to leave the entry untouched.  Returns True if an update was
         written.  If the key is absent the trigger quits (paper: "If not
         present, the trigger quits").
+
+        With commit-time batching enabled the mutation is enqueued instead
+        (applied to a single batched read at flush); the queue's single-writer
+        flush needs no CAS loop.  Returns True, meaning "accepted".
         """
+        queue = self._op_queue()
+        if queue is not None:
+            queue.enqueue_mutate(self, key, mutate)
+            return True
         for attempt in range(CAS_MAX_RETRIES):
             value, token = self.trigger_cache.gets(key)
             if value is None:
@@ -299,6 +331,16 @@ class CacheClass:
 
     def _recompute_key(self, key: str, params: Dict[str, Any]) -> None:
         """Recompute a key's value from the database and overwrite it."""
+        queue = self._op_queue()
+        if queue is not None:
+            # The flush's batched read supplies the "only maintain entries
+            # already cached" check; the recompute runs post-commit, so it
+            # sees the transaction's final state exactly once per key.
+            queue.enqueue_mutate(
+                self, key,
+                lambda _current: self._freeze(self.compute_from_db(params)),
+                counter="recomputations", expire=self._expire())
+            return
         current, _token = self.trigger_cache.gets(key)
         if current is None:
             # Paper semantics: triggers only maintain entries already cached.
@@ -312,3 +354,53 @@ class CacheClass:
             f"<{self.__class__.__name__} {self.name!r} on {self.main_table!r} "
             f"by {self.where_fields!r} ({self.update_strategy})>"
         )
+
+
+def evaluate_many(
+    requests: Sequence[Tuple["CacheClass", Dict[str, Any]]],
+) -> List[Any]:
+    """Batched evaluate() across cached objects sharing one cache client.
+
+    All requested keys are fetched with a single ``get_multi`` (one round
+    trip per cache server); misses fall back to the database per object and
+    are written back with a single batched ``set_multi`` per expiry group.
+    Results are returned in request order, shaped exactly as the individual
+    ``evaluate()`` calls would shape them.
+    """
+    if not requests:
+        return []
+    client = requests[0][0].app_cache
+    entries: List[Tuple[CacheClass, str, Dict[str, Any]]] = []
+    for cached_object, params in requests:
+        if cached_object.app_cache is not client:
+            raise CacheClassError(
+                "evaluate_many() requires cached objects on the same cache client"
+            )
+        normalized = cached_object._normalize_params(dict(params))
+        entries.append((cached_object, cached_object.make_key(**normalized),
+                        normalized))
+
+    found = client.get_multi([key for _, key, _ in entries])
+    writes: Dict[Optional[float], Dict[str, Any]] = {}
+    computed: Dict[str, Any] = {}
+    results: List[Any] = []
+    for cached_object, key, normalized in entries:
+        if key in found:
+            cached_object.stats.cache_hits += 1
+            frozen = found[key]
+        elif key in computed:
+            # A duplicate request in the same batch: serve the value computed
+            # a moment ago (a sequential loop would have hit the fresh entry).
+            cached_object.stats.cache_hits += 1
+            frozen = computed[key]
+        else:
+            cached_object.stats.cache_misses += 1
+            cached_object.stats.db_fallbacks += 1
+            value = cached_object.compute_from_db(normalized)
+            frozen = cached_object._freeze(value)
+            computed[key] = frozen
+            writes.setdefault(cached_object._expire(), {})[key] = frozen
+        results.append(cached_object._present(cached_object._thaw(frozen)))
+    for expire, mapping in writes.items():
+        client.set_multi(mapping, expire=expire)
+    return results

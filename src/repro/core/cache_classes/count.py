@@ -77,6 +77,13 @@ class CountQuery(CacheClass):
 
     def _bump(self, key: str, delta: int) -> None:
         """Increment/decrement the cached count if (and only if) it is cached."""
+        queue = self._op_queue()
+        if queue is not None:
+            # Deltas to the same key chain in the queue, so a transaction
+            # touching N rows of one group costs one cache op at commit.
+            queue.enqueue_mutate(self, key, lambda value: (
+                max(0, value + delta) if isinstance(value, int) else None))
+            return
         if delta > 0:
             result = self.trigger_cache.incr(key, delta)
         else:

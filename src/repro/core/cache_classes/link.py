@@ -265,11 +265,14 @@ class LinkQuery(CacheClass):
                 continue
             for key in self.affected_keys(table, row):
                 keys.setdefault(key, {})
+        queue = self._op_queue()
         for key in keys:
             params = self._params_for_key_recompute(table, new or old)
             if params is None:
                 # Cannot reconstruct parameters cheaply: invalidate the key.
-                if self.trigger_cache.delete(key):
+                if queue is not None:
+                    queue.enqueue_delete(self, key)
+                elif self.trigger_cache.delete(key):
                     self.stats.invalidations += 1
             else:
                 self._recompute_from_key(key)
@@ -284,6 +287,14 @@ class LinkQuery(CacheClass):
 
     def _recompute_from_key(self, key: str) -> None:
         """Recompute a cached entry by decoding its where-values from the key."""
+        queue = self._op_queue()
+        if queue is not None:
+            params = self._decode_key(key)
+            if params is None:
+                queue.enqueue_delete(self, key)
+            else:
+                self._recompute_key(key, params)
+            return
         current, _token = self.trigger_cache.gets(key)
         if current is None:
             return

@@ -83,11 +83,11 @@ class TopKQuery(CacheClass):
         limit = description.limit if description.limit is not None else self.k
         return list(value)[: min(limit, self.k)]
 
-    # -- evaluation override: never hand out more than K rows ------------------------
+    # -- evaluation shaping: never hand out more than K rows -------------------------
 
-    def evaluate(self, **params: Any) -> List[Dict[str, Any]]:
-        rows = super().evaluate(**params)
-        return rows[: self.k]
+    def _present(self, thawed: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Trim the cached reserve rows: callers only ever see the top K."""
+        return list(thawed)[: self.k]
 
     # -- update-in-place ---------------------------------------------------------------
 
@@ -104,6 +104,19 @@ class TopKQuery(CacheClass):
         if event == "delete" and old is not None:
             key = self.key_from_row(old)
             params = {c: old.get(c) for c in self.where_fields}
+            queue = self._op_queue()
+            if queue is not None:
+                # Commit-time path: fold the remove and the refill decision
+                # into one mutation, so the flush reads and writes the key
+                # exactly once however the transaction interleaved deletes.
+                def remove_and_refill(rows):
+                    out = self._remove(rows, old, pk_column)
+                    if out is not None and len(out) < self.k:
+                        self.stats.recomputations += 1
+                        return self._freeze(self.compute_from_db(params))
+                    return out
+                queue.enqueue_mutate(self, key, remove_and_refill)
+                return
             removed_below_k = self._cas_update(
                 key, lambda rows: self._remove(rows, old, pk_column))
             if removed_below_k:

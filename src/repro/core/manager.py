@@ -25,6 +25,7 @@ from .cache_classes import BUILTIN_CACHE_CLASSES, CacheClass
 from .interception import CacheGenieInterceptor
 from .stats import CacheGenieStats
 from .strategies import UPDATE_IN_PLACE
+from .trigger_queue import TriggerOpQueue
 from .triggergen import TriggerGenerator
 
 
@@ -38,6 +39,7 @@ class CacheGenie:
         cache_servers: Optional[Sequence[CacheServer]] = None,
         default_strategy: str = UPDATE_IN_PLACE,
         reuse_trigger_connections: bool = False,
+        batch_trigger_ops: bool = False,
         cache_address: str = "cache-host:11211",
     ) -> None:
         self.registry = registry
@@ -60,6 +62,15 @@ class CacheGenie:
         self.stats = CacheGenieStats()
         self._custom_cache_classes: Dict[str, type] = {}
         self._activated = False
+        #: Commit-time trigger-op batching: trigger-side cache operations
+        #: enqueue here (coalescing per key) and flush as multi-key batches
+        #: when the surrounding database transaction commits.
+        self.batch_trigger_ops = batch_trigger_ops
+        self.trigger_op_queue: Optional[TriggerOpQueue] = None
+        if batch_trigger_ops:
+            self.trigger_op_queue = TriggerOpQueue(self.trigger_cache)
+            self.db.transactions.on_commit.append(self.trigger_op_queue.flush)
+            self.db.transactions.on_abort.append(self.trigger_op_queue.discard)
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -78,6 +89,14 @@ class CacheGenie:
             self._activated = False
         for cached_object in list(self.cached_objects.values()):
             self.remove_cached_object(cached_object.name)
+        if self.trigger_op_queue is not None:
+            self.trigger_op_queue.discard()
+            hooks = self.db.transactions
+            if self.trigger_op_queue.flush in hooks.on_commit:
+                hooks.on_commit.remove(self.trigger_op_queue.flush)
+            if self.trigger_op_queue.discard in hooks.on_abort:
+                hooks.on_abort.remove(self.trigger_op_queue.discard)
+            self.trigger_op_queue = None
         if _active_genie() is self:
             _set_active_genie(None)
 

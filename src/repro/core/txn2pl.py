@@ -189,17 +189,37 @@ class TransactionalCacheSession:
 
     Reads and writes go through the coordinator before touching the cache,
     giving callers the §3.3 semantics without hand-managing tids.
+
+    When the middleware batches trigger-side operations, pass a
+    :class:`~repro.core.trigger_queue.TriggerOpQueue` *dedicated to this
+    transaction* as ``op_queue``: the session then flushes the queued
+    (coalesced) trigger ops when it commits and discards them when it
+    aborts — deferred trigger propagation never leaks out of an aborted
+    transaction.  The queue must not be shared between concurrent sessions
+    (``flush()``/``discard()`` act on the whole queue, so a shared one would
+    let one session's abort drop — or its commit prematurely publish —
+    another session's pending ops).  The genie's own ``trigger_op_queue``
+    is safe to share with the *database's* transaction hooks only because
+    the storage engine admits a single open transaction at a time.
     """
 
-    def __init__(self, coordinator: TwoPhaseLockingCoordinator, cache_client) -> None:
+    def __init__(self, coordinator: TwoPhaseLockingCoordinator, cache_client,
+                 op_queue=None) -> None:
         self.coordinator = coordinator
         self.cache = cache_client
+        self.op_queue = op_queue
         self.tid = coordinator.begin()
         self._finished = False
 
     def get(self, key: str) -> Any:
         self.coordinator.acquire_read(self.tid, key)
         return self.cache.get(key)
+
+    def get_multi(self, keys) -> Dict[str, Any]:
+        """Batched read: lock every key under 2PL, then one multi-get."""
+        for key in keys:
+            self.coordinator.acquire_read(self.tid, key)
+        return self.cache.get_multi(list(keys))
 
     def set(self, key: str, value: Any) -> bool:
         self.coordinator.acquire_write(self.tid, key)
@@ -213,11 +233,15 @@ class TransactionalCacheSession:
         if self._finished:
             raise ConsistencyError("transaction already finished")
         self.coordinator.commit(self.tid)
+        if self.op_queue is not None:
+            self.op_queue.flush()
         self._finished = True
 
     def abort(self) -> None:
         if self._finished:
             raise ConsistencyError("transaction already finished")
+        if self.op_queue is not None:
+            self.op_queue.discard()
         for key in self.coordinator.abort(self.tid):
             self.cache.delete(key)
         self._finished = True

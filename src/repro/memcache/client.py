@@ -74,6 +74,33 @@ class CacheClient:
     def _server_for(self, key: str) -> CacheServer:
         return self._servers[self.ring.server_for(key)]
 
+    def _group_by_server(self, keys: Sequence[str]) -> Dict[str, List[str]]:
+        """Partition ``keys`` into per-server batches via the hash ring.
+
+        Duplicates are dropped (one wire slot per key) but the first-seen
+        order within each server batch is preserved.
+        """
+        batches: Dict[str, List[str]] = {}
+        seen = set()
+        for key in keys:
+            if key in seen:
+                continue
+            seen.add(key)
+            batches.setdefault(self.ring.server_for(key), []).append(key)
+        return batches
+
+    def _charge_batch(self, app_event: str) -> None:
+        """Charge one round trip for a multi-key batch sent to one server."""
+        if self.from_trigger:
+            self.recorder.record("trigger_cache_batches")
+        else:
+            self.recorder.record(app_event)
+
+    def _charge_batch_item(self) -> None:
+        """Charge the per-key (marshalling) share of a batched operation."""
+        if self.from_trigger:
+            self.recorder.record("trigger_cache_batch_ops")
+
     @property
     def servers(self) -> List[CacheServer]:
         return list(self._servers.values())
@@ -119,12 +146,34 @@ class CacheClient:
         return value, token
 
     def get_multi(self, keys: Sequence[str]) -> Dict[str, Any]:
-        """Fetch several keys; returns only the hits."""
+        """Fetch several keys in one round trip per server; returns the hits.
+
+        Keys are grouped into per-server batches on the hash ring and each
+        batch is charged a single round trip (``cache_multi_gets`` from the
+        application, ``trigger_cache_batches`` from a trigger) — the batched
+        protocol the paper's §5.3 round-trip analysis motivates.  Hit/miss
+        statistics and byte transfer are still accounted per key.
+        """
+        if not keys:
+            return {}
+        self._charge_connection()
         out: Dict[str, Any] = {}
-        for key in keys:
-            value = self.get(key)
-            if value is not None:
-                out[key] = value
+        for server_name, batch in self._group_by_server(keys).items():
+            server = self._servers[server_name]
+            self._charge_batch("cache_multi_gets")
+            found = server.get_multi(batch)
+            for key in batch:
+                self.stats.gets += 1
+                self._charge_batch_item()
+                value = found.get(key)
+                if value is None:
+                    self.stats.misses += 1
+                    self.recorder.record("cache_misses")
+                else:
+                    self.stats.hits += 1
+                    self.recorder.record("cache_hits")
+                    self.recorder.record("cache_bytes_moved", sizeof_value(value))
+                    out[key] = value
         return out
 
     # -- writes ---------------------------------------------------------------
@@ -141,6 +190,32 @@ class CacheClient:
         self.recorder.record("cache_bytes_moved", sizeof_value(value))
         return result
 
+    def set_multi(self, mapping: Dict[str, Any],
+                  expire: Optional[float] = None) -> List[str]:
+        """Store several values in one round trip per server.
+
+        Returns the keys that failed to store (oversized values), mirroring
+        python-memcached's ``set_multi`` contract.
+        """
+        if not mapping:
+            return []
+        self._charge_connection()
+        failed: List[str] = []
+        for server_name, batch in self._group_by_server(list(mapping)).items():
+            server = self._servers[server_name]
+            self._charge_batch("cache_multi_sets")
+            rejected = set(server.set_multi({k: mapping[k] for k in batch}, expire))
+            failed.extend(k for k in batch if k in rejected)
+            for key in batch:
+                self._charge_batch_item()
+                if key in rejected:
+                    # Parity with single-op set(): a store the server refused
+                    # (oversized value) counts neither as a set nor as bytes.
+                    continue
+                self.stats.sets += 1
+                self.recorder.record("cache_bytes_moved", sizeof_value(mapping[key]))
+        return failed
+
     def add(self, key: str, value: Any, expire: Optional[float] = None) -> bool:
         """Store a value only if the key is absent."""
         self._charge_connection()
@@ -150,6 +225,8 @@ class CacheClient:
             self.recorder.record("trigger_cache_ops")
         else:
             self.recorder.record("cache_sets")
+        # The value travels to the server whether or not the add wins.
+        self.recorder.record("cache_bytes_moved", sizeof_value(value))
         return result
 
     def cas(self, key: str, value: Any, cas_token: int,
@@ -179,6 +256,24 @@ class CacheClient:
             self.recorder.record("cache_deletes")
         return result
 
+    def delete_multi(self, keys: Sequence[str]) -> List[str]:
+        """Invalidate several keys in one round trip per server.
+
+        Returns the keys that actually existed (and were removed).
+        """
+        if not keys:
+            return []
+        self._charge_connection()
+        deleted: List[str] = []
+        for server_name, batch in self._group_by_server(keys).items():
+            server = self._servers[server_name]
+            self._charge_batch("cache_multi_deletes")
+            deleted.extend(server.delete_multi(batch))
+            for _key in batch:
+                self.stats.deletes += 1
+                self._charge_batch_item()
+        return deleted
+
     def incr(self, key: str, delta: int = 1) -> Optional[int]:
         """Increment an integer value."""
         self._charge_connection()
@@ -201,6 +296,10 @@ class CacheClient:
             self.recorder.record("trigger_cache_ops")
         else:
             self.recorder.record("cache_sets")
+        if result is None:
+            self.stats.decr_miss += 1
+        else:
+            self.stats.decr_ok += 1
         return result
 
     def flush_all(self) -> None:

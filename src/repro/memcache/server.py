@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 import time as _time
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import CacheKeyError, CacheValueError
 from .item import Item, sizeof_value
@@ -90,6 +90,19 @@ class CacheServer:
         self.stats.hits += 1
         return item.value, item.cas_id
 
+    def get_multi(self, keys: Sequence[str]) -> Dict[str, Any]:
+        """Batched :meth:`get`: return the values of the keys that hit.
+
+        One network round trip carries the whole batch (the client charges
+        round-trip costs); hit/miss statistics still count per key.
+        """
+        out: Dict[str, Any] = {}
+        for key in keys:
+            value = self.get(key)
+            if value is not None:
+                out[key] = value
+        return out
+
     def touch_key(self, key: str) -> bool:
         """Return True if the key is present (without counting a get)."""
         return self._live_item(key, touch=False) is not None
@@ -123,6 +136,17 @@ class CacheServer:
         self._store(key, value, expire, flags)
         return True
 
+    def set_multi(self, mapping: Mapping[str, Any],
+                  expire: Optional[float] = None, flags: int = 0) -> List[str]:
+        """Batched :meth:`set`.  Returns the keys that failed to store."""
+        failed: List[str] = []
+        for key, value in mapping.items():
+            try:
+                self.set(key, value, expire, flags)
+            except CacheValueError:
+                failed.append(key)
+        return failed
+
     def cas(self, key: str, value: Any, cas_token: int,
             expire: Optional[float] = None, flags: int = 0) -> bool:
         """Compare-and-swap: store only if the item's CAS id still matches."""
@@ -135,6 +159,8 @@ class CacheServer:
             self.stats.cas_mismatch += 1
             return False
         self.stats.cas_ok += 1
+        # A successful CAS stores a value just like set() does.
+        self.stats.sets += 1
         self._store(key, value, expire, flags)
         return True
 
@@ -143,6 +169,10 @@ class CacheServer:
         self._check_key(key)
         self.stats.deletes += 1
         return self.store.delete(key)
+
+    def delete_multi(self, keys: Sequence[str]) -> List[str]:
+        """Batched :meth:`delete`.  Returns the keys that actually existed."""
+        return [key for key in keys if self.delete(key)]
 
     def incr(self, key: str, delta: int = 1) -> Optional[int]:
         """Increment an integer value; returns the new value or None on miss."""
@@ -158,11 +188,12 @@ class CacheServer:
 
     def decr(self, key: str, delta: int = 1) -> Optional[int]:
         """Decrement an integer value, floored at zero as memcached does."""
+        self._check_key(key)
         item = self._live_item(key, touch=False)
         if item is None or not isinstance(item.value, int):
-            self.stats.incr_miss += 1
+            self.stats.decr_miss += 1
             return None
-        self.stats.incr_ok += 1
+        self.stats.decr_ok += 1
         new_value = max(0, item.value - delta)
         self._store(key, new_value, None, item.flags)
         return new_value

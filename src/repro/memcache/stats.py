@@ -21,6 +21,8 @@ class CacheStats:
     cas_miss: int = 0
     incr_ok: int = 0
     incr_miss: int = 0
+    decr_ok: int = 0
+    decr_miss: int = 0
     evictions: int = 0
     expirations: int = 0
 

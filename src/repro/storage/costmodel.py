@@ -48,14 +48,30 @@ class CostCounters:
     trigger_launches: int = 0
     trigger_connections: int = 0
     trigger_cache_ops: int = 0
+    #: Batched multi-key round trips issued from triggers (one per server batch).
+    trigger_cache_batches: int = 0
+    #: Keys carried inside trigger-side batches (marshalling CPU, no round trip).
+    trigger_cache_batch_ops: int = 0
     trigger_rows_examined: int = 0
     # Cache client events (issued by the application, not by triggers)
     cache_gets: int = 0
     cache_sets: int = 0
     cache_deletes: int = 0
+    #: Batched multi-key round trips (one event per server batch, not per key).
+    cache_multi_gets: int = 0
+    cache_multi_sets: int = 0
+    cache_multi_deletes: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_bytes_moved: int = 0
+
+    @property
+    def cache_round_trips(self) -> int:
+        """Total cache-network round trips (single ops + one per server batch)."""
+        return (self.cache_gets + self.cache_sets + self.cache_deletes
+                + self.cache_multi_gets + self.cache_multi_sets
+                + self.cache_multi_deletes
+                + self.trigger_cache_ops + self.trigger_cache_batches)
 
     def add(self, other: "CostCounters") -> None:
         """Accumulate another counter set into this one."""
@@ -188,6 +204,9 @@ class CostModel:
             + counters.trigger_launches * self.trigger_launch_cpu_ms
             + counters.trigger_rows_examined * self.trigger_row_cpu_ms
             + counters.trigger_cache_ops * self.trigger_op_cpu_ms
+            # Batching a trigger-side op saves the round trip, not the
+            # per-value marshalling: each batched key still pays CPU.
+            + counters.trigger_cache_batch_ops * self.trigger_op_cpu_ms
             + counters.trigger_connections * self.trigger_connection_cpu_ms
         )
         disk = (
@@ -199,12 +218,18 @@ class CostModel:
             + counters.commits * self.commit_disk_ms
         )
         net = (
-            (counters.cache_gets + counters.cache_sets + counters.cache_deletes)
+            (counters.cache_gets + counters.cache_sets + counters.cache_deletes
+             # A multi-key batch pays one round trip per server, however many
+             # keys it carries (the per-key payload is in cache_bytes_moved).
+             + counters.cache_multi_gets + counters.cache_multi_sets
+             + counters.cache_multi_deletes)
             * self.cache_op_net_ms
             + counters.cache_bytes_moved * self.cache_byte_net_ms
             # The network-wait half of opening a trigger-side memcached
-            # connection, plus each memcached round trip issued by a trigger.
+            # connection, plus each memcached round trip issued by a trigger
+            # (batched trigger ops likewise pay one round trip per batch).
             + counters.trigger_connections * self.trigger_connection_net_ms
-            + counters.trigger_cache_ops * self.trigger_cache_op_ms
+            + (counters.trigger_cache_ops + counters.trigger_cache_batches)
+            * self.trigger_cache_op_ms
         )
         return Demand(db_cpu_ms=cpu, db_disk_ms=disk, cache_net_ms=net)

@@ -59,6 +59,14 @@ class TransactionManager:
         self._current: Optional[Transaction] = None
         self.committed = 0
         self.aborted = 0
+        #: Callbacks fired after a transaction commits/aborts (autocommit
+        #: included).  CacheGenie's trigger-op queue flushes/discards here.
+        self.on_commit: List[Callable[[], None]] = []
+        self.on_abort: List[Callable[[], None]] = []
+
+    def _fire(self, callbacks: List[Callable[[], None]]) -> None:
+        for callback in list(callbacks):
+            callback()
 
     # -- state ----------------------------------------------------------------
 
@@ -102,6 +110,7 @@ class TransactionManager:
             txn.status = "committed"
             self.committed += 1
             self._current = None
+            self._fire(self.on_commit)
 
     def commit(self) -> Transaction:
         """Commit the open explicit transaction."""
@@ -114,6 +123,7 @@ class TransactionManager:
         txn.undo_log.clear()
         self.committed += 1
         self._current = None
+        self._fire(self.on_commit)
         return txn
 
     def abort(self) -> Transaction:
@@ -127,6 +137,7 @@ class TransactionManager:
         txn.status = "aborted"
         self.aborted += 1
         self._current = None
+        self._fire(self.on_abort)
         return txn
 
     def record_undo(self, apply: Callable[[], None], description: str = "") -> None:

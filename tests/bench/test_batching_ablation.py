@@ -1,0 +1,96 @@
+"""The --batch-ops ablation: batched protocol vs per-key round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.social import SeedScale
+from repro.bench.cli import build_parser
+from repro.bench.experiments import (BATCHED, UNBATCHED, experiment_batching)
+from repro.bench.reporting import render_experiment_batching
+from repro.bench.scenarios import Scenario, ScenarioConfig, UPDATE_SCENARIO
+from repro.workload import WorkloadConfig
+
+TINY = SeedScale.tiny()
+
+#: Small wall/top-k-leaning workload so the ablation test stays fast.
+SMALL_WORKLOAD = WorkloadConfig(clients=4, sessions_per_client=2,
+                                page_loads_per_session=4,
+                                page_mix={"LookupBM": 55.0, "LookupFBM": 25.0,
+                                          "CreateBM": 10.0, "AcceptFR": 10.0})
+
+
+class TestScenarioWiring:
+    def test_batch_ops_flag_reaches_genie_and_app(self):
+        scenario = Scenario(ScenarioConfig(name=UPDATE_SCENARIO, seed_scale=TINY,
+                                           batch_ops=True)).setup()
+        try:
+            assert scenario.genie.batch_trigger_ops
+            assert scenario.genie.trigger_op_queue is not None
+            assert scenario.app.batch_reads
+        finally:
+            scenario.teardown()
+
+    def test_default_scenario_stays_eager(self):
+        scenario = Scenario(ScenarioConfig(name=UPDATE_SCENARIO,
+                                           seed_scale=TINY)).setup()
+        try:
+            assert not scenario.genie.batch_trigger_ops
+            assert scenario.genie.trigger_op_queue is None
+            assert not scenario.app.batch_reads
+        finally:
+            scenario.teardown()
+
+
+class TestBatchingAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiment_batching(workload=SMALL_WORKLOAD)
+
+    def test_batched_mode_halves_round_trips(self, result):
+        """Acceptance: >= 2x fewer recorded cache round trips with batching."""
+        assert result.round_trips[UNBATCHED] > 0
+        assert result.round_trips[BATCHED] > 0
+        assert result.round_trip_reduction >= 2.0
+
+    def test_batched_mode_actually_batches(self, result):
+        batched = result.events[BATCHED]
+        assert batched["cache_gets"] == 0
+        assert batched["cache_multi_gets"] > 0
+        assert batched["trigger_cache_ops"] == 0
+        assert batched["trigger_cache_batches"] > 0
+        eager = result.events[UNBATCHED]
+        assert eager["cache_multi_gets"] == 0
+        assert eager["trigger_cache_batches"] == 0
+
+    def test_batched_mode_amortizes_trigger_connections(self, result):
+        assert (result.events[BATCHED]["trigger_connections"]
+                < result.events[UNBATCHED]["trigger_connections"])
+
+    def test_cache_stays_warm_in_both_modes(self, result):
+        for mode in (UNBATCHED, BATCHED):
+            assert result.cache_hit_ratio[mode] > 0.5
+
+    def test_render(self, result):
+        out = render_experiment_batching(result)
+        assert "TOTAL round trips" in out
+        assert "Round-trip reduction" in out
+        assert "Unbatched" in out and "Batched" in out
+
+
+class TestCli:
+    def test_exp_batch_registered_with_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["exp-batch"])
+        assert args.batch_ops == "both"
+        args = parser.parse_args(["exp-batch", "--batch-ops", "on"])
+        assert args.batch_ops == "on"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["exp-batch", "--batch-ops", "sideways"])
+
+    def test_exp_batch_help_documents_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exp-batch", "--help"])
+        out = capsys.readouterr().out
+        assert "--batch-ops" in out
+        assert "batched protocol" in out

@@ -1,0 +1,215 @@
+"""Batched multi-key protocol: grouping, round-trip accounting, stat fixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CacheKeyError
+from repro.memcache import CacheClient, CacheServer, hashring
+from repro.memcache.item import sizeof_value
+from repro.storage.costmodel import Recorder
+
+
+def make_client(server_count=2, recorder=None, **kwargs):
+    servers = [CacheServer(f"s{i}") for i in range(server_count)]
+    return CacheClient(servers, recorder=recorder or Recorder(), **kwargs), servers
+
+
+class TestServerMultiOps:
+    def test_get_multi_returns_hits_and_counts_per_key(self):
+        server = CacheServer("m0")
+        server.set("a", 1)
+        server.set("b", 2)
+        assert server.get_multi(["a", "b", "c"]) == {"a": 1, "b": 2}
+        assert server.stats.gets == 3
+        assert server.stats.hits == 2
+        assert server.stats.misses == 1
+
+    def test_set_multi_stores_everything(self):
+        server = CacheServer("m0")
+        assert server.set_multi({"a": 1, "b": 2}) == []
+        assert server.get("a") == 1
+        assert server.get("b") == 2
+        assert server.stats.sets == 2
+
+    def test_set_multi_reports_oversized_keys(self):
+        server = CacheServer("m0", max_item_bytes=256)
+        failed = server.set_multi({"small": 1, "big": "x" * 1024})
+        assert failed == ["big"]
+        assert server.get("small") == 1
+
+    def test_delete_multi_returns_existing_keys(self):
+        server = CacheServer("m0")
+        server.set("a", 1)
+        assert server.delete_multi(["a", "missing"]) == ["a"]
+        assert server.get("a") is None
+
+    def test_multi_ops_validate_keys(self):
+        server = CacheServer("m0")
+        with pytest.raises(CacheKeyError):
+            server.get_multi(["ok", "has space"])
+        with pytest.raises(CacheKeyError):
+            server.set_multi({"": 1})
+        with pytest.raises(CacheKeyError):
+            server.delete_multi(["bad\nkey"])
+
+
+class TestDecrAccountingFixes:
+    def test_server_decr_validates_key(self):
+        server = CacheServer("m0")
+        with pytest.raises(CacheKeyError):
+            server.decr("has space")
+
+    def test_server_decr_uses_decr_counters(self):
+        server = CacheServer("m0")
+        server.set("n", 10)
+        assert server.decr("n", 3) == 7
+        assert server.decr("missing") is None
+        server.set("text", "not-an-int")
+        assert server.decr("text") is None
+        assert server.stats.decr_ok == 1
+        assert server.stats.decr_miss == 2
+        # decr outcomes must no longer pollute the incr counters.
+        assert server.stats.incr_ok == 0
+        assert server.stats.incr_miss == 0
+
+    def test_client_decr_mirrors_incr_accounting(self):
+        client, _ = make_client(1)
+        client.set("n", 10)
+        assert client.decr("n", 4) == 6
+        assert client.decr("missing") is None
+        assert client.stats.decr_ok == 1
+        assert client.stats.decr_miss == 1
+
+
+class TestWriteAccountingFixes:
+    def test_client_add_charges_bytes_moved(self):
+        recorder = Recorder()
+        client, _ = make_client(1, recorder=recorder)
+        client.add("k", "payload")
+        assert recorder.total.cache_bytes_moved > 0
+
+    def test_server_cas_success_counts_as_set(self):
+        server = CacheServer("m0")
+        server.set("k", "v1")
+        assert server.stats.sets == 1
+        _value, token = server.gets("k")
+        assert server.cas("k", "v2", token)
+        assert server.stats.sets == 2
+        # A failed CAS stores nothing and must not count.
+        assert not server.cas("k", "v3", token)
+        assert server.stats.sets == 2
+
+
+class TestHashRingGrouping:
+    def test_virtual_node_collision_nudges_to_free_point(self, monkeypatch):
+        monkeypatch.setattr(hashring, "_hash", lambda value: 100)
+        ring = hashring.HashRing(["a", "b"], replicas=2)
+        # Every virtual node hashes to 100; the nudge walks to the next free
+        # points instead of silently overwriting earlier nodes.
+        assert ring._ring == {100: "a", 101: "a", 102: "b", 103: "b"}
+        assert ring._sorted_points == [100, 101, 102, 103]
+        # All keys hash to 100 too; bisect_right lands on point 101 -> "a".
+        assert ring.server_for("any-key") == "a"
+
+    def test_group_by_server_matches_ring_assignment(self):
+        client, servers = make_client(3)
+        keys = [f"k:{i}" for i in range(60)]
+        batches = client._group_by_server(keys)
+        assert sum(len(batch) for batch in batches.values()) == 60
+        assert len(batches) > 1  # 60 keys spread over several servers
+        for server_name, batch in batches.items():
+            for key in batch:
+                assert client.ring.server_for(key) == server_name
+
+    def test_group_by_server_drops_duplicates_preserving_order(self):
+        client, _ = make_client(1)
+        batches = client._group_by_server(["a", "b", "a", "c", "b"])
+        assert list(batches.values())[0] == ["a", "b", "c"]
+
+
+class TestClientMultiOpAccounting:
+    def test_get_multi_charges_one_round_trip_per_server_batch(self):
+        recorder = Recorder()
+        client, _ = make_client(2, recorder=recorder)
+        keys = [f"key:{i}" for i in range(20)]
+        for key in keys[:10]:
+            client.set(key, "v")
+        before = recorder.total.copy()
+        found = client.get_multi(keys)
+        assert set(found) == set(keys[:10])
+        batches = len(client._group_by_server(keys))
+        assert 1 <= batches <= 2
+        assert recorder.total.cache_multi_gets - before.cache_multi_gets == batches
+        # No per-key single-op round trips were charged...
+        assert recorder.total.cache_gets == before.cache_gets
+        # ...but hit/miss outcomes still count per key.
+        assert recorder.total.cache_hits - before.cache_hits == 10
+        assert recorder.total.cache_misses - before.cache_misses == 10
+        assert client.stats.hits == 10
+        assert client.stats.misses == 10
+
+    def test_set_and_delete_multi_round_trip_accounting(self):
+        recorder = Recorder()
+        client, _ = make_client(2, recorder=recorder)
+        mapping = {f"key:{i}": i for i in range(12)}
+        batches = len(client._group_by_server(list(mapping)))
+        assert client.set_multi(mapping) == []
+        assert recorder.total.cache_multi_sets == batches
+        assert recorder.total.cache_sets == 0
+        assert recorder.total.cache_bytes_moved > 0
+        assert client.stats.sets == 12
+        deleted = client.delete_multi(list(mapping))
+        assert sorted(deleted) == sorted(mapping)
+        assert recorder.total.cache_multi_deletes == batches
+        assert recorder.total.cache_deletes == 0
+
+    def test_set_multi_failed_keys_excluded_from_set_accounting(self):
+        recorder = Recorder()
+        servers = [CacheServer("s0", max_item_bytes=256)]
+        client = CacheClient(servers, recorder=recorder)
+        failed = client.set_multi({"small": 1, "big": "x" * 1024})
+        assert failed == ["big"]
+        # Parity with single-op set(): the refused store counts nothing.
+        assert client.stats.sets == 1
+        assert recorder.total.cache_bytes_moved == sizeof_value(1)
+
+    def test_empty_multi_ops_charge_nothing(self):
+        recorder = Recorder()
+        client, _ = make_client(2, recorder=recorder)
+        assert client.get_multi([]) == {}
+        assert client.set_multi({}) == []
+        assert client.delete_multi([]) == []
+        assert recorder.total.cache_multi_gets == 0
+        assert recorder.total.cache_multi_sets == 0
+        assert recorder.total.cache_multi_deletes == 0
+
+    def test_trigger_context_batches_and_single_connection(self):
+        recorder = Recorder()
+        client, _ = make_client(2, recorder=recorder, from_trigger=True)
+        keys = [f"key:{i}" for i in range(8)]
+        client.reset_connection()
+        client.get_multi(keys)
+        client.set_multi({k: 1 for k in keys})
+        total = recorder.total
+        # Every batch charges the trigger-side batch event, never the
+        # application-side multi counters.
+        assert total.trigger_cache_batches >= 2
+        assert total.cache_multi_gets == 0
+        assert total.cache_multi_sets == 0
+        # Per-key marshalling is still accounted (16 keys overall).
+        assert total.trigger_cache_batch_ops == 16
+        # However many batches flowed, the flush opened one connection.
+        assert total.trigger_connections == 1
+
+    def test_multi_get_round_trips_beat_single_gets(self):
+        """The headline ≥2x claim at the client level: n keys, few batches."""
+        recorder = Recorder()
+        client, _ = make_client(2, recorder=recorder)
+        keys = [f"key:{i}" for i in range(30)]
+        client.set_multi({k: "v" for k in keys})
+        before = recorder.total.copy()
+        client.get_multi(keys)
+        multi_trips = recorder.total.cache_round_trips - before.cache_round_trips
+        single_trips = len(keys)  # what a per-key loop would have charged
+        assert multi_trips * 2 <= single_trips
