@@ -14,7 +14,7 @@ Run with::
     python examples/consistency_strategies.py
 """
 
-from repro.core import (CacheGenie, TransactionalCacheSession,
+from repro.core import (CacheGenie, Param, TransactionalCacheSession,
                         TwoPhaseLockingCoordinator, WouldBlock)
 from repro.errors import DeadlockError
 from repro.memcache import CacheClient, CacheServer
@@ -54,9 +54,13 @@ def compare_strategies() -> None:
     strategies = ("update-in-place", "invalidate", "expiry")
     print("strategy comparison (cached count of a player's scores)\n")
     for strategy in strategies:
+        # All three declarations share one query shape (the count of a
+        # player's scores), and CacheGenie rejects two live cached objects
+        # with the same shape — so each strategy's object is removed before
+        # the next one is declared.
         cached = genie.cacheable(
-            cache_class_type="CountQuery", name=f"score_count_{strategy}",
-            main_model="Score", where_fields=["player_id"],
+            Score.objects.filter(player_id=Param("player_id")).count(),
+            name=f"score_count_{strategy}",
             update_strategy=strategy, expiry_seconds=60,
             use_transparently=False)
         player = players[0]
@@ -67,6 +71,7 @@ def compare_strategies() -> None:
         print(f"  {strategy:16s} cached-before={before}  "
               f"cache-entry-after-write={in_cache!r}  next-read={after}")
         Score.objects.filter(player_id=player.pk, points=99).delete()
+        genie.remove_cached_object(cached.name)
 
     print("\n(update-in-place keeps the entry fresh; invalidate drops it so the\n"
           " next read recomputes; expiry leaves it stale until the TTL fires.)")

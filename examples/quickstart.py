@@ -2,12 +2,18 @@
 """Quickstart: declare models, add one ``cacheable`` line, and watch CacheGenie
 keep memcached consistent through database triggers.
 
+The declaration is queryset-native: you hand ``cacheable()`` the ORM query
+you already write, with ``Param(...)`` marking the per-entry parameter, and
+CacheGenie infers the cache class from the query's shape (here a plain
+equality filter, so a FeatureQuery).  No strings to mistype — a bad field
+name fails right at the declaration.
+
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro.core import CacheGenie
+from repro.core import CacheGenie, Param
 from repro.memcache import CacheServer
 from repro.orm import CharField, ForeignKey, Model, Registry, TextField
 from repro.storage import Database
@@ -45,13 +51,13 @@ def main() -> None:
                        cache_servers=[CacheServer("cache0")]).activate()
 
     # The paper's example: cache each user's profile row, keyed by user_id.
+    # The queryset IS the declaration; Param("user_id") marks the cache key.
     cached_user_profile = genie.cacheable(
-        cache_class_type="FeatureQuery",
-        main_model="Profile",            # Main model to cache
-        where_fields=["user_id"],        # Indexing column
+        Profile.objects.filter(user_id=Param("user_id")),
         update_strategy="update-in-place",
         use_transparently=True,
     )
+    print("inferred cache class:", type(cached_user_profile).__name__)
 
     # -----------------------------------------------------------------------
     # 3. Use the ORM exactly as before — no cache-management code anywhere.

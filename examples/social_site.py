@@ -33,12 +33,16 @@ def main() -> None:
                                       max_friends_per_user=10))
     print("seeded:", summary.as_dict())
 
-    # 2. The CacheGenie port: 14 cacheable() calls, nothing else changes.
+    # 2. The CacheGenie port: 14 queryset-native cacheable() calls — each one
+    # is the ORM query itself, and the cache class is inferred from its shape.
     genie = CacheGenie(registry=social_registry, database=database,
                        cache_servers=[CacheServer("cache0"), CacheServer("cache1")]
                        ).activate()
     cached = install_cached_objects(genie)
     print("\nprogrammer effort:", genie.effort_report())
+    print("\ninferred cache classes:")
+    for name, info in sorted(genie.declaration_report().items()):
+        print(f"  {name:30s} -> {info['cache_class']:14s} ({info['api']})")
 
     # 3. Browse the site the way the evaluation workload does.
     app = SocialApplication(cached_objects=cached, rng=random.Random(7))

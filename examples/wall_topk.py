@@ -12,7 +12,7 @@ Run with::
 """
 
 from repro.apps.social import User, WallPost, social_registry
-from repro.core import CacheGenie
+from repro.core import CacheGenie, Param
 from repro.memcache import CacheServer
 from repro.storage import Database
 
@@ -32,11 +32,11 @@ def main() -> None:
     genie = CacheGenie(registry=social_registry, database=database,
                        cache_servers=[CacheServer("cache0")]).activate()
 
-    # The cached-object definition straight out of the paper:
+    # The cached-object definition is the Top-K queryset itself: the ordering
+    # and the [:20] slice are what make CacheGenie infer a TopKQuery (K=20).
     latest_wall_posts = genie.cacheable(
-        cache_class_type="TopKQuery",
-        main_model="WallPost", where_fields=["user_id"],
-        sort_field="date_posted", sort_order="descending", k=20)
+        WallPost.objects.filter(user_id=Param("user_id"))
+        .order_by("-date_posted")[:20])
 
     print("generated triggers on the wall table:")
     for trigger in database.triggers.list_triggers("wall_post"):

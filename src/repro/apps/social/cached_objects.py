@@ -2,16 +2,22 @@
 
 Porting Pinax to CacheGenie consisted of adding 14 ``cacheable`` definitions
 (§5.2) — "adding each cached object is just a call to the function cacheable
-with the correct parameters".  This module is that port: 14 definitions for
-the frequent and/or expensive queries behind the four page types.
+with the correct parameters".  This module is that port, expressed in the
+queryset-native form: each declaration *is* the ORM query it caches, with
+``Param(...)`` marking the per-entry parameter, and the cache class inferred
+from the query's shape (plain filter → FeatureQuery, ``.count()`` →
+CountQuery, ``.order_by(...)[:k]`` → TopKQuery, ``.through(...)`` →
+LinkQuery).
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
-from ...core import CacheGenie, ChainStep
+from ...core import CacheGenie, Param
 from ...core.cache_classes.base import CacheClass
+from .models import (BookmarkInstance, Friendship, FriendshipInvitation,
+                     Profile, User, WallPost)
 
 
 def install_cached_objects(genie: CacheGenie,
@@ -31,74 +37,71 @@ def install_cached_objects(genie: CacheGenie,
     # -- profiles app ---------------------------------------------------------
     # 1. A user's profile row (the paper's running FeatureQuery example).
     cached["user_profile"] = genie.cacheable(
-        cache_class_type="FeatureQuery", name="user_profile",
-        main_model="Profile", where_fields=["user_id"], **kwargs)
+        Profile.objects.filter(user_id=Param("user_id")),
+        name="user_profile", **kwargs)
     # 2. The account row itself (login looks it up by primary key).
     cached["user_by_id"] = genie.cacheable(
-        cache_class_type="FeatureQuery", name="user_by_id",
-        main_model="User", where_fields=["id"], **kwargs)
+        User.objects.filter(id=Param("id")),
+        name="user_by_id", **kwargs)
 
     # -- friends app ----------------------------------------------------------
     # 3. Outgoing friendship edges of a user.
     cached["friendships_of_user"] = genie.cacheable(
-        cache_class_type="FeatureQuery", name="friendships_of_user",
-        main_model="Friendship", where_fields=["from_user_id"], **kwargs)
+        Friendship.objects.filter(from_user_id=Param("from_user_id")),
+        name="friendships_of_user", **kwargs)
     # 4. Pending invitations received by a user.
     cached["invitations_to_user"] = genie.cacheable(
-        cache_class_type="FeatureQuery", name="invitations_to_user",
-        main_model="FriendshipInvitation", where_fields=["to_user_id"], **kwargs)
+        FriendshipInvitation.objects.filter(to_user_id=Param("to_user_id")),
+        name="invitations_to_user", **kwargs)
     # 5. Number of friends (displayed on every page header).
     cached["friend_count"] = genie.cacheable(
-        cache_class_type="CountQuery", name="friend_count",
-        main_model="Friendship", where_fields=["from_user_id"], **kwargs)
+        Friendship.objects.filter(from_user_id=Param("from_user_id")).count(),
+        name="friend_count", **kwargs)
     # 6. Number of pending invitations (the "requests" badge).
     cached["pending_invitation_count"] = genie.cacheable(
-        cache_class_type="CountQuery", name="pending_invitation_count",
-        main_model="FriendshipInvitation", where_fields=["to_user_id"], **kwargs)
+        FriendshipInvitation.objects.filter(to_user_id=Param("to_user_id")).count(),
+        name="pending_invitation_count", **kwargs)
     # 7. The list of a user's friends (join through the friendship table).
     cached["friends_of_user"] = genie.cacheable(
-        cache_class_type="LinkQuery", name="friends_of_user",
-        main_model="Friendship", where_fields=["from_user_id"],
-        chain=[ChainStep.forward("to_user")],
-        use_transparently=False, **kwargs)
+        Friendship.objects.filter(from_user_id=Param("from_user_id"))
+        .through("to_user"),
+        name="friends_of_user", use_transparently=False, **kwargs)
 
     # -- bookmarks app ----------------------------------------------------------
     # 8. A user's saved bookmarks (list page).
     cached["bookmarks_of_user"] = genie.cacheable(
-        cache_class_type="FeatureQuery", name="bookmarks_of_user",
-        main_model="BookmarkInstance", where_fields=["user_id"], **kwargs)
+        BookmarkInstance.objects.filter(user_id=Param("user_id")),
+        name="bookmarks_of_user", **kwargs)
     # 9. How many users saved a given unique bookmark.
     cached["bookmark_save_count"] = genie.cacheable(
-        cache_class_type="CountQuery", name="bookmark_save_count",
-        main_model="BookmarkInstance", where_fields=["bookmark_id"], **kwargs)
+        BookmarkInstance.objects.filter(bookmark_id=Param("bookmark_id")).count(),
+        name="bookmark_save_count", **kwargs)
     # 10. How many bookmarks a user has saved.
     cached["user_bookmark_count"] = genie.cacheable(
-        cache_class_type="CountQuery", name="user_bookmark_count",
-        main_model="BookmarkInstance", where_fields=["user_id"], **kwargs)
+        BookmarkInstance.objects.filter(user_id=Param("user_id")).count(),
+        name="user_bookmark_count", **kwargs)
     # 11. The user's latest bookmarks (Top-K by added time).
     cached["latest_bookmarks"] = genie.cacheable(
-        cache_class_type="TopKQuery", name="latest_bookmarks",
-        main_model="BookmarkInstance", where_fields=["user_id"],
-        sort_field="added", sort_order="descending", k=10, **kwargs)
+        BookmarkInstance.objects.filter(user_id=Param("user_id"))
+        .order_by("-added")[:10],
+        name="latest_bookmarks", **kwargs)
     # 12. Bookmarks created by a user's friends (LookupFBM's join query).
     cached["friend_bookmarks"] = genie.cacheable(
-        cache_class_type="LinkQuery", name="friend_bookmarks",
-        main_model="Friendship", where_fields=["from_user_id"],
-        chain=[ChainStep.forward("to_user"),
-               ChainStep.reverse("BookmarkInstance", "user")],
-        order_by="added", descending=True,
-        use_transparently=False, **kwargs)
+        Friendship.objects.filter(from_user_id=Param("from_user_id"))
+        .through("to_user", ("reverse", "BookmarkInstance", "user"))
+        .order_by("-added"),
+        name="friend_bookmarks", use_transparently=False, **kwargs)
 
     # -- wall -------------------------------------------------------------------
     # 13. Latest posts on a user's wall (the §3.2 Top-K example, K=20).
     cached["latest_wall_posts"] = genie.cacheable(
-        cache_class_type="TopKQuery", name="latest_wall_posts",
-        main_model="WallPost", where_fields=["user_id"],
-        sort_field="date_posted", sort_order="descending", k=20, **kwargs)
+        WallPost.objects.filter(user_id=Param("user_id"))
+        .order_by("-date_posted")[:20],
+        name="latest_wall_posts", **kwargs)
     # 14. Number of posts on a user's wall.
     cached["wall_post_count"] = genie.cacheable(
-        cache_class_type="CountQuery", name="wall_post_count",
-        main_model="WallPost", where_fields=["user_id"], **kwargs)
+        WallPost.objects.filter(user_id=Param("user_id")).count(),
+        name="wall_post_count", **kwargs)
 
     return cached
 

@@ -516,6 +516,10 @@ class EffortResult:
     generated_triggers: int
     generated_trigger_lines: int
     application_lines_changed: int
+    #: Declarations using the queryset-native cacheable(queryset) form.
+    queryset_declarations: int = 0
+    #: Declarations still on the legacy cacheable(cache_class_type=...) form.
+    legacy_keyword_declarations: int = 0
 
 
 def programmer_effort(scale: Optional[SeedScale] = None) -> EffortResult:
@@ -534,6 +538,8 @@ def programmer_effort(scale: Optional[SeedScale] = None) -> EffortResult:
             generated_triggers=report["generated_triggers"],
             generated_trigger_lines=report["generated_trigger_lines"],
             application_lines_changed=lines_changed,
+            queryset_declarations=report["queryset_declarations"],
+            legacy_keyword_declarations=report["legacy_keyword_declarations"],
         )
     finally:
         scenario.teardown()

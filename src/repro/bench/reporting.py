@@ -193,6 +193,8 @@ def render_effort(result: EffortResult) -> str:
     headers = ["Metric", "This reproduction", "Paper (§5.2)"]
     rows = [
         ["Cached objects defined", result.cached_objects, 14],
+        ["  declared queryset-native (inferred)", result.queryset_declarations, "-"],
+        ["  declared via legacy keywords", result.legacy_keyword_declarations, "-"],
         ["Application lines changed", result.application_lines_changed, "~20"],
         ["Generated triggers", result.generated_triggers, 48],
         ["Generated trigger lines of code", result.generated_trigger_lines, "~1720"],

@@ -6,6 +6,7 @@ generation, transparent ORM interception, and the §3.3 full-consistency
 extension.
 """
 
+from ..orm.template import Param, QueryTemplate
 from .cache_classes import (BUILTIN_CACHE_CLASSES, CacheClass, ChainStep,
                             CountQuery, FeatureQuery, LinkQuery, TopKQuery,
                             TriggerSpec)
@@ -13,7 +14,7 @@ from .cache_classes.base import evaluate_many
 from .interception import CacheGenieInterceptor
 from .keys import KeyScheme
 from .manager import CacheGenie, cacheable
-from .stats import CachedObjectStats, CacheGenieStats
+from .stats import CachedObjectStats, CacheGenieStats, DeclarationInfo
 from .strategies import EXPIRY, INVALIDATE, UPDATE_IN_PLACE
 from .trigger_queue import TriggerOpQueue
 from .triggergen import TriggerGenerator, render_trigger_source
@@ -29,11 +30,14 @@ __all__ = [
     "CachedObjectStats",
     "ChainStep",
     "CountQuery",
+    "DeclarationInfo",
     "EXPIRY",
     "FeatureQuery",
     "INVALIDATE",
     "KeyScheme",
     "LinkQuery",
+    "Param",
+    "QueryTemplate",
     "TopKQuery",
     "TransactionalCacheSession",
     "TriggerGenerator",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ...errors import CacheClassError
+from ...orm.template import QueryTemplate
 from ..keys import KeyScheme, fingerprint
 from ..serializer import freeze_rows, freeze_value, thaw_rows
 from ..stats import CachedObjectStats
@@ -61,6 +62,7 @@ class CacheClass:
         update_strategy: str = UPDATE_IN_PLACE,
         use_transparently: bool = True,
         expiry_seconds: Optional[float] = None,
+        template: Optional[QueryTemplate] = None,
     ) -> None:
         if not where_fields:
             raise CacheClassError(
@@ -79,6 +81,9 @@ class CacheClass:
         self.use_transparently = use_transparently
         self.stats = CachedObjectStats()
         self.keys = KeyScheme(name, self._fingerprint())
+        #: The normalized query shape; built lazily (after subclass __init__
+        #: has set shape attributes) when not supplied by the declaration.
+        self._declared_template = template
 
     # -- helpers ---------------------------------------------------------------
 
@@ -130,12 +135,6 @@ class CacheClass:
     def key_from_row(self, row: Dict[str, Any]) -> str:
         """Build the cache key from a main-table row's values."""
         return self.keys.key_for([row.get(c) for c in self.where_fields])
-
-    def _params_from_filters(self, filters: Dict[str, Any]) -> Optional[Dict[str, Any]]:
-        """Extract where-field parameters from normalized query filters."""
-        if set(filters.keys()) != set(self.where_fields):
-            return None
-        return {column: filters[column] for column in self.where_fields}
 
     # -- step 1: query generation (subclass responsibility) --------------------
 
@@ -242,9 +241,31 @@ class CacheClass:
 
     # -- transparent interception -------------------------------------------------
 
+    @property
+    def template(self) -> QueryTemplate:
+        """The :class:`QueryTemplate` describing this object's query shape.
+
+        Queryset-native declarations pass the template in; the legacy keyword
+        form (and direct construction) derives an equivalent one here, so
+        *both* declaration styles and interception share one shape definition.
+        """
+        if self._declared_template is None:
+            self._declared_template = self._build_template()
+        return self._declared_template
+
+    def _build_template(self) -> QueryTemplate:
+        """Derive the query shape from this object's declaration parameters."""
+        return QueryTemplate(model=self.main_model, kind="select",
+                             param_fields=tuple(self.where_fields))
+
     def matches(self, description: "QueryDescription") -> Optional[Dict[str, Any]]:
-        """Return evaluate() parameters if this object can satisfy the query."""
-        raise NotImplementedError
+        """Return evaluate() parameters if this object can satisfy the query.
+
+        Matching is delegated to :meth:`QueryTemplate.match` — the same
+        normalization the declaration produced — so the set of intercepted
+        queries is exactly the declared shape.
+        """
+        return self.template.match(description)
 
     def result_for_application(self, value: Any,
                                description: "QueryDescription") -> Any:

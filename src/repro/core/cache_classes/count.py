@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, TYPE_CHECKING
 
+from ...orm.template import QueryTemplate
 from ...storage.predicates import predicate_from_filters
 from ...storage.query import CountQuery as StorageCountQuery
 from ..serializer import freeze_value
@@ -45,12 +46,9 @@ class CountQuery(CacheClass):
 
     # -- transparent interception ----------------------------------------------------
 
-    def matches(self, description: "QueryDescription") -> Optional[Dict[str, Any]]:
-        if description.kind != "count":
-            return None
-        if description.table != self.main_table:
-            return None
-        return self._params_from_filters(description.filters)
+    def _build_template(self) -> QueryTemplate:
+        return QueryTemplate(model=self.main_model, kind="count",
+                             param_fields=tuple(self.where_fields))
 
     def result_for_application(self, value: int,
                                description: "QueryDescription") -> int:

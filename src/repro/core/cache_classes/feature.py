@@ -37,14 +37,9 @@ class FeatureQuery(CacheClass):
 
     # -- transparent interception --------------------------------------------------
 
-    def matches(self, description: "QueryDescription") -> Optional[Dict[str, Any]]:
-        if description.kind != "select":
-            return None
-        if description.table != self.main_table:
-            return None
-        if description.offset:
-            return None
-        return self._params_from_filters(description.filters)
+    # matches() comes from the base class: the inherited feature-shaped
+    # template accepts any ordering/limit, which result_for_application()
+    # applies to the cached row set below.
 
     def result_for_application(self, value: List[Dict[str, Any]],
                                description: "QueryDescription") -> Any:

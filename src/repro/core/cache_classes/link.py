@@ -23,10 +23,10 @@ schemes, §2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ...errors import CacheClassError
+from ...orm.template import ChainStep, QueryTemplate, coerce_chain_step
 from ...storage.predicates import predicate_from_filters
 from ...storage.query import Join, OrderBy, SelectQuery
 from .base import CacheClass
@@ -34,37 +34,7 @@ from .base import CacheClass
 if TYPE_CHECKING:  # pragma: no cover
     from ...orm.queryset import QueryDescription
 
-
-@dataclass
-class ChainStep:
-    """One relationship hop in a LinkQuery chain.
-
-    * ``forward`` — the current model has a ForeignKey named ``field`` whose
-      target is the next model (``current.field_id == next.pk``).
-    * ``reverse`` — the next model (``model_name``) has a ForeignKey named
-      ``field`` pointing back at the current model
-      (``next.field_id == current.pk``).
-    """
-
-    direction: str
-    field: str
-    model_name: Optional[str] = None
-
-    @classmethod
-    def forward(cls, field: str) -> "ChainStep":
-        return cls(direction="forward", field=field)
-
-    @classmethod
-    def reverse(cls, model_name: str, field: str) -> "ChainStep":
-        return cls(direction="reverse", field=field, model_name=model_name)
-
-    def __post_init__(self) -> None:
-        if self.direction not in ("forward", "reverse"):
-            raise CacheClassError(
-                f"invalid chain step direction {self.direction!r}"
-            )
-        if self.direction == "reverse" and not self.model_name:
-            raise CacheClassError("reverse chain steps must name the next model")
+__all__ = ["ChainStep", "LinkQuery"]
 
 
 class LinkQuery(CacheClass):
@@ -81,7 +51,7 @@ class LinkQuery(CacheClass):
             raise CacheClassError(
                 f"LinkQuery {self.name!r} requires a non-empty relationship chain"
             )
-        self.chain = [self._coerce_step(step) for step in chain]
+        self.chain = [coerce_chain_step(step) for step in chain]
         self.limit = limit
         self.descending = descending
         #: Models along the chain, index 0 = base model.
@@ -101,17 +71,6 @@ class LinkQuery(CacheClass):
         self.order_column = (
             self._resolve_column(self.result_model, order_by) if order_by else None
         )
-
-    @staticmethod
-    def _coerce_step(step: Any) -> ChainStep:
-        if isinstance(step, ChainStep):
-            return step
-        if isinstance(step, (tuple, list)):
-            if len(step) == 2 and step[0] == "forward":
-                return ChainStep.forward(step[1])
-            if len(step) == 3 and step[0] == "reverse":
-                return ChainStep.reverse(step[1], step[2])
-        raise CacheClassError(f"invalid chain step {step!r}")
 
     def _fingerprint(self) -> str:
         # Include the chain (set lazily after __init__ of the base class runs,
@@ -164,11 +123,17 @@ class LinkQuery(CacheClass):
 
     # -- transparent interception ---------------------------------------------------
 
-    def matches(self, description: "QueryDescription") -> Optional[Dict[str, Any]]:
-        # Our ORM QuerySets are single-table, so LinkQuery results are fetched
+    def _build_template(self) -> QueryTemplate:
+        # The chain makes template.match() always decline: single-table ORM
+        # querysets cannot express joins, so LinkQuery results are fetched
         # through evaluate() (explicit use), exactly like the paper's opt-out
-        # path.  Interception is therefore never triggered for LinkQuery.
-        return None
+        # path.
+        order_by = ((self.order_column, self.descending),) if self.order_column else ()
+        return QueryTemplate(
+            model=self.main_model, kind="select",
+            param_fields=tuple(self.where_fields),
+            order_by=order_by, limit=self.limit, chain=tuple(self.chain),
+        )
 
     # -- trigger generation ------------------------------------------------------------
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from ...errors import CacheClassError
+from ...orm.template import QueryTemplate
 from ...storage.predicates import predicate_from_filters
 from ...storage.query import OrderBy, SelectQuery
 from .base import CacheClass
@@ -62,21 +63,13 @@ class TopKQuery(CacheClass):
 
     # -- transparent interception ---------------------------------------------------
 
-    def matches(self, description: "QueryDescription") -> Optional[Dict[str, Any]]:
-        if description.kind != "select":
-            return None
-        if description.table != self.main_table:
-            return None
-        if description.offset:
-            return None
-        if description.limit is None or description.limit > self.k:
-            return None
-        if len(description.order_by) != 1:
-            return None
-        column, descending = description.order_by[0]
-        if column != self.sort_column or descending != self.descending:
-            return None
-        return self._params_from_filters(description.filters)
+    def _build_template(self) -> QueryTemplate:
+        # limit == k encodes the Top-K shape: match() accepts queries wanting
+        # the same ordering and at most K rows.
+        return QueryTemplate(model=self.main_model, kind="select",
+                             param_fields=tuple(self.where_fields),
+                             order_by=((self.sort_column, self.descending),),
+                             limit=self.k)
 
     def result_for_application(self, value: List[Dict[str, Any]],
                                description: "QueryDescription") -> Any:

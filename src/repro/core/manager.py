@@ -2,11 +2,30 @@
 
 A :class:`CacheGenie` instance wires together one ORM registry, its database,
 and a set of memcached servers.  Programmers declare cached objects through
-:meth:`cacheable` (the paper's API); CacheGenie then
+:meth:`cacheable`; CacheGenie then
 
 * builds the cache-class instance (query generation),
 * generates and installs the database triggers (trigger generation), and
 * registers the object with the ORM interceptor (transparent evaluation).
+
+The primary declaration form is **queryset-native**: pass the ORM query you
+already write, with :class:`~repro.orm.template.Param` placeholders marking
+the per-entry parameters, and the cache class is inferred from the query's
+shape::
+
+    genie.cacheable(Profile.objects.filter(user_id=Param("user_id")))   # FeatureQuery
+    genie.cacheable(Friendship.objects.filter(
+        from_user_id=Param("u")).count())                               # CountQuery
+    genie.cacheable(WallPost.objects.filter(
+        user_id=Param("u")).order_by("-date_posted")[:20])              # TopKQuery
+    genie.cacheable(Friendship.objects.filter(
+        from_user_id=Param("u")).through("to_user"))                    # LinkQuery
+
+The paper's original keyword form
+(``cacheable(cache_class_type=..., main_model=..., where_fields=...)``)
+remains as a thin adapter that builds the same :class:`QueryTemplate`
+internally; its use is tallied as a deprecation-style note in
+:meth:`CacheGenie.effort_report`.
 
 The module-level :func:`cacheable` mirrors the paper's free function: it
 forwards to the currently activated CacheGenie instance.
@@ -19,14 +38,25 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from ..errors import CacheClassError
 from ..memcache.client import CacheClient
 from ..memcache.server import CacheServer
+from ..orm.queryset import QuerySet
 from ..orm.registry import Registry
+from ..orm.template import QueryTemplate
 from ..storage.database import Database
 from .cache_classes import BUILTIN_CACHE_CLASSES, CacheClass
 from .interception import CacheGenieInterceptor
-from .stats import CacheGenieStats
+from .stats import CacheGenieStats, DeclarationInfo
 from .strategies import UPDATE_IN_PLACE
 from .trigger_queue import TriggerOpQueue
 from .triggergen import TriggerGenerator
+
+
+#: Keywords that define a query's shape.  In the queryset-native form they
+#: are inferred from the queryset and may not be overridden per-object.
+_SHAPE_KEYWORDS = frozenset({
+    "cache_class_type", "main_model", "where_fields",   # legacy-form keys
+    "k", "sort_field", "sort_order",                    # TopKQuery shape
+    "chain", "order_by", "descending", "limit",         # LinkQuery shape
+})
 
 
 class CacheGenie:
@@ -61,6 +91,8 @@ class CacheGenie:
         self.cached_objects: Dict[str, CacheClass] = {}
         self.stats = CacheGenieStats()
         self._custom_cache_classes: Dict[str, type] = {}
+        #: shape fingerprint -> cached-object name, for duplicate detection.
+        self._shapes: Dict[str, str] = {}
         self._activated = False
         #: Commit-time trigger-op batching: trigger-side cache operations
         #: enqueue here (coalescing per key) and flush as multi-key batches
@@ -122,7 +154,93 @@ class CacheGenie:
 
     # -- the cacheable() API --------------------------------------------------------
 
-    def cacheable(
+    def cacheable(self, query: Any = None, *legacy_args: Any,
+                  **kwargs: Any) -> CacheClass:
+        """Declare a cached object.
+
+        Two forms are accepted:
+
+        * **Queryset-native** (preferred) — pass a queryset template (or the
+          :class:`QueryTemplate` a template's ``.count()`` returns) whose
+          ``Param(...)`` placeholders become the per-entry parameters; the
+          cache class is inferred from the query shape::
+
+              genie.cacheable(Profile.objects.filter(user_id=Param("user_id")))
+
+        * **Legacy keywords** — the paper's original stringly-typed call
+          (``cache_class_type=..., main_model=..., where_fields=[...]``),
+          kept as a thin adapter over the same template machinery; counted
+          as deprecated in :meth:`effort_report`.
+
+        Returns the cached-object instance, whose ``evaluate(**where_values)``
+        method can be used for explicit lookups when transparency is off.
+        """
+        if isinstance(query, str) or (query is None and "cache_class_type" in kwargs):
+            # Legacy form; positional use was cacheable(type, model, fields[, name]).
+            positional = ("main_model", "where_fields", "name")
+            if len(legacy_args) > len(positional):
+                raise CacheClassError(
+                    "too many positional arguments for the legacy cacheable() "
+                    "form; options beyond name are keyword-only")
+            if query is not None:
+                kwargs["cache_class_type"] = query
+            for value, key in zip(legacy_args, positional):
+                kwargs[key] = value
+            return self._cacheable_legacy(**kwargs)
+        if legacy_args:
+            raise CacheClassError(
+                "cacheable() takes a single queryset template; per-object "
+                "options are keyword-only")
+        if query is None:
+            raise CacheClassError(
+                "cacheable() needs a queryset template (or, for the legacy "
+                "form, cache_class_type=/main_model=/where_fields= keywords)")
+        return self._cacheable_from_query(query, **kwargs)
+
+    def _cacheable_from_query(
+        self,
+        query: Union[QuerySet, QueryTemplate],
+        name: Optional[str] = None,
+        update_strategy: Optional[str] = None,
+        use_transparently: bool = True,
+        expiry_seconds: Optional[float] = None,
+        **params: Any,
+    ) -> CacheClass:
+        """The queryset-native declaration path: normalize, infer, install."""
+        if isinstance(query, QuerySet):
+            template = QueryTemplate.from_queryset(query)
+        elif isinstance(query, QueryTemplate):
+            template = query
+        else:
+            raise CacheClassError(
+                f"cacheable() expected a QuerySet template or QueryTemplate, "
+                f"got {type(query).__name__}")
+        # Shape-defining options come from the queryset itself; letting a
+        # keyword override them would desync the constructed object from the
+        # template that interception matches against (e.g. a k=10 object
+        # behind a limit=20 template would silently truncate results).
+        forbidden = _SHAPE_KEYWORDS.intersection(params)
+        if forbidden:
+            raise CacheClassError(
+                f"option(s) {sorted(forbidden)} are derived from the queryset "
+                f"shape; express them in the queryset (filter/order_by/slice/"
+                f"through/count) instead of overriding them")
+        type_name, inferred_params = template.infer_cache_class()
+        inferred_params.update(params)  # shape-neutral options (e.g. reserve=)
+        return self._install(
+            cache_class=self._resolve_cache_class(type_name),
+            model=template.model,
+            where_fields=list(template.param_fields),
+            name=name,
+            update_strategy=update_strategy,
+            use_transparently=use_transparently,
+            expiry_seconds=expiry_seconds,
+            template=template,
+            declared_api=DeclarationInfo.QUERYSET,
+            params=inferred_params,
+        )
+
+    def _cacheable_legacy(
         self,
         cache_class_type: str,
         main_model: Union[str, type],
@@ -133,31 +251,67 @@ class CacheGenie:
         expiry_seconds: Optional[float] = None,
         **params: Any,
     ) -> CacheClass:
-        """Declare a cached object (the paper's ``cacheable(...)`` call).
+        """The paper's keyword form: a thin adapter over the template path.
 
-        Returns the cached-object instance, whose ``evaluate(**where_values)``
-        method can be used for explicit lookups when transparency is off.
+        The cache class is named explicitly instead of inferred; the object
+        derives its :class:`QueryTemplate` from those keywords, so matching
+        and duplicate detection behave identically to the queryset form.
         """
-        if not self._activated:
-            self.activate()
         model = (self.registry.get_model(main_model)
                  if isinstance(main_model, str) else main_model)
-        cache_class = self._resolve_cache_class(cache_class_type)
-        object_name = name or self._default_name(cache_class_type, model, where_fields)
+        return self._install(
+            cache_class=self._resolve_cache_class(cache_class_type),
+            model=model,
+            where_fields=list(where_fields),
+            name=name,
+            update_strategy=update_strategy,
+            use_transparently=use_transparently,
+            expiry_seconds=expiry_seconds,
+            template=None,  # derived by the cache class from its parameters
+            declared_api=DeclarationInfo.KEYWORDS,
+            params=dict(params),
+        )
+
+    def _install(self, cache_class: type, model: type, where_fields: List[str],
+                 name: Optional[str], update_strategy: Optional[str],
+                 use_transparently: bool, expiry_seconds: Optional[float],
+                 template: Optional[QueryTemplate], declared_api: str,
+                 params: Dict[str, Any]) -> CacheClass:
+        """Shared tail of both declaration paths: build, check, install."""
+        if not self._activated:
+            self.activate()
+        object_name = name or self._default_name(
+            cache_class.cache_class_type, model, where_fields)
         if object_name in self.cached_objects:
             raise CacheClassError(f"cached object {object_name!r} already defined")
         cached_object = cache_class(
             name=object_name,
             genie=self,
             main_model=model,
-            where_fields=list(where_fields),
+            where_fields=where_fields,
             update_strategy=update_strategy or self.default_strategy,
             use_transparently=use_transparently,
             expiry_seconds=expiry_seconds,
+            template=template,
             **params,
         )
+        shape = cached_object.template.shape_fingerprint()
+        existing = self._shapes.get(shape)
+        if existing is not None:
+            raise CacheClassError(
+                f"cached objects {existing!r} and {object_name!r} declare the "
+                f"same query shape [{shape}]; a second declaration would only "
+                f"install redundant triggers (the first-registered object "
+                f"serves all matching queries)")
         self.cached_objects[object_name] = cached_object
         self.stats.per_object[object_name] = cached_object.stats
+        self.stats.declarations[object_name] = DeclarationInfo(
+            api=declared_api,
+            cache_class=cache_class.cache_class_type,
+            inferred=declared_api == DeclarationInfo.QUERYSET,
+            shape=shape,
+        )
+        self._shapes[shape] = object_name
         self.trigger_generator.install_for(cached_object)
         self.interceptor.register(cached_object)
         return cached_object
@@ -168,10 +322,17 @@ class CacheGenie:
             "_".join(where_fields)
 
     def remove_cached_object(self, name: str) -> None:
-        """Drop a cached object, its triggers, and its interception."""
+        """Drop a cached object, its triggers, its interception, and its stats."""
         cached_object = self.cached_objects.pop(name, None)
         if cached_object is None:
             raise CacheClassError(f"no cached object named {name!r}")
+        # Per-object accounting must go with the object, or totals() and
+        # effort_report() keep counting work for objects that no longer exist.
+        self.stats.per_object.pop(name, None)
+        self.stats.declarations.pop(name, None)
+        shape = cached_object.template.shape_fingerprint()
+        if self._shapes.get(shape) == name:
+            del self._shapes[shape]
         self.trigger_generator.uninstall_for(cached_object)
         self.interceptor.unregister(cached_object)
 
@@ -195,13 +356,35 @@ class CacheGenie:
     def generated_trigger_lines(self) -> int:
         return self.trigger_generator.generated_line_count
 
-    def effort_report(self) -> Dict[str, int]:
-        """Programmer-effort metrics matching §5.2 of the paper."""
-        return {
+    def effort_report(self) -> Dict[str, Any]:
+        """Programmer-effort metrics matching §5.2 of the paper.
+
+        Alongside the paper's counters, reports how each object was declared;
+        legacy keyword declarations produce a deprecation-style note nudging
+        toward the queryset-native form.
+        """
+        counts = self.stats.declaration_counts()
+        legacy = counts.get(DeclarationInfo.KEYWORDS, 0)
+        report: Dict[str, Any] = {
             "cached_objects": self.cached_object_count,
             "generated_triggers": self.trigger_count,
             "generated_trigger_lines": self.generated_trigger_lines,
+            "queryset_declarations": counts.get(DeclarationInfo.QUERYSET, 0),
+            "legacy_keyword_declarations": legacy,
         }
+        if legacy:
+            report["notes"] = [
+                f"{legacy} cached object(s) use the deprecated keyword form "
+                f"cacheable(cache_class_type=...); declare them from a "
+                f"queryset template (cacheable(Model.objects.filter("
+                f"field=Param(...)))) to get shape checking and inference"
+            ]
+        return report
+
+    def declaration_report(self) -> Dict[str, Dict[str, Any]]:
+        """Per-object declared-vs-inferred metadata (api, cache class, shape)."""
+        return {name: info.as_dict()
+                for name, info in self.stats.declarations.items()}
 
     def cache_hit_ratio(self) -> float:
         totals = self.stats.totals()
@@ -232,10 +415,15 @@ def _active_genie() -> Optional[CacheGenie]:
     return _ACTIVE_GENIE
 
 
-def cacheable(**kwargs: Any) -> CacheClass:
+def cacheable(*args: Any, **kwargs: Any) -> CacheClass:
     """Declare a cached object on the currently active CacheGenie instance.
 
-    Mirrors the paper's usage::
+    The queryset-native form mirrors how the object will be queried::
+
+        cached_user_profile = cacheable(
+            Profile.objects.filter(user_id=Param("user_id")))
+
+    The paper's legacy keyword form is also accepted::
 
         cached_user_profile = cacheable(cache_class_type='FeatureQuery',
                                         main_model='Profile',
@@ -246,4 +434,4 @@ def cacheable(**kwargs: Any) -> CacheClass:
         raise CacheClassError(
             "no active CacheGenie instance; create one and call activate() first"
         )
-    return genie.cacheable(**kwargs)
+    return genie.cacheable(*args, **kwargs)

@@ -7,6 +7,28 @@ from typing import Dict
 
 
 @dataclass
+class DeclarationInfo:
+    """How one cached object was declared (queryset-native vs legacy keywords).
+
+    ``inferred`` records whether the cache class was picked by shape
+    inference (queryset form) or named explicitly (keyword form); ``shape``
+    is the canonical query-shape fingerprint used for duplicate detection.
+    """
+
+    QUERYSET = "queryset"
+    KEYWORDS = "keywords"
+
+    api: str
+    cache_class: str
+    inferred: bool
+    shape: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"api": self.api, "cache_class": self.cache_class,
+                "inferred": self.inferred, "shape": self.shape}
+
+
+@dataclass
 class CachedObjectStats:
     """Counters for a single cached object."""
 
@@ -36,6 +58,8 @@ class CacheGenieStats:
     """Aggregated statistics across all cached objects."""
 
     per_object: Dict[str, CachedObjectStats] = field(default_factory=dict)
+    #: Per-object declaration metadata (api used, inferred class, shape).
+    declarations: Dict[str, DeclarationInfo] = field(default_factory=dict)
 
     def for_object(self, name: str) -> CachedObjectStats:
         if name not in self.per_object:
@@ -49,7 +73,18 @@ class CacheGenieStats:
                 setattr(total, f.name, getattr(total, f.name) + getattr(stats, f.name))
         return total
 
+    def declaration_counts(self) -> Dict[str, int]:
+        """How many objects were declared through each API form."""
+        counts = {DeclarationInfo.QUERYSET: 0, DeclarationInfo.KEYWORDS: 0}
+        for info in self.declarations.values():
+            counts[info.api] = counts.get(info.api, 0) + 1
+        return counts
+
     def as_dict(self) -> Dict[str, Dict[str, float]]:
         out = {name: stats.as_dict() for name, stats in self.per_object.items()}
         out["_total"] = self.totals().as_dict()
+        if self.declarations:
+            out["_declarations"] = {
+                name: info.as_dict() for name, info in self.declarations.items()
+            }
         return out

@@ -97,6 +97,11 @@ class FieldError(ORMError):
     """Invalid field definition or unknown field referenced in a query."""
 
 
+class TemplateError(ORMError):
+    """A template queryset (one containing ``Param`` placeholders or chain
+    traversals) was executed instead of being declared via ``cacheable()``."""
+
+
 class DoesNotExist(ORMError):
     """``Model.objects.get(...)`` matched no rows."""
 

@@ -12,10 +12,12 @@ from .manager import Manager, RelatedManager
 from .models import Model
 from .queryset import QueryDescription, QuerySet
 from .registry import QueryInterceptor, Registry, default_registry
+from .template import ChainStep, Param, QueryTemplate
 
 __all__ = [
     "AutoField",
     "BooleanField",
+    "ChainStep",
     "CharField",
     "DateTimeField",
     "Field",
@@ -26,9 +28,11 @@ __all__ = [
     "Manager",
     "ManyToManyField",
     "Model",
+    "Param",
     "QueryDescription",
     "QueryInterceptor",
     "QuerySet",
+    "QueryTemplate",
     "Registry",
     "RelatedManager",
     "TextField",

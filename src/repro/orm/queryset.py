@@ -5,18 +5,27 @@ storage-engine :class:`SelectQuery` (or :class:`CountQuery`) when iterated.
 Before hitting the database it offers a normalized :class:`QueryDescription`
 to the registry's interceptors — this is the hook CacheGenie uses to satisfy
 Feature/Link/Count/Top-K queries from memcached transparently (§3.1).
+
+A QuerySet whose filters carry :class:`~repro.orm.template.Param`
+placeholders (or that traverses relationships via :meth:`QuerySet.through`)
+is a *template*: it cannot be executed, but it can be handed to
+``CacheGenie.cacheable()``, which normalizes it into a
+:class:`~repro.orm.template.QueryTemplate` and infers the cache class from
+its shape.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field as dataclass_field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from ..errors import DoesNotExist, FieldError, MultipleObjectsReturned
+from ..errors import DoesNotExist, FieldError, MultipleObjectsReturned, TemplateError
 from ..storage.predicates import predicate_from_filters
 from ..storage.query import CountQuery, OrderBy, SelectQuery
 from .fields import ForeignKey, ManyToManyField
+from .template import (ChainStep, Param, QueryTemplate, coerce_chain_step,
+                       resolve_chain_models)
 
 _FILTER_SUFFIXES = ("exact", "lt", "lte", "gt", "gte", "ne", "in", "isnull")
 
@@ -57,6 +66,8 @@ class QuerySet:
         self._values_mode: Optional[List[str]] = None
         #: When True, skip interceptors and read straight from the database.
         self._bypass_cache = False
+        #: Relationship hops added by through(); makes this a template.
+        self._through_steps: List[ChainStep] = []
 
     # -- chaining helpers ------------------------------------------------------
 
@@ -69,30 +80,63 @@ class QuerySet:
         clone._offset = self._offset
         clone._values_mode = list(self._values_mode) if self._values_mode else None
         clone._bypass_cache = self._bypass_cache
+        clone._through_steps = list(self._through_steps)
         return clone
 
     def filter(self, **kwargs: Any) -> "QuerySet":
         """Add equality/lookup filters (Django-style ``field__lookup=value``)."""
+        if self._through_steps:
+            raise TemplateError(
+                "filter() must come before through(); chained models cannot "
+                "be filtered in a cacheable template")
         clone = self._clone()
         clone._filters.update(self._normalize_filters(kwargs))
         return clone
 
     def exclude(self, **kwargs: Any) -> "QuerySet":
         """Exclude rows matching all the given filters."""
+        if self._through_steps:
+            raise TemplateError("exclude() cannot follow through()")
         clone = self._clone()
         clone._excludes.append(self._normalize_filters(kwargs))
         return clone
 
     def order_by(self, *names: str) -> "QuerySet":
-        """Order by one or more fields; prefix with ``-`` for descending."""
+        """Order by one or more fields; prefix with ``-`` for descending.
+
+        After :meth:`through`, field names are resolved against the final
+        model of the relationship chain (the rows a LinkQuery caches).
+        """
         clone = self._clone()
         clone._order_by = []
+        target = self._chain_target_model()
         for name in names:
             descending = name.startswith("-")
             raw = name[1:] if descending else name
-            column = self.model._meta.column_for(raw)
+            column = target._meta.column_for(raw)
             clone._order_by.append((column, descending))
         return clone
+
+    def through(self, *steps: Union[str, Tuple[Any, ...], ChainStep]) -> "QuerySet":
+        """Traverse relationships, making this queryset a LinkQuery template.
+
+        Each step is a forward ForeignKey field name (``"to_user"``), a
+        :class:`~repro.orm.template.ChainStep`, or a tuple
+        (``("reverse", "BookmarkInstance", "user")``).  The resulting
+        template caches rows of the final model in the chain; it cannot be
+        executed directly — hand it to ``cacheable()``.
+        """
+        clone = self._clone()
+        clone._through_steps.extend(coerce_chain_step(step) for step in steps)
+        # Resolve eagerly so a typo in a field/model name fails right here.
+        resolve_chain_models(self.model, tuple(clone._through_steps))
+        return clone
+
+    def _chain_target_model(self) -> type:
+        """The model whose rows this queryset yields (chain-aware)."""
+        if not self._through_steps:
+            return self.model
+        return resolve_chain_models(self.model, tuple(self._through_steps))[-1]
 
     def all(self) -> "QuerySet":
         return self._clone()
@@ -154,6 +198,26 @@ class QuerySet:
             out[column] = value
         return out
 
+    # -- template detection -----------------------------------------------------
+
+    def _has_params(self) -> bool:
+        if any(isinstance(v, Param) for v in self._filters.values()):
+            return True
+        return any(isinstance(v, Param)
+                   for excl in self._excludes for v in excl.values())
+
+    @property
+    def is_template(self) -> bool:
+        """True when this queryset declares a shape instead of fetching rows."""
+        return self._has_params() or bool(self._through_steps)
+
+    def _require_executable(self, operation: str) -> None:
+        if self.is_template:
+            raise TemplateError(
+                f"cannot {operation} a template queryset (it has Param "
+                f"placeholders or through() steps); pass it to "
+                f"CacheGenie.cacheable() instead")
+
     # -- execution -------------------------------------------------------------
 
     @property
@@ -161,7 +225,7 @@ class QuerySet:
         return self.model._meta.registry
 
     def _describe(self, kind: str) -> Optional[QueryDescription]:
-        if self._excludes or self._values_mode:
+        if self._excludes or self._values_mode or self.is_template:
             return None
         equalities = self._equality_only_filters()
         if equalities is None:
@@ -194,6 +258,7 @@ class QuerySet:
     def _fetch_all(self) -> List[Any]:
         if self._result_cache is not None:
             return self._result_cache
+        self._require_executable("execute")
 
         if not self._bypass_cache:
             description = self._describe("select")
@@ -247,8 +312,16 @@ class QuerySet:
     def exists(self) -> bool:
         return bool(self._clone()[:1]._fetch_all())
 
-    def count(self) -> int:
-        """COUNT(*) honoring filters; interceptable by CountQuery cache class."""
+    def count(self) -> Union[int, QueryTemplate]:
+        """COUNT(*) honoring filters; interceptable by CountQuery cache class.
+
+        On a template queryset (one with ``Param`` placeholders) this is a
+        declaration terminal: it returns a count-shaped
+        :class:`~repro.orm.template.QueryTemplate` for ``cacheable()``
+        instead of executing anything.
+        """
+        if self.is_template:
+            return QueryTemplate.from_queryset(self, kind="count")
         if not self._bypass_cache:
             description = self._describe("count")
             if description is not None:
@@ -267,6 +340,7 @@ class QuerySet:
 
     def update(self, **kwargs: Any) -> int:
         """UPDATE matching rows directly in the database (fires triggers)."""
+        self._require_executable("update through")
         changes: Dict[str, Any] = {}
         meta = self.model._meta
         for key, value in kwargs.items():
@@ -284,6 +358,7 @@ class QuerySet:
 
     def delete(self) -> int:
         """DELETE matching rows directly in the database (fires triggers)."""
+        self._require_executable("delete through")
         meta = self.model._meta
         rows = self._registry.db.delete(
             meta.db_table,

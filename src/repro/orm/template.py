@@ -1,0 +1,306 @@
+"""Query templates: the normalized shape shared by declaration and interception.
+
+The queryset-native ``cacheable()`` API lets programmers declare cached
+objects from the ORM queries they already write::
+
+    genie.cacheable(Profile.objects.filter(user_id=Param("user_id")))
+
+A :class:`Param` marks the columns whose values vary per cache entry (the
+paper's ``where_fields``); the rest of the queryset — ordering, slicing,
+``.count()``, relationship traversals via ``QuerySet.through()`` — determines
+the *shape* of the query, from which the cache class is inferred:
+
+===========================================  ==============
+queryset shape                               cache class
+===========================================  ==============
+equality filter only                         FeatureQuery
+``.count()`` terminal                        CountQuery
+``.order_by(field)[:k]``                     TopKQuery
+``.through(...)`` relationship chain         LinkQuery
+===========================================  ==============
+
+:class:`QueryTemplate` is the single normalization layer: the declaration
+path builds one from the queryset, and transparent interception matches
+incoming :class:`~repro.orm.queryset.QueryDescription` objects against the
+very same object (``QueryTemplate.match``), so a declaration and the
+interceptor can never disagree about which queries a cached object serves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
+
+from ..errors import CacheClassError, TemplateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .queryset import QueryDescription, QuerySet
+
+
+class Param:
+    """Placeholder for a per-entry parameter in a cacheable queryset template.
+
+    The optional ``name`` is purely descriptive (error messages, repr); the
+    cache key is always derived from the storage column the placeholder is
+    bound to in ``filter()``.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Param({self.name!r})" if self.name else "Param()"
+
+
+@dataclass(frozen=True)
+class ChainStep:
+    """One relationship hop in a LinkQuery chain.
+
+    * ``forward`` — the current model has a ForeignKey named ``field`` whose
+      target is the next model (``current.field_id == next.pk``).
+    * ``reverse`` — the next model (``model_name``) has a ForeignKey named
+      ``field`` pointing back at the current model
+      (``next.field_id == current.pk``).
+    """
+
+    direction: str
+    field: str
+    model_name: Optional[str] = None
+
+    @classmethod
+    def forward(cls, field: str) -> "ChainStep":
+        return cls(direction="forward", field=field)
+
+    @classmethod
+    def reverse(cls, model_name: str, field: str) -> "ChainStep":
+        return cls(direction="reverse", field=field, model_name=model_name)
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("forward", "reverse"):
+            raise CacheClassError(
+                f"invalid chain step direction {self.direction!r}"
+            )
+        if self.direction == "reverse" and not self.model_name:
+            raise CacheClassError("reverse chain steps must name the next model")
+
+
+def coerce_chain_step(step: Any) -> ChainStep:
+    """Coerce a step spec (ChainStep, field name, or tuple) to a ChainStep."""
+    if isinstance(step, ChainStep):
+        return step
+    if isinstance(step, str):
+        return ChainStep.forward(step)
+    if isinstance(step, (tuple, list)):
+        if len(step) == 2 and step[0] == "forward":
+            return ChainStep.forward(step[1])
+        if len(step) == 3 and step[0] == "reverse":
+            return ChainStep.reverse(step[1], step[2])
+    raise CacheClassError(f"invalid chain step {step!r}")
+
+
+def resolve_chain_models(model: type, chain: Tuple[ChainStep, ...]) -> Tuple[type, ...]:
+    """Resolve the model classes along a chain, index 0 = the base model.
+
+    Raises :class:`~repro.errors.FieldError` / :class:`~repro.errors.ModelError`
+    at declaration time if a step names a missing field or model — the typo
+    the stringly-typed API would only surface when a trigger misfired.
+    """
+    models = [model]
+    registry = model._meta.registry
+    for step in chain:
+        current = models[-1]
+        if step.direction == "forward":
+            field = current._meta.get_field(step.field)
+            target = field.resolve_target(registry)
+        else:
+            target = registry.get_model(step.model_name)
+            # Validate that the FK actually exists on the next model.
+            target._meta.get_field(step.field)
+        models.append(target)
+    return tuple(models)
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """The normalized shape of a cacheable query.
+
+    ``param_fields`` are the storage columns bound to :class:`Param`
+    placeholders (declaration order preserved); ``order_by`` / ``limit`` /
+    ``chain`` capture the rest of the shape.  Instances are immutable and
+    hashable, so shapes can be compared and used for duplicate detection.
+    """
+
+    model: type
+    kind: str                                        # "select" or "count"
+    param_fields: Tuple[str, ...]
+    order_by: Tuple[Tuple[str, bool], ...] = ()
+    limit: Optional[int] = None
+    chain: Tuple[ChainStep, ...] = ()
+
+    @property
+    def table(self) -> str:
+        return self.model._meta.db_table
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_queryset(cls, queryset: "QuerySet", kind: str = "select") -> "QueryTemplate":
+        """Normalize a Param-carrying queryset into a template.
+
+        Validates the shape eagerly so declaration mistakes fail at the
+        ``cacheable()`` call, not when the interceptor silently never matches.
+        """
+        if queryset._excludes:
+            raise TemplateError(
+                "cacheable templates cannot use exclude(); only equality "
+                "filters on Param placeholders are supported")
+        if queryset._values_mode is not None:
+            raise TemplateError("cacheable templates cannot use values()")
+        if queryset._offset:
+            raise TemplateError(
+                "cacheable templates cannot be sliced with an offset; "
+                "use [:k] to declare a Top-K query")
+
+        params: Dict[str, Param] = {}
+        for key, value in queryset._filters.items():
+            column, _, suffix = key.partition("__")
+            if not isinstance(value, Param):
+                raise TemplateError(
+                    f"cacheable templates only accept Param placeholders as "
+                    f"filter values; {key!r} was given the constant {value!r}")
+            if suffix and suffix != "exact":
+                raise TemplateError(
+                    f"cacheable templates only support equality filters; "
+                    f"{key!r} uses the lookup {suffix!r}")
+            params[column] = value
+        if not params:
+            raise TemplateError(
+                "cacheable templates must filter on at least one "
+                "Param(...) placeholder")
+
+        chain = tuple(queryset._through_steps)
+        order_by = tuple(queryset._order_by)
+        limit = queryset._limit
+
+        if kind == "count":
+            if chain:
+                raise TemplateError(
+                    "count() of a through() chain is not supported; declare "
+                    "the chain as a LinkQuery and measure its length instead")
+            if order_by or limit is not None:
+                raise TemplateError(
+                    "count() templates cannot be ordered or sliced")
+        elif not chain:
+            if limit is not None and not order_by:
+                raise TemplateError(
+                    "a sliced template needs order_by(...) to define which "
+                    "rows are the top K")
+            if order_by and limit is None:
+                raise TemplateError(
+                    "an ordered template without a slice is ambiguous: add "
+                    "[:k] to declare a TopKQuery, or drop order_by() to "
+                    "declare a FeatureQuery (interception re-sorts on read)")
+            if limit is not None and len(order_by) != 1:
+                raise TemplateError(
+                    "Top-K templates must order by exactly one field")
+            if limit is not None and limit < 1:
+                raise TemplateError("Top-K templates require k >= 1")
+        else:
+            if len(order_by) > 1:
+                raise TemplateError(
+                    "through() chains support at most one order_by field")
+            # Validate the chain resolves; raises at declaration time if not.
+            resolve_chain_models(queryset.model, chain)
+
+        return cls(
+            model=queryset.model,
+            kind=kind,
+            param_fields=tuple(params),
+            order_by=order_by,
+            limit=limit,
+            chain=chain,
+        )
+
+    # -- shape inference -------------------------------------------------------
+
+    def infer_cache_class(self) -> Tuple[str, Dict[str, Any]]:
+        """Return ``(cache_class_type, constructor_kwargs)`` for this shape."""
+        if self.chain:
+            kwargs: Dict[str, Any] = {"chain": list(self.chain)}
+            if self.order_by:
+                column, descending = self.order_by[0]
+                kwargs["order_by"] = column
+                kwargs["descending"] = descending
+            if self.limit is not None:
+                kwargs["limit"] = self.limit
+            return "LinkQuery", kwargs
+        if self.kind == "count":
+            return "CountQuery", {}
+        if self.limit is not None:
+            column, descending = self.order_by[0]
+            return "TopKQuery", {
+                "sort_field": column,
+                "sort_order": "descending" if descending else "ascending",
+                "k": self.limit,
+            }
+        return "FeatureQuery", {}
+
+    # -- shape identity --------------------------------------------------------
+
+    def shape_fingerprint(self) -> str:
+        """Canonical string identifying this query shape (duplicate detection)."""
+        parts = [
+            self.table,
+            self.kind,
+            ",".join(sorted(self.param_fields)),
+            ";".join(f"{c}:{'desc' if d else 'asc'}" for c, d in self.order_by),
+            str(self.limit),
+            ";".join(f"{s.direction}:{s.field}:{s.model_name}" for s in self.chain),
+        ]
+        return "|".join(parts)
+
+    # -- interception matching -------------------------------------------------
+
+    def match(self, description: "QueryDescription") -> Optional[Dict[str, Any]]:
+        """Return evaluate() parameters if ``description`` fits this shape.
+
+        This is the single matching predicate used by transparent
+        interception; because the declaration built the same template, the
+        two can never disagree on which queries the cached object serves.
+        """
+        if self.chain:
+            # Single-table querysets cannot express joins, so chain-shaped
+            # objects are only reachable through explicit evaluate() calls.
+            return None
+        if description.kind != self.kind:
+            return None
+        if description.table != self.table:
+            return None
+        if description.offset:
+            return None
+        if self.kind == "select":
+            if self.limit is not None:
+                # Top-K shape: the query must want the same ordering and no
+                # more rows than the declared K.
+                if description.limit is None or description.limit > self.limit:
+                    return None
+                if list(description.order_by) != list(self.order_by):
+                    return None
+            # Feature shape (limit is None): any ordering/limit is acceptable;
+            # the cached object re-sorts and trims when presenting results.
+        if set(description.filters) != set(self.param_fields):
+            return None
+        return {column: description.filters[column] for column in self.param_fields}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bits = [f"{self.model.__name__}", self.kind,
+                f"params={list(self.param_fields)!r}"]
+        if self.order_by:
+            bits.append(f"order_by={list(self.order_by)!r}")
+        if self.limit is not None:
+            bits.append(f"limit={self.limit}")
+        if self.chain:
+            bits.append(f"chain={list(self.chain)!r}")
+        return f"<QueryTemplate {' '.join(bits)}>"

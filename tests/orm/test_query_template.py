@@ -1,0 +1,289 @@
+"""Tests for the QueryTemplate normalization layer and Param placeholders."""
+
+import itertools
+
+import pytest
+
+from repro.errors import CacheClassError, FieldError, TemplateError
+from repro.orm import (CharField, FloatTimestampField, ForeignKey, IntegerField,
+                       Model, Param, QueryTemplate, Registry)
+from repro.orm.queryset import QueryDescription
+from repro.orm.template import ChainStep, coerce_chain_step, resolve_chain_models
+from repro.storage import Database
+
+_COUNTER = itertools.count()
+
+
+@pytest.fixture
+def models():
+    reg = Registry(f"template{next(_COUNTER)}")
+
+    class Author(Model):
+        name = CharField(max_length=60)
+
+        class Meta:
+            registry = reg
+
+    class Post(Model):
+        author = ForeignKey(Author, related_name="posts")
+        title = CharField(max_length=120)
+        score = IntegerField(default=0)
+        posted = FloatTimestampField(db_index=True)
+
+        class Meta:
+            registry = reg
+
+    database = Database()
+    reg.bind(database)
+    reg.create_all()
+    yield {"registry": reg, "Author": Author, "Post": Post}
+    reg.unbind()
+
+
+class TestParam:
+    def test_repr(self):
+        assert repr(Param("user_id")) == "Param('user_id')"
+        assert repr(Param()) == "Param()"
+
+    def test_template_querysets_cannot_execute(self, models):
+        Post = models["Post"]
+        template_qs = Post.objects.filter(author_id=Param("author_id"))
+        assert template_qs.is_template
+        with pytest.raises(TemplateError):
+            list(template_qs)
+        with pytest.raises(TemplateError):
+            template_qs.get()
+        with pytest.raises(TemplateError):
+            template_qs.update(title="x")
+        with pytest.raises(TemplateError):
+            template_qs.delete()
+
+    def test_param_inside_exclude_also_refuses_execution(self, models):
+        Author, Post = models["Author"], models["Post"]
+        author = Author.objects.create(name="a")
+        Post.objects.create(author=author, title="t", score=1, posted=1.0)
+        stray = Post.objects.exclude(score=Param("s"))
+        assert stray.is_template
+        with pytest.raises(TemplateError):
+            list(stray)
+        with pytest.raises(TemplateError):
+            stray.update(score=5)  # must not silently mass-update
+        assert Post.objects.get(id=1).score == 1
+
+    def test_plain_querysets_still_execute(self, models):
+        Author, Post = models["Author"], models["Post"]
+        author = Author.objects.create(name="a")
+        Post.objects.create(author=author, title="t", score=1, posted=1.0)
+        assert not Post.objects.filter(author_id=author.pk).is_template
+        assert len(list(Post.objects.filter(author_id=author.pk))) == 1
+
+
+class TestShapeNormalization:
+    def test_plain_filter_is_feature_shape(self, models):
+        Post = models["Post"]
+        template = QueryTemplate.from_queryset(
+            Post.objects.filter(author_id=Param("author_id")))
+        assert template.kind == "select"
+        assert template.param_fields == ("author_id",)
+        assert template.limit is None and not template.chain
+        assert template.infer_cache_class()[0] == "FeatureQuery"
+
+    def test_count_terminal_is_count_shape(self, models):
+        Post = models["Post"]
+        template = Post.objects.filter(author_id=Param("author_id")).count()
+        assert isinstance(template, QueryTemplate)
+        assert template.kind == "count"
+        assert template.infer_cache_class()[0] == "CountQuery"
+
+    def test_ordered_slice_is_topk_shape(self, models):
+        Post = models["Post"]
+        template = QueryTemplate.from_queryset(
+            Post.objects.filter(author_id=Param("author_id"))
+            .order_by("-posted")[:7])
+        type_name, params = template.infer_cache_class()
+        assert type_name == "TopKQuery"
+        assert params == {"sort_field": "posted", "sort_order": "descending",
+                          "k": 7}
+
+    def test_ascending_order_inferred(self, models):
+        Post = models["Post"]
+        template = QueryTemplate.from_queryset(
+            Post.objects.filter(author_id=Param("author_id"))
+            .order_by("score")[:3])
+        assert template.infer_cache_class()[1]["sort_order"] == "ascending"
+
+    def test_through_chain_is_link_shape(self, models):
+        Author, Post = models["Author"], models["Post"]
+        template = QueryTemplate.from_queryset(
+            Post.objects.filter(author_id=Param("author_id")).through("author"))
+        type_name, params = template.infer_cache_class()
+        assert type_name == "LinkQuery"
+        assert params["chain"] == [ChainStep.forward("author")]
+
+    def test_reverse_chain_with_ordering(self, models):
+        Author = models["Author"]
+        template = QueryTemplate.from_queryset(
+            Author.objects.filter(id=Param("id"))
+            .through(("reverse", "Post", "author")).order_by("-posted"))
+        type_name, params = template.infer_cache_class()
+        assert type_name == "LinkQuery"
+        assert params["order_by"] == "posted" and params["descending"] is True
+
+    def test_order_by_after_through_resolves_on_chain_target(self, models):
+        Author = models["Author"]
+        # "posted" lives on Post, not Author: only valid because through()
+        # retargets field resolution to the chain's final model.
+        qs = Author.objects.filter(id=Param("id")) \
+            .through(("reverse", "Post", "author")).order_by("-posted")
+        assert qs._order_by == [("posted", True)]
+        with pytest.raises(FieldError):
+            Author.objects.filter(id=Param("id")).order_by("-posted")
+
+
+class TestShapeValidation:
+    def test_constant_filters_rejected(self, models):
+        Post = models["Post"]
+        with pytest.raises(TemplateError, match="constant"):
+            QueryTemplate.from_queryset(
+                Post.objects.filter(author_id=Param("a"), score=3))
+
+    def test_at_least_one_param_required(self, models):
+        Post = models["Post"]
+        with pytest.raises(TemplateError, match="Param"):
+            QueryTemplate.from_queryset(Post.objects.all())
+
+    def test_non_equality_lookup_rejected(self, models):
+        Post = models["Post"]
+        with pytest.raises(TemplateError, match="equality"):
+            QueryTemplate.from_queryset(
+                Post.objects.filter(score__gt=Param("score")))
+
+    def test_exclude_and_values_rejected(self, models):
+        Post = models["Post"]
+        with pytest.raises(TemplateError):
+            QueryTemplate.from_queryset(
+                Post.objects.filter(author_id=Param("a")).exclude(score=0))
+        with pytest.raises(TemplateError):
+            QueryTemplate.from_queryset(
+                Post.objects.filter(author_id=Param("a")).values("title"))
+
+    def test_offset_slice_rejected(self, models):
+        Post = models["Post"]
+        with pytest.raises(TemplateError, match="offset"):
+            QueryTemplate.from_queryset(
+                Post.objects.filter(author_id=Param("a"))
+                .order_by("-posted")[2:7])
+
+    def test_ordered_template_without_slice_is_ambiguous(self, models):
+        Post = models["Post"]
+        with pytest.raises(TemplateError, match="ambiguous"):
+            QueryTemplate.from_queryset(
+                Post.objects.filter(author_id=Param("a")).order_by("-posted"))
+
+    def test_slice_without_order_rejected(self, models):
+        Post = models["Post"]
+        with pytest.raises(TemplateError, match="order_by"):
+            QueryTemplate.from_queryset(
+                Post.objects.filter(author_id=Param("a"))[:5])
+
+    def test_count_of_chain_rejected(self, models):
+        Post = models["Post"]
+        with pytest.raises(TemplateError, match="chain"):
+            Post.objects.filter(author_id=Param("a")).through("author").count()
+
+    def test_filter_after_through_rejected(self, models):
+        Post = models["Post"]
+        with pytest.raises(TemplateError, match="before through"):
+            Post.objects.filter(author_id=Param("a")) \
+                .through("author").filter(name="x")
+
+    def test_bad_chain_step_fails_at_declaration(self, models):
+        Post = models["Post"]
+        with pytest.raises(FieldError):
+            Post.objects.filter(author_id=Param("a")).through("no_such_fk")
+        with pytest.raises(CacheClassError):
+            coerce_chain_step(("sideways", "x"))
+
+    def test_resolve_chain_models(self, models):
+        Author, Post = models["Author"], models["Post"]
+        chain = (ChainStep.reverse("Post", "author"),)
+        assert resolve_chain_models(Author, chain) == (Author, Post)
+
+
+class TestShapeFingerprint:
+    def test_same_shape_same_fingerprint(self, models):
+        Post = models["Post"]
+        one = QueryTemplate.from_queryset(
+            Post.objects.filter(author_id=Param("a")))
+        two = QueryTemplate.from_queryset(
+            Post.objects.filter(author_id=Param("different_name")))
+        assert one.shape_fingerprint() == two.shape_fingerprint()
+
+    def test_kind_order_limit_chain_distinguish(self, models):
+        Post = models["Post"]
+        base = Post.objects.filter(author_id=Param("a"))
+        shapes = {
+            QueryTemplate.from_queryset(base).shape_fingerprint(),
+            base.count().shape_fingerprint(),
+            QueryTemplate.from_queryset(
+                base.order_by("-posted")[:5]).shape_fingerprint(),
+            QueryTemplate.from_queryset(
+                base.order_by("-posted")[:9]).shape_fingerprint(),
+            QueryTemplate.from_queryset(
+                base.through("author")).shape_fingerprint(),
+        }
+        assert len(shapes) == 5
+
+
+class TestTemplateMatching:
+    def _description(self, model, kind="select", filters=None, order_by=(),
+                     limit=None, offset=0):
+        return QueryDescription(model=model, kind=kind, filters=filters or {},
+                                order_by=list(order_by), limit=limit,
+                                offset=offset)
+
+    def test_feature_shape_accepts_any_order_and_limit(self, models):
+        Post = models["Post"]
+        template = QueryTemplate.from_queryset(
+            Post.objects.filter(author_id=Param("a")))
+        match = template.match(self._description(
+            Post, filters={"author_id": 9}, order_by=[("posted", True)], limit=3))
+        assert match == {"author_id": 9}
+        assert template.match(self._description(
+            Post, filters={"author_id": 9}, offset=2)) is None
+        assert template.match(self._description(
+            Post, kind="count", filters={"author_id": 9})) is None
+
+    def test_topk_shape_requires_matching_order_and_bounded_limit(self, models):
+        Post = models["Post"]
+        template = QueryTemplate.from_queryset(
+            Post.objects.filter(author_id=Param("a")).order_by("-posted")[:5])
+        ok = self._description(Post, filters={"author_id": 1},
+                               order_by=[("posted", True)], limit=5)
+        assert template.match(ok) == {"author_id": 1}
+        assert template.match(self._description(
+            Post, filters={"author_id": 1}, order_by=[("posted", True)],
+            limit=6)) is None
+        assert template.match(self._description(
+            Post, filters={"author_id": 1}, order_by=[("posted", False)],
+            limit=5)) is None
+        assert template.match(self._description(
+            Post, filters={"author_id": 1}, order_by=[("score", True)],
+            limit=5)) is None
+        assert template.match(self._description(
+            Post, filters={"author_id": 1}, limit=5)) is None
+
+    def test_filters_must_cover_exactly_the_params(self, models):
+        Post = models["Post"]
+        template = QueryTemplate.from_queryset(
+            Post.objects.filter(author_id=Param("a")))
+        assert template.match(self._description(
+            Post, filters={"author_id": 1, "score": 2})) is None
+        assert template.match(self._description(Post, filters={})) is None
+
+    def test_chain_templates_never_match(self, models):
+        Post = models["Post"]
+        template = QueryTemplate.from_queryset(
+            Post.objects.filter(author_id=Param("a")).through("author"))
+        assert template.match(self._description(
+            Post, filters={"author_id": 1})) is None
