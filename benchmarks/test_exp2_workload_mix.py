@@ -2,8 +2,12 @@
 
 Paper findings reproduced here:
 
-* with 0% reads caching provides no benefit (slightly worse, because triggers
-  slow the writes down);
+* with 0% reads the paper's eager triggers provide no benefit (slightly
+  worse, because triggers slow the writes down); with the now-default
+  batched protocol the commit-time flush amortizes trigger cost, so the
+  cached scenarios beat NoCache even on an all-write workload — the band
+  below encodes the batched behaviour (``--batch-ops off`` restores the
+  paper's);
 * benefit grows with the read fraction;
 * at 100% reads the cached configurations reach ~8× NoCache (our scaled-down
   stack lands lower but well above the mixed-workload factor);
@@ -25,13 +29,17 @@ def test_experiment2_read_write_mix(benchmark, save_result):
     invalidate = result.throughput[INVALIDATE_SCENARIO]
     nocache = result.throughput[NO_CACHE]
 
-    # 0% reads: caching is no better than NoCache (within 15%).
-    assert update[0] <= nocache[0] * 1.15
-    assert invalidate[0] <= nocache[0] * 1.15
+    # 0% reads: with batched (commit-time) trigger propagation the cached
+    # systems match or beat NoCache even on pure writes — but stay well
+    # short of the read-heavy benefit measured below.
+    assert update[0] >= nocache[0] * 0.85
+    assert invalidate[0] >= nocache[0] * 0.85
+    update_gain_at_zero = update[0] / nocache[0]
 
     # The caching benefit grows with the read fraction.
     update_gain = [update[i] / nocache[i] for i in range(len(READ_FRACTIONS))]
     assert update_gain[-1] > update_gain[2] > update_gain[0]
+    assert update_gain[-1] > 2 * update_gain_at_zero
 
     # 100% reads: the benefit is far larger than at the 80/20 default
     # (the paper reports 8x; our scaled stack reaches >=4x).

@@ -16,12 +16,13 @@ use the corresponding LinkQuery cached object when one is registered and fall
 back to ORM traversals otherwise, matching the paper's explicit-``evaluate``
 usage for objects flagged ``use_transparently=False``.
 
-With ``batch_reads=True`` (the ``--batch-ops`` ablation) the hot cached
-fragments of each page — header badges, account rows, the wall Top-K, the
-bookmark lists — are fetched through :func:`repro.core.evaluate_many`
-instead of one cache round trip per query: all of a fragment group's keys
-travel in a single multi-get per cache server.  Query shapes that no cached
-object covers keep going to the database, exactly as before.
+With ``batch_reads=True`` (the default; ``--batch-ops off`` disables it) the
+hot cached fragments of each page — header badges, account rows, the wall
+Top-K, the bookmark lists — are fetched through
+:func:`repro.core.evaluate_many` instead of one cache round trip per query:
+all of a fragment group's keys travel in a single multi-get per cache
+server.  Query shapes that no cached object covers keep going to the
+database, exactly as before.
 """
 
 from __future__ import annotations
@@ -63,7 +64,7 @@ class SocialApplication:
 
     def __init__(self, cached_objects: Optional[Dict[str, Any]] = None,
                  rng: Optional[random.Random] = None,
-                 batch_reads: bool = False) -> None:
+                 batch_reads: bool = True) -> None:
         self.cached = cached_objects or {}
         self.rng = rng or random.Random(0)
         self.batch_reads = batch_reads

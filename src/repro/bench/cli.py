@@ -13,6 +13,7 @@ code::
     python -m repro.bench exp4
     python -m repro.bench exp5
     python -m repro.bench exp-batch --batch-ops both
+    python -m repro.bench exp-cas-batch --cas-batch both
 
 Each command prints the same rendered rows/series the corresponding
 ``benchmarks/`` target saves under ``benchmarks/_results/``.
@@ -77,6 +78,16 @@ def _cmd_exp_batch(args: argparse.Namespace) -> str:
     return reporting.render_experiment_batching(result)
 
 
+def _cmd_exp_cas_batch(args: argparse.Namespace) -> str:
+    modes = {
+        "off": (experiments.EAGER_CAS,),
+        "on": (experiments.PIPELINED_CAS,),
+        "both": experiments.ALL_CAS_MODES,
+    }[args.cas_batch]
+    result = experiments.experiment_cas_batching(modes=modes)
+    return reporting.render_experiment_cas_batching(result)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for ``python -m repro.bench``."""
     parser = argparse.ArgumentParser(
@@ -121,12 +132,26 @@ def build_parser() -> argparse.ArgumentParser:
              "trigger-op coalescing on the wall/top-k workload")
     exp_batch.add_argument(
         "--batch-ops", choices=["on", "off", "both"], default="both",
-        help="run with the batched protocol on, off, or both (compares "
-             "recorded cache round trips and throughput; default: both)")
+        help="run with the batched protocol on (the scenario default), off "
+             "(the legacy per-key protocol), or both (compares recorded "
+             "cache round trips and throughput; default: both)")
     exp_batch.add_argument(
         "--scenario", choices=["Update", "Invalidate"], default="Update",
         help="cached scenario to ablate (default: Update)")
     exp_batch.set_defaults(func=_cmd_exp_batch)
+
+    exp_cas = sub.add_parser(
+        "exp-cas-batch",
+        help="CAS-batching ablation: batched gets_multi/cas_multi flush and "
+             "pipelined server batches on the update-in-place wall/top-k "
+             "workload")
+    exp_cas.add_argument(
+        "--cas-batch", choices=["on", "off", "both"], default="both",
+        help="run the update-in-place CAS path batched (on — the default "
+             "configuration, batched + pipelined), eager (off — one "
+             "gets + one cas round trip per key), or both, which adds the "
+             "intermediate serial-batches column (default: both)")
+    exp_cas.set_defaults(func=_cmd_exp_cas_batch)
     return parser
 
 

@@ -327,7 +327,9 @@ WALL_TOPK_WORKLOAD = WorkloadConfig(
 BATCHING_EVENTS = (
     "cache_gets", "cache_sets", "cache_deletes",
     "cache_multi_gets", "cache_multi_sets", "cache_multi_deletes",
-    "trigger_cache_ops", "trigger_cache_batches", "trigger_connections",
+    "cache_overlapped_batches",
+    "trigger_cache_ops", "trigger_cache_batches",
+    "trigger_cache_overlapped_batches", "trigger_connections",
 )
 
 
@@ -361,9 +363,12 @@ def experiment_batching(
 ) -> BatchingResult:
     """Run the batching ablation: the same scenario with ``batch_ops`` off/on.
 
-    Replays the wall/top-k-heavy workload and compares the recorded
-    cache-network round trips (single ops count one each; a multi-key batch
-    counts one per server it touches) plus the resulting throughput.
+    ``Unbatched`` is the legacy per-key protocol (``--batch-ops off``:
+    batching *and* pipelining disabled); ``Batched`` is the current default
+    configuration.  Replays the wall/top-k-heavy workload and compares the
+    recorded cache-network round trips (single ops count one each; a
+    multi-key batch counts one per server it touches, pipelined-overlapped
+    batches included) plus the resulting throughput.
     """
     base_workload = workload or WALL_TOPK_WORKLOAD
     round_trips: Dict[str, int] = {}
@@ -371,7 +376,9 @@ def experiment_batching(
     throughput: Dict[str, float] = {}
     hit_ratio: Dict[str, float] = {}
     for mode in modes:
-        config = _scenario_config(scenario, batch_ops=(mode == BATCHED))
+        batched = mode == BATCHED
+        config = _scenario_config(scenario, batch_ops=batched,
+                                  pipeline_batches=batched)
         run = run_scenario(config, workload=base_workload)
         counters = run.replay.total_counters
         round_trips[mode] = counters.cache_round_trips
@@ -382,6 +389,119 @@ def experiment_batching(
         scenario=scenario,
         round_trips=round_trips,
         events=events,
+        throughput=throughput,
+        cache_hit_ratio=hit_ratio,
+    )
+
+
+# ---------------------------------------------------------------------------
+# CAS-batching ablation — batched read-modify-write + pipelined server batches
+# ---------------------------------------------------------------------------
+
+#: Mode names of the CAS-batching ablation (``exp-cas-batch``).
+EAGER_CAS = "EagerCAS"          # legacy: one gets + one cas per key
+BATCHED_CAS = "BatchedCAS"      # gets_multi/cas_multi flush, serial batches
+PIPELINED_CAS = "Pipelined"     # + per-server batches overlap (the default)
+
+ALL_CAS_MODES = (EAGER_CAS, BATCHED_CAS, PIPELINED_CAS)
+
+#: Scenario knobs of each CAS-ablation mode.
+CAS_MODE_CONFIGS: Dict[str, Dict[str, bool]] = {
+    EAGER_CAS: {"batch_ops": False, "pipeline_batches": False},
+    BATCHED_CAS: {"batch_ops": True, "pipeline_batches": False},
+    PIPELINED_CAS: {"batch_ops": True, "pipeline_batches": True},
+}
+
+#: The cache-counter events the CAS ablation reports individually.
+CAS_BATCHING_EVENTS = (
+    "trigger_cache_ops", "trigger_cache_batches",
+    "trigger_cache_overlapped_batches", "trigger_connections",
+    "cas_multi_mismatch",
+)
+
+#: Server-side CAS statistics carried into the report (from ``stats_dict``).
+CAS_SERVER_STATS = ("cas_ok", "cas_mismatch", "cas_miss")
+
+
+@dataclass
+class CasBatchingResult:
+    """Round-trip/latency accounting of the update-in-place CAS path."""
+
+    scenario: str
+    round_trips: Dict[str, int]            # mode -> total cache round trips
+    events: Dict[str, Dict[str, int]]      # mode -> per-counter breakdown
+    cas_stats: Dict[str, Dict[str, float]]  # mode -> server cas_ok/mismatch/miss
+    cache_net_ms: Dict[str, float]         # mode -> mean per-page cache-net ms
+    throughput: Dict[str, float]
+    cache_hit_ratio: Dict[str, float]
+
+    def trigger_round_trips(self, mode: str) -> int:
+        """Round trips of the *trigger* (CAS) path alone for ``mode``.
+
+        ``batch_ops`` also batches the application's reads, so the total
+        round-trip column conflates two effects; this isolates the
+        propagation path the CAS ablation is about.
+        """
+        events = self.events.get(mode, {})
+        return (events.get("trigger_cache_ops", 0)
+                + events.get("trigger_cache_batches", 0)
+                + events.get("trigger_cache_overlapped_batches", 0))
+
+    def round_trip_reduction(self, mode: str = BATCHED_CAS) -> float:
+        """How many times fewer *trigger-path* round trips than eager."""
+        batched = self.trigger_round_trips(mode)
+        if not batched:
+            return 0.0
+        return self.trigger_round_trips(EAGER_CAS) / batched
+
+    def pipelining_net_gain(self) -> float:
+        """Cache-network time saved by pipelining (serial / pipelined)."""
+        pipelined = self.cache_net_ms.get(PIPELINED_CAS, 0.0)
+        if not pipelined:
+            return 0.0
+        return self.cache_net_ms.get(BATCHED_CAS, 0.0) / pipelined
+
+
+def experiment_cas_batching(
+    workload: Optional[WorkloadConfig] = None,
+    modes: Sequence[str] = ALL_CAS_MODES,
+) -> CasBatchingResult:
+    """Run the CAS-batching ablation on the update-in-place scenario.
+
+    The update-in-place strategy is the paper's headline consistency
+    mechanism, and its trigger bodies are read-modify-writes — the one path
+    plain ``get_multi``/``set_multi`` batching cannot carry.  This ablation
+    replays the wall/top-k workload three ways: the legacy eager path (one
+    ``gets`` + one ``cas`` round trip per key), the batched CAS flush
+    (``gets_multi`` + ``cas_multi``, one round trip per server batch), and
+    the batched flush with per-server batches pipelined (overlapping
+    batches charge no additional network latency).
+    """
+    base_workload = workload or WALL_TOPK_WORKLOAD
+    round_trips: Dict[str, int] = {}
+    events: Dict[str, Dict[str, int]] = {}
+    cas_stats: Dict[str, Dict[str, float]] = {}
+    cache_net_ms: Dict[str, float] = {}
+    throughput: Dict[str, float] = {}
+    hit_ratio: Dict[str, float] = {}
+    for mode in modes:
+        config = _scenario_config(UPDATE_SCENARIO, **CAS_MODE_CONFIGS[mode])
+        run = run_scenario(config, workload=base_workload)
+        counters = run.replay.total_counters
+        round_trips[mode] = counters.cache_round_trips
+        events[mode] = {name: getattr(counters, name)
+                        for name in CAS_BATCHING_EVENTS}
+        cas_stats[mode] = {name: run.cache_stats.get(name, 0.0)
+                           for name in CAS_SERVER_STATS}
+        cache_net_ms[mode] = run.replay.mean_demand().cache_net_ms
+        throughput[mode] = run.throughput
+        hit_ratio[mode] = run.cache_hit_ratio
+    return CasBatchingResult(
+        scenario=UPDATE_SCENARIO,
+        round_trips=round_trips,
+        events=events,
+        cas_stats=cas_stats,
+        cache_net_ms=cache_net_ms,
         throughput=throughput,
         cache_hit_ratio=hit_ratio,
     )

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
-from .experiments import (BatchingResult, EffortResult, Experiment1Result,
-                          Experiment2Result, Experiment3Result,
-                          Experiment4Result, Experiment5Result,
-                          MicroLookupResult, MicroTriggerResult)
+from .experiments import (BATCHED_CAS, EAGER_CAS, PIPELINED_CAS,
+                          BatchingResult, CasBatchingResult, EffortResult,
+                          Experiment1Result, Experiment2Result,
+                          Experiment3Result, Experiment4Result,
+                          Experiment5Result, MicroLookupResult,
+                          MicroTriggerResult)
 
 #: Table 1 of the paper: qualitative comparison with representative systems.
 TABLE1_ROWS: List[Dict[str, str]] = [
@@ -139,8 +141,10 @@ def render_experiment_batching(result: BatchingResult) -> str:
         ("cache_multi_gets", "Multi-get batches (1 RT/server)"),
         ("cache_multi_sets", "Multi-set batches (1 RT/server)"),
         ("cache_multi_deletes", "Multi-delete batches (1 RT/server)"),
+        ("cache_overlapped_batches", "App batches overlapped (pipelined)"),
         ("trigger_cache_ops", "Trigger single ops"),
         ("trigger_cache_batches", "Trigger batches (commit-time flush)"),
+        ("trigger_cache_overlapped_batches", "Trigger batches overlapped (pipelined)"),
         ("trigger_connections", "Trigger connections opened"),
     ]
     rows = []
@@ -161,6 +165,56 @@ def render_experiment_batching(result: BatchingResult) -> str:
             f"Round-trip reduction: {result.round_trip_reduction:.1f}x "
             f"fewer cache round trips with batching",
             f"Throughput speedup:   {result.speedup():.2f}x",
+        ]
+    return "\n".join(lines)
+
+
+def render_experiment_cas_batching(result: CasBatchingResult) -> str:
+    """Render the CAS-batching ablation: eager vs batched vs pipelined."""
+    modes = list(result.round_trips)
+    headers = ["Cache-network event"] + modes
+    event_labels = [
+        ("trigger_cache_ops", "Trigger single ops (gets+cas per key)"),
+        ("trigger_cache_batches", "Trigger batches (gets_multi/cas_multi)"),
+        ("trigger_cache_overlapped_batches", "Trigger batches overlapped (pipelined)"),
+        ("trigger_connections", "Trigger connections opened"),
+        ("cas_multi_mismatch", "Batched CAS mismatches (keys retried)"),
+    ]
+    rows = []
+    for event, label in event_labels:
+        rows.append([label] + [result.events[mode].get(event, 0) for mode in modes])
+    for stat, label in (("cas_ok", "Server CAS swaps won"),
+                        ("cas_mismatch", "Server CAS stale tokens"),
+                        ("cas_miss", "Server CAS on vanished keys")):
+        rows.append([label] + [int(result.cas_stats[mode].get(stat, 0))
+                               for mode in modes])
+    rows.append(["Trigger-path round trips"]
+                + [result.trigger_round_trips(mode) for mode in modes])
+    rows.append(["TOTAL round trips (incl. app reads)"]
+                + [result.round_trips[mode] for mode in modes])
+    rows.append(["Cache-network ms per page"]
+                + [f"{result.cache_net_ms[mode]:.3f}" for mode in modes])
+    rows.append(["Throughput (req/s)"]
+                + [f"{result.throughput[mode]:.1f}" for mode in modes])
+    rows.append(["Cache hit ratio"]
+                + [f"{result.cache_hit_ratio[mode] * 100.0:.0f}%" for mode in modes])
+    lines = [
+        f"CAS-batching ablation — {result.scenario} scenario "
+        f"(update-in-place), wall/top-k workload",
+        format_table(headers, rows),
+    ]
+    if EAGER_CAS in modes and BATCHED_CAS in modes:
+        lines += [
+            "",
+            f"Trigger-path reduction: {result.round_trip_reduction(BATCHED_CAS):.1f}x "
+            f"fewer propagation round trips with the batched CAS flush",
+            f"(the TOTAL row additionally includes the app-side read "
+            f"batching that batch_ops enables)",
+        ]
+    if BATCHED_CAS in modes and PIPELINED_CAS in modes:
+        lines += [
+            f"Pipelining gain:      {result.pipelining_net_gain():.2f}x less "
+            f"cache-network time per page vs serial batches",
         ]
     return "\n".join(lines)
 

@@ -69,7 +69,8 @@ class CacheGenie:
         cache_servers: Optional[Sequence[CacheServer]] = None,
         default_strategy: str = UPDATE_IN_PLACE,
         reuse_trigger_connections: bool = False,
-        batch_trigger_ops: bool = False,
+        batch_trigger_ops: bool = True,
+        pipeline_batches: bool = True,
         cache_address: str = "cache-host:11211",
     ) -> None:
         self.registry = registry
@@ -80,12 +81,15 @@ class CacheGenie:
         self.cache_servers = list(cache_servers)
         self.cache_address = cache_address
         self.default_strategy = default_strategy
+        self.pipeline_batches = pipeline_batches
         #: Client used by the application (and by evaluate()).
-        self.app_cache = CacheClient(self.cache_servers, recorder=self.recorder)
+        self.app_cache = CacheClient(self.cache_servers, recorder=self.recorder,
+                                     pipeline_batches=pipeline_batches)
         #: Client used from inside triggers; charges trigger-side costs.
         self.trigger_cache = CacheClient(
             self.cache_servers, recorder=self.recorder,
-            from_trigger=True, reuse_connections=reuse_trigger_connections)
+            from_trigger=True, reuse_connections=reuse_trigger_connections,
+            pipeline_batches=pipeline_batches)
         self.interceptor = CacheGenieInterceptor()
         self.trigger_generator = TriggerGenerator(self)
         self.cached_objects: Dict[str, CacheClass] = {}
@@ -94,9 +98,12 @@ class CacheGenie:
         #: shape fingerprint -> cached-object name, for duplicate detection.
         self._shapes: Dict[str, str] = {}
         self._activated = False
-        #: Commit-time trigger-op batching: trigger-side cache operations
-        #: enqueue here (coalescing per key) and flush as multi-key batches
-        #: when the surrounding database transaction commits.
+        #: Commit-time trigger-op batching (the default since the committed
+        #: `--batch-ops` baseline): trigger-side cache operations enqueue
+        #: here (coalescing per key) and flush as gets_multi/cas_multi/
+        #: delete_multi batches when the database transaction commits.
+        #: Pass ``batch_trigger_ops=False`` for the paper's original eager
+        #: per-operation trigger propagation.
         self.batch_trigger_ops = batch_trigger_ops
         self.trigger_op_queue: Optional[TriggerOpQueue] = None
         if batch_trigger_ops:

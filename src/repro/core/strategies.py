@@ -1,11 +1,47 @@
 """Cache-consistency strategies.
 
-The paper exposes three per-cached-object strategies (§3.1, §4):
+The paper exposes three per-cached-object strategies (§3.1, §4), selected
+with ``cacheable(..., update_strategy=...)`` or inherited from the genie's
+``default_strategy``.  ``docs/CONSISTENCY.md`` documents them side by side
+with worked examples; this is the condensed contract.
 
-* ``update-in-place`` (default) — triggers incrementally update cached values;
-* ``invalidate`` — triggers delete affected keys; the next read recomputes;
-* ``expiry`` — no triggers; entries simply expire after a fixed interval
-  (the classic, weakest option the paper argues against for dynamic sites).
+``update-in-place`` (the default)
+    Generated triggers *incrementally patch* the cached value on every
+    INSERT/UPDATE/DELETE of a backing row: counts bump, Top-K lists splice
+    the changed row in or out, feature rows are rewritten.  Readers never
+    see stale data and — unlike invalidation — never pay a recompute after
+    a write.  Propagation is a read-modify-write: with commit-time batching
+    (the system default) each transaction's mutations coalesce per key and
+    flush at COMMIT as one ``gets_multi`` + ``cas_multi`` pair per server,
+    with per-key verdicts — CAS losers are re-read and retried up to
+    ``FLUSH_CAS_MAX_RETRIES`` rounds, then invalidated for safety.  The
+    eager mode (``batch_trigger_ops=False``) instead runs a per-key
+    ``gets``/``cas`` loop inside the trigger, bounded by
+    ``CAS_MAX_RETRIES``, with the same invalidation fallback.
+    Moves ``updates_applied`` (and ``recomputations`` where a patch is not
+    derivable), plus ``cas_retries``/``invalidations`` under contention.
+
+``invalidate``
+    Triggers *delete* every affected key; the next read misses and
+    recomputes from the database.  Always correct, no stale data, but
+    read-heavy workloads pay a database round trip after every write and
+    hot keys can thrash.  Under batching, deletes coalesce per key and
+    flush as one ``delete_multi`` per server at COMMIT.
+    Moves ``invalidations`` and, on the read side, ``cache_misses`` +
+    ``db_fallbacks``.
+
+``expiry``
+    No triggers at all: entries carry a TTL (``expiry_seconds``, default
+    30 s) and readers tolerate staleness up to that bound — the classic
+    memcached deployment the paper argues against for dynamic sites.  The
+    only strategy that can return stale data, and the cheapest on writes.
+    Moves ``expirations`` on the servers; neither ``updates_applied`` nor
+    ``invalidations`` ever change.
+
+Only the triggered strategies (:data:`TRIGGERED_STRATEGIES`) install
+database triggers; ``expiry`` objects skip trigger generation entirely,
+which is what Experiment 5's "ideal system" exploits by disabling triggers
+wholesale.
 """
 
 from __future__ import annotations

@@ -24,9 +24,17 @@ Two operation kinds cover every generated trigger body:
   applied to a single batched read at flush; if the key is not cached the
   whole chain quits, exactly like the eager gets/cas path.
 
-The queue is single-writer (one database connection), so the flush's
-read-apply-write needs no CAS loop: nothing can interleave between its
-``get_multi`` and ``set_multi``.
+The flush propagates mutations with the *batched CAS protocol*:
+``gets_multi`` reads every pending key with its CAS token (one round trip
+per server), the mutation chains run in memory, and ``cas_multi`` writes the
+results back conditionally (again one round trip per server).  Per-key
+verdicts mean a stale token loses only its own key: the flush re-reads and
+retries just the losers, up to :data:`FLUSH_CAS_MAX_RETRIES` rounds, then
+falls back to invalidating whatever still cannot win — the same safety net
+as the eager path's per-key CAS loop.  Within one database (one writer) the
+tokens never go stale and the flush costs exactly one gets_multi/cas_multi
+pair; under concurrent writers the CAS keeps lost-update anomalies out of
+the cache at the cost of the occasional retry round.
 """
 
 from __future__ import annotations
@@ -34,8 +42,14 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..memcache.server import CAS_MISMATCH, CAS_STORED, CAS_TOO_LARGE
+
 #: Mutation: current cached value -> new value, or None to leave it untouched.
 MutateFn = Callable[[Any], Optional[Any]]
+
+#: Bounded CAS retry rounds per flush before falling back to invalidation,
+#: matching the eager trigger path's per-key retry bound.
+FLUSH_CAS_MAX_RETRIES = 5
 
 
 class _PendingOp:
@@ -56,12 +70,14 @@ class TriggerOpQueue:
     """Per-transaction queue of trigger-side cache operations.
 
     Ops enqueue during the transaction (keyed by cache key, coalescing
-    duplicates) and flush as ``get_multi``/``set_multi``/``delete_multi``
+    duplicates) and flush as ``gets_multi``/``cas_multi``/``delete_multi``
     batches at commit.  :meth:`discard` drops everything on abort.
     """
 
-    def __init__(self, cache_client: Any) -> None:
+    def __init__(self, cache_client: Any,
+                 cas_max_retries: int = FLUSH_CAS_MAX_RETRIES) -> None:
         self.cache = cache_client
+        self.cas_max_retries = cas_max_retries
         self._ops: "OrderedDict[str, _PendingOp]" = OrderedDict()
         self._flushing = False
         # Lifetime statistics, for tests and the benchmark reports.
@@ -70,6 +86,10 @@ class TriggerOpQueue:
         self.flushes = 0
         self.flushed_keys = 0
         self.discarded = 0
+        #: Keys re-read and re-swapped after losing a CAS round.
+        self.cas_retries = 0
+        #: Keys invalidated after exhausting every CAS retry round.
+        self.cas_fallbacks = 0
 
     # -- state ------------------------------------------------------------------
 
@@ -127,33 +147,10 @@ class TriggerOpQueue:
         ops, self._ops = self._ops, OrderedDict()
         try:
             deletes = [(k, op) for k, op in ops.items() if op.kind == "delete"]
-            mutates = [(k, op) for k, op in ops.items() if op.kind == "mutate"]
+            mutates = {k: op for k, op in ops.items() if op.kind == "mutate"}
 
             if mutates:
-                current = self.cache.get_multi([k for k, _ in mutates])
-                writes: Dict[Optional[float], Dict[str, Any]] = {}
-                written: List[Tuple[str, _PendingOp]] = []
-                for key, op in mutates:
-                    if key not in current:
-                        continue  # not cached: the trigger quits (paper §3.2)
-                    value = current[key]
-                    dirty = False
-                    for mutate in op.mutations:
-                        # None means "this mutation leaves the entry alone"
-                        # (the eager path's per-op quit); later mutations in
-                        # the chain still apply to the last written value.
-                        new_value = mutate(value)
-                        if new_value is not None:
-                            value = new_value
-                            dirty = True
-                    if not dirty:
-                        continue
-                    writes.setdefault(op.expire, {})[key] = value
-                    written.append((key, op))
-                for expire, mapping in writes.items():
-                    self.cache.set_multi(mapping, expire=expire)
-                for _key, op in written:
-                    self._credit(op.owner, op.counter)
+                self._flush_mutations(mutates)
 
             if deletes:
                 removed = set(self.cache.delete_multi([k for k, _ in deletes]))
@@ -166,6 +163,80 @@ class TriggerOpQueue:
             return len(ops)
         finally:
             self._flushing = False
+
+    def _flush_mutations(self, pending: Dict[str, _PendingOp]) -> None:
+        """Propagate mutation chains with batched CAS, retrying only losers.
+
+        Each round: one ``gets_multi`` over the outstanding keys, the chains
+        applied in memory, one ``cas_multi`` per expiry group.  Keys whose
+        token went stale (``mismatch``) stay outstanding for the next round;
+        keys that vanished, were never cached, or whose chain declined to
+        write drop out (the trigger quits, paper §3.2).  Keys still losing
+        after the retry bound are invalidated for safety, exactly like the
+        eager path's exhausted CAS loop.
+        """
+        outstanding = dict(pending)
+        for round_index in range(self.cas_max_retries):
+            current = self.cache.gets_multi(list(outstanding))
+            staged: Dict[Optional[float], Dict[str, Tuple[Any, int]]] = {}
+            staged_ops: Dict[str, _PendingOp] = {}
+            for key, op in outstanding.items():
+                hit = current.get(key)
+                if hit is None:
+                    continue  # not cached: the trigger quits (paper §3.2)
+                value, token = hit
+                dirty = False
+                for mutate in op.mutations:
+                    # None means "this mutation leaves the entry alone"
+                    # (the eager path's per-op quit); later mutations in
+                    # the chain still apply to the last written value.
+                    new_value = mutate(value)
+                    if new_value is not None:
+                        value = new_value
+                        dirty = True
+                if not dirty:
+                    continue
+                staged.setdefault(op.expire, {})[key] = (value, token)
+                staged_ops[key] = op
+            if not staged_ops:
+                return
+            losers: Dict[str, _PendingOp] = {}
+            unstorable: Dict[str, _PendingOp] = {}
+            for expire, items in staged.items():
+                verdicts = self.cache.cas_multi(items, expire=expire)
+                for key, verdict in verdicts.items():
+                    if verdict == CAS_STORED:
+                        self._credit(staged_ops[key].owner, staged_ops[key].counter)
+                    elif verdict == CAS_MISMATCH:
+                        # Token went stale between the batched read and this
+                        # write: keep only this key for the next round.
+                        losers[key] = staged_ops[key]
+                    elif verdict == CAS_TOO_LARGE:
+                        # Re-reading cannot shrink an oversized value, so
+                        # skip the retry rounds and invalidate immediately.
+                        unstorable[key] = staged_ops[key]
+                    # "missing": the entry vanished mid-flush — nothing left
+                    # to maintain, so the key quits like an uncached one.
+            if unstorable:
+                self._invalidate_fallback(unstorable)
+            if not losers:
+                return
+            self.cas_retries += len(losers)
+            for op in losers.values():
+                self._credit(op.owner, "cas_retries")
+            outstanding = losers
+        # Retries exhausted: invalidate the unwinnable keys so no stale
+        # value survives (the eager path's identical last resort).
+        self._invalidate_fallback(outstanding)
+
+    def _invalidate_fallback(self, unwinnable: Dict[str, _PendingOp]) -> None:
+        """Invalidate keys whose mutation cannot be stored (lost every CAS
+        round, or the value outgrew the server's item limit)."""
+        self.cas_fallbacks += len(unwinnable)
+        removed = set(self.cache.delete_multi(list(unwinnable)))
+        for key, op in unwinnable.items():
+            if key in removed:
+                self._credit(op.owner, "invalidations")
 
     def discard(self) -> int:
         """Drop every queued operation without touching the cache (abort)."""

@@ -2,7 +2,8 @@
 
 Implements the subset of memcached that CacheGenie depends on — get/gets,
 set/add/cas, delete, incr/decr, flush_all, byte-capped LRU eviction, expiry,
-and stats — plus a multi-server client with consistent hashing so the system
+and stats — plus the batched multi-key forms (get/gets/set/cas/delete
+``*_multi``) and a multi-server client with consistent hashing so the system
 presents a single logical cache (§2, Table 1 of the paper).
 """
 
@@ -10,10 +11,15 @@ from .client import CacheClient
 from .hashring import HashRing
 from .item import Item, sizeof_value
 from .lru import LRUStore
-from .server import CacheServer
+from .server import (CAS_MISMATCH, CAS_MISSING, CAS_STORED, CAS_TOO_LARGE,
+                     CacheServer)
 from .stats import CacheStats
 
 __all__ = [
+    "CAS_MISMATCH",
+    "CAS_MISSING",
+    "CAS_STORED",
+    "CAS_TOO_LARGE",
     "CacheClient",
     "CacheServer",
     "CacheStats",

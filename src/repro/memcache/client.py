@@ -19,12 +19,20 @@ from ..errors import CacheServerError
 from ..storage.costmodel import Recorder
 from .hashring import HashRing
 from .item import sizeof_value
-from .server import CacheServer
+from .server import CAS_MISMATCH, CAS_STORED, CAS_TOO_LARGE, CacheServer
 from .stats import CacheStats
 
 
 class CacheClient:
-    """Client over one or more :class:`CacheServer` instances."""
+    """Client over one or more :class:`CacheServer` instances.
+
+    With ``pipeline_batches`` enabled, the per-server batches of one
+    multi-key call are issued concurrently instead of one after another:
+    the call's network time is the ``max`` of its per-server round trips
+    (charged as one full batch plus latency-free *overlapped* batches)
+    rather than their ``sum``.  Real memcached clients do exactly this —
+    each server has its own socket, so nothing serializes the batches.
+    """
 
     def __init__(
         self,
@@ -32,6 +40,7 @@ class CacheClient:
         recorder: Optional[Recorder] = None,
         from_trigger: bool = False,
         reuse_connections: bool = False,
+        pipeline_batches: bool = False,
     ) -> None:
         if not servers:
             raise CacheServerError("CacheClient requires at least one server")
@@ -42,6 +51,7 @@ class CacheClient:
         self.recorder = recorder or Recorder()
         self.from_trigger = from_trigger
         self.reuse_connections = reuse_connections
+        self.pipeline_batches = pipeline_batches
         self._connected = False
         self.stats = CacheStats()
 
@@ -89,12 +99,21 @@ class CacheClient:
             batches.setdefault(self.ring.server_for(key), []).append(key)
         return batches
 
-    def _charge_batch(self, app_event: str) -> None:
-        """Charge one round trip for a multi-key batch sent to one server."""
+    def _charge_batch(self, app_event: str, index: int = 0) -> None:
+        """Charge one round trip for a multi-key batch sent to one server.
+
+        ``index`` is the batch's position within its multi-op call.  When
+        batches are pipelined, only the first batch of a call pays network
+        latency; the rest overlap with it and are charged as latency-free
+        overlapped round trips.
+        """
+        overlapped = self.pipeline_batches and index > 0
         if self.from_trigger:
-            self.recorder.record("trigger_cache_batches")
+            self.recorder.record("trigger_cache_overlapped_batches" if overlapped
+                                 else "trigger_cache_batches")
         else:
-            self.recorder.record(app_event)
+            self.recorder.record("cache_overlapped_batches" if overlapped
+                                 else app_event)
 
     def _charge_batch_item(self) -> None:
         """Charge the per-key (marshalling) share of a batched operation."""
@@ -158,9 +177,9 @@ class CacheClient:
             return {}
         self._charge_connection()
         out: Dict[str, Any] = {}
-        for server_name, batch in self._group_by_server(keys).items():
+        for index, (server_name, batch) in enumerate(self._group_by_server(keys).items()):
             server = self._servers[server_name]
-            self._charge_batch("cache_multi_gets")
+            self._charge_batch("cache_multi_gets", index)
             found = server.get_multi(batch)
             for key in batch:
                 self.stats.gets += 1
@@ -174,6 +193,37 @@ class CacheClient:
                     self.recorder.record("cache_hits")
                     self.recorder.record("cache_bytes_moved", sizeof_value(value))
                     out[key] = value
+        return out
+
+    def gets_multi(self, keys: Sequence[str]) -> Dict[str, Tuple[Any, int]]:
+        """Fetch several keys *with their CAS tokens*, batched per server.
+
+        The CAS counterpart of :meth:`get_multi` — the read half of a batched
+        read-modify-write (``gets_multi`` + :meth:`cas_multi`).  Accounting
+        matches :meth:`get_multi`: one round trip per server batch, hit/miss
+        and byte transfer per key.  Returns ``{key: (value, token)}`` for the
+        hits.
+        """
+        if not keys:
+            return {}
+        self._charge_connection()
+        out: Dict[str, Tuple[Any, int]] = {}
+        for index, (server_name, batch) in enumerate(self._group_by_server(keys).items()):
+            server = self._servers[server_name]
+            self._charge_batch("cache_multi_gets", index)
+            found = server.gets_multi(batch)
+            for key in batch:
+                self.stats.gets += 1
+                self._charge_batch_item()
+                hit = found.get(key)
+                if hit is None:
+                    self.stats.misses += 1
+                    self.recorder.record("cache_misses")
+                else:
+                    self.stats.hits += 1
+                    self.recorder.record("cache_hits")
+                    self.recorder.record("cache_bytes_moved", sizeof_value(hit[0]))
+                    out[key] = hit
         return out
 
     # -- writes ---------------------------------------------------------------
@@ -201,9 +251,10 @@ class CacheClient:
             return []
         self._charge_connection()
         failed: List[str] = []
-        for server_name, batch in self._group_by_server(list(mapping)).items():
+        for index, (server_name, batch) in enumerate(
+                self._group_by_server(list(mapping)).items()):
             server = self._servers[server_name]
-            self._charge_batch("cache_multi_sets")
+            self._charge_batch("cache_multi_sets", index)
             rejected = set(server.set_multi({k: mapping[k] for k in batch}, expire))
             failed.extend(k for k in batch if k in rejected)
             for key in batch:
@@ -241,9 +292,53 @@ class CacheClient:
         if self.from_trigger:
             self.recorder.record("trigger_cache_ops")
         else:
-            self.recorder.record("cache_sets")
+            # A CAS is its own round-trip event — not a cache_sets — so the
+            # ablations can separate conditional from unconditional writes,
+            # and a losing CAS no longer masquerades as a stored value.
+            self.recorder.record("cache_cas")
+        # The value travels to the server whether or not the swap wins.
         self.recorder.record("cache_bytes_moved", sizeof_value(value))
         return result
+
+    def cas_multi(self, items: Dict[str, Tuple[Any, int]],
+                  expire: Optional[float] = None) -> Dict[str, str]:
+        """Compare-and-swap several keys in one round trip per server.
+
+        ``items`` maps each key to ``(new_value, cas_token)`` as returned by
+        :meth:`gets_multi`.  Returns a per-key verdict map (``"stored"`` /
+        ``"mismatch"`` / ``"missing"``) so callers re-read and retry *only
+        the losers* instead of replaying the whole batch.  Every key's value
+        travels to its server regardless of the verdict (byte accounting per
+        attempt); each mismatch additionally records a ``cas_multi_mismatch``
+        event for the CAS-contention ablation.
+        """
+        if not items:
+            return {}
+        self._charge_connection()
+        verdicts: Dict[str, str] = {}
+        for index, (server_name, batch) in enumerate(
+                self._group_by_server(list(items)).items()):
+            server = self._servers[server_name]
+            self._charge_batch("cache_multi_cas", index)
+            outcome = server.cas_multi({k: items[k] for k in batch}, expire)
+            for key in batch:
+                self._charge_batch_item()
+                verdict = outcome[key]
+                verdicts[key] = verdict
+                if verdict == CAS_TOO_LARGE:
+                    # Parity with set_multi: a store the server refused
+                    # (oversized value) counts neither stats nor bytes.
+                    continue
+                if verdict == CAS_STORED:
+                    self.stats.cas_ok += 1
+                elif verdict == CAS_MISMATCH:
+                    self.stats.cas_mismatch += 1
+                    self.recorder.record("cas_multi_mismatch")
+                else:
+                    self.stats.cas_miss += 1
+                self.recorder.record("cache_bytes_moved",
+                                     sizeof_value(items[key][0]))
+        return verdicts
 
     def delete(self, key: str) -> bool:
         """Invalidate a key."""
@@ -265,9 +360,9 @@ class CacheClient:
             return []
         self._charge_connection()
         deleted: List[str] = []
-        for server_name, batch in self._group_by_server(keys).items():
+        for index, (server_name, batch) in enumerate(self._group_by_server(keys).items()):
             server = self._servers[server_name]
-            self._charge_batch("cache_multi_deletes")
+            self._charge_batch("cache_multi_deletes", index)
             deleted.extend(server.delete_multi(batch))
             for _key in batch:
                 self.stats.deletes += 1

@@ -23,6 +23,14 @@ from .stats import CacheStats
 MAX_KEY_LENGTH = 250
 DEFAULT_MAX_ITEM_BYTES = 1024 * 1024
 
+#: Per-key verdicts of a (batched) compare-and-swap, mirroring the memcached
+#: text protocol's three CAS responses.
+CAS_STORED = "stored"      # token matched; the new value was written
+CAS_MISMATCH = "mismatch"  # key exists but was rewritten since the gets (EXISTS)
+CAS_MISSING = "missing"    # key is gone — evicted/expired/deleted (NOT_FOUND)
+CAS_TOO_LARGE = "too-large"  # value exceeds max_item_bytes (SERVER_ERROR);
+                             # retrying cannot help — invalidate instead
+
 
 class CacheServer:
     """One memcached-like server instance."""
@@ -103,6 +111,19 @@ class CacheServer:
                 out[key] = value
         return out
 
+    def gets_multi(self, keys: Sequence[str]) -> Dict[str, Tuple[Any, int]]:
+        """Batched :meth:`gets`: ``{key: (value, cas_token)}`` for the hits.
+
+        The CAS form of :meth:`get_multi` — the read half of the batched
+        read-modify-write protocol (``gets_multi`` + ``cas_multi``).
+        """
+        out: Dict[str, Tuple[Any, int]] = {}
+        for key in keys:
+            value, token = self.gets(key)
+            if value is not None:
+                out[key] = (value, token)
+        return out
+
     def touch_key(self, key: str) -> bool:
         """Return True if the key is present (without counting a get)."""
         return self._live_item(key, touch=False) is not None
@@ -150,19 +171,49 @@ class CacheServer:
     def cas(self, key: str, value: Any, cas_token: int,
             expire: Optional[float] = None, flags: int = 0) -> bool:
         """Compare-and-swap: store only if the item's CAS id still matches."""
+        return self.cas_verdict(key, value, cas_token, expire, flags) == CAS_STORED
+
+    def cas_verdict(self, key: str, value: Any, cas_token: int,
+                    expire: Optional[float] = None, flags: int = 0) -> str:
+        """:meth:`cas` distinguishing why a swap failed.
+
+        Returns :data:`CAS_STORED`, :data:`CAS_MISMATCH` (the token went
+        stale — a retry with a fresh ``gets`` can win), or
+        :data:`CAS_MISSING` (the entry vanished — a retry cannot help).
+        """
         self._check_key(key)
         item = self._live_item(key, touch=False)
         if item is None:
             self.stats.cas_miss += 1
-            return False
+            return CAS_MISSING
         if item.cas_id != cas_token:
             self.stats.cas_mismatch += 1
-            return False
+            return CAS_MISMATCH
+        self._store(key, value, expire, flags)  # may reject an oversized value
         self.stats.cas_ok += 1
         # A successful CAS stores a value just like set() does.
         self.stats.sets += 1
-        self._store(key, value, expire, flags)
-        return True
+        return CAS_STORED
+
+    def cas_multi(self, items: Mapping[str, Tuple[Any, int]],
+                  expire: Optional[float] = None, flags: int = 0) -> Dict[str, str]:
+        """Batched :meth:`cas`: ``{key: (value, cas_token)}`` in, per-key
+        verdicts out.
+
+        Each key is swapped independently — one stale token does not poison
+        the batch — so callers can retry exactly the :data:`CAS_MISMATCH`
+        losers.  Per-key statistics match N single ``cas`` calls.
+        """
+        out: Dict[str, str] = {}
+        for key, (value, token) in items.items():
+            try:
+                out[key] = self.cas_verdict(key, value, token, expire, flags)
+            except CacheValueError:
+                # Parity with set_multi: an oversized value fails only its
+                # key — and re-reading cannot shrink it, so the verdict is
+                # distinct from a mismatch (callers invalidate, not retry).
+                out[key] = CAS_TOO_LARGE
+        return out
 
     def delete(self, key: str) -> bool:
         """Remove a key; returns True if it existed."""

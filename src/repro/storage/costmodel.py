@@ -50,6 +50,10 @@ class CostCounters:
     trigger_cache_ops: int = 0
     #: Batched multi-key round trips issued from triggers (one per server batch).
     trigger_cache_batches: int = 0
+    #: Trigger-side server batches whose latency is hidden behind another
+    #: batch of the same multi-op call (``pipeline_batches``): still a wire
+    #: round trip, but charged no network wait.
+    trigger_cache_overlapped_batches: int = 0
     #: Keys carried inside trigger-side batches (marshalling CPU, no round trip).
     trigger_cache_batch_ops: int = 0
     trigger_rows_examined: int = 0
@@ -57,21 +61,40 @@ class CostCounters:
     cache_gets: int = 0
     cache_sets: int = 0
     cache_deletes: int = 0
+    #: Single compare-and-swap round trips (stored or not — the value
+    #: travels to the server either way).
+    cache_cas: int = 0
     #: Batched multi-key round trips (one event per server batch, not per key).
     cache_multi_gets: int = 0
     cache_multi_sets: int = 0
     cache_multi_deletes: int = 0
+    #: Batched CAS round trips (one event per server batch, like the others).
+    cache_multi_cas: int = 0
+    #: Per-key CAS losses inside batched CAS (any client context): keys whose
+    #: token went stale between the batched read and the batched write.
+    cas_multi_mismatch: int = 0
+    #: Application-side server batches overlapped by ``pipeline_batches``
+    #: (wire round trips that wait behind a concurrent batch, so zero net ms).
+    cache_overlapped_batches: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_bytes_moved: int = 0
 
     @property
     def cache_round_trips(self) -> int:
-        """Total cache-network round trips (single ops + one per server batch)."""
+        """Total cache-network round trips (single ops + one per server batch).
+
+        Overlapped (pipelined) batches are still round trips on the wire —
+        pipelining hides their *latency*, it does not remove the messages —
+        so they count here and are excluded only from the network demand.
+        """
         return (self.cache_gets + self.cache_sets + self.cache_deletes
+                + self.cache_cas
                 + self.cache_multi_gets + self.cache_multi_sets
-                + self.cache_multi_deletes
-                + self.trigger_cache_ops + self.trigger_cache_batches)
+                + self.cache_multi_deletes + self.cache_multi_cas
+                + self.cache_overlapped_batches
+                + self.trigger_cache_ops + self.trigger_cache_batches
+                + self.trigger_cache_overlapped_batches)
 
     def add(self, other: "CostCounters") -> None:
         """Accumulate another counter set into this one."""
@@ -219,15 +242,20 @@ class CostModel:
         )
         net = (
             (counters.cache_gets + counters.cache_sets + counters.cache_deletes
+             + counters.cache_cas
              # A multi-key batch pays one round trip per server, however many
              # keys it carries (the per-key payload is in cache_bytes_moved).
+             # Overlapped batches (``pipeline_batches``) wait behind another
+             # batch of the same call, so they add no network time here —
+             # the flush pays max() over its per-server batches, not sum().
              + counters.cache_multi_gets + counters.cache_multi_sets
-             + counters.cache_multi_deletes)
+             + counters.cache_multi_deletes + counters.cache_multi_cas)
             * self.cache_op_net_ms
             + counters.cache_bytes_moved * self.cache_byte_net_ms
             # The network-wait half of opening a trigger-side memcached
             # connection, plus each memcached round trip issued by a trigger
-            # (batched trigger ops likewise pay one round trip per batch).
+            # (batched trigger ops likewise pay one round trip per batch;
+            # overlapped trigger batches are latency-free, as above).
             + counters.trigger_connections * self.trigger_connection_net_ms
             + (counters.trigger_cache_ops + counters.trigger_cache_batches)
             * self.trigger_cache_op_ms

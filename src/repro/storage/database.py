@@ -111,55 +111,51 @@ class Database:
 
     def insert(self, table: str, values: Dict[str, Any]) -> Dict[str, Any]:
         """Insert one row; fires triggers; returns the stored row."""
-        self.transactions.ensure_transaction()
-        result = self.executor.insert(InsertQuery(table=table, values=values))
-        self._register_insert_undo(table, result)
-        self.transactions.statement_finished(wrote=True)
+        with self.transactions.statement(wrote=True):
+            result = self.executor.insert(InsertQuery(table=table, values=values))
+            self._register_insert_undo(table, result)
         return result
 
     def update(self, table: str, changes: Dict[str, Any],
                where: Optional[Dict[str, Any]] = None,
                predicate: Optional[Predicate] = None) -> List[Dict[str, Any]]:
         """Update matching rows; fires triggers; returns the new row versions."""
-        self.transactions.ensure_transaction()
-        pred = self._predicate(where, predicate)
-        tbl = self.table(table)
-        # Capture pre-images for undo before execution.
-        pre_images = {
-            row.rowid: row.to_dict()
-            for row in tbl.scan() if pred.matches(row)
-        } if self.transactions.in_transaction else {}
-        result = self.executor.update(UpdateQuery(table=table, changes=changes, predicate=pred))
-        if pre_images:
-            self._register_update_undo(table, pre_images)
-        self.transactions.statement_finished(wrote=True)
+        with self.transactions.statement(wrote=True):
+            pred = self._predicate(where, predicate)
+            tbl = self.table(table)
+            # Capture pre-images for undo before execution.
+            pre_images = {
+                row.rowid: row.to_dict()
+                for row in tbl.scan() if pred.matches(row)
+            } if self.transactions.in_transaction else {}
+            result = self.executor.update(
+                UpdateQuery(table=table, changes=changes, predicate=pred))
+            if pre_images:
+                self._register_update_undo(table, pre_images)
         return result
 
     def delete(self, table: str, where: Optional[Dict[str, Any]] = None,
                predicate: Optional[Predicate] = None) -> List[Dict[str, Any]]:
         """Delete matching rows; fires triggers; returns the deleted rows."""
-        self.transactions.ensure_transaction()
-        pred = self._predicate(where, predicate)
-        result = self.executor.delete(DeleteQuery(table=table, predicate=pred))
-        for values in result:
-            self._register_delete_undo(table, values)
-        self.transactions.statement_finished(wrote=True)
+        with self.transactions.statement(wrote=True):
+            pred = self._predicate(where, predicate)
+            result = self.executor.delete(DeleteQuery(table=table, predicate=pred))
+            for values in result:
+                self._register_delete_undo(table, values)
         return result
 
     # -------------------------------------------------------------- queries --
 
     def select(self, query: SelectQuery) -> List[Dict[str, Any]]:
         """Run a SELECT described by a :class:`SelectQuery`."""
-        self.transactions.ensure_transaction()
-        result = self.executor.select(query)
-        self.transactions.statement_finished(wrote=False)
+        with self.transactions.statement(wrote=False):
+            result = self.executor.select(query)
         return result
 
     def count(self, query: CountQuery) -> int:
         """Run a COUNT described by a :class:`CountQuery`."""
-        self.transactions.ensure_transaction()
-        result = self.executor.count(query)
-        self.transactions.statement_finished(wrote=False)
+        with self.transactions.statement(wrote=False):
+            result = self.executor.count(query)
         return result
 
     def find(self, table: str, where: Optional[Dict[str, Any]] = None,

@@ -14,6 +14,7 @@ engine provides a straightforward single-writer transaction model:
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
@@ -57,6 +58,11 @@ class TransactionManager:
         self.recorder = recorder
         self._tid_counter = itertools.count(1)
         self._current: Optional[Transaction] = None
+        #: Nesting depth of in-flight statements.  Statements issued from
+        #: inside another statement (a trigger body reading the database)
+        #: belong to the enclosing statement's transaction and must not
+        #: auto-commit it out from under the trigger.
+        self._statement_depth = 0
         self.committed = 0
         self.aborted = 0
         #: Callbacks fired after a transaction commits/aborts (autocommit
@@ -94,17 +100,52 @@ class TransactionManager:
             self._current = Transaction(tid=next(self._tid_counter), autocommit=True)
         return self._current
 
+    def begin_statement(self) -> Transaction:
+        """Open (or join) a transaction for one statement; tracks nesting.
+
+        The database brackets every statement with ``begin_statement()`` /
+        :meth:`statement_finished`.  A trigger body that issues its own
+        statements (LinkQuery walking a join chain backwards) nests inside
+        the firing statement; the depth counter keeps those inner statements
+        from committing the enclosing autocommit transaction — and firing
+        the commit hooks — before the outer statement (and its triggers)
+        has finished.
+        """
+        txn = self.ensure_transaction()
+        self._statement_depth += 1
+        return txn
+
+    @contextlib.contextmanager
+    def statement(self, wrote: bool):
+        """Bracket one statement: begin on entry, finish on clean exit.
+
+        On an exception (a failing trigger aborts its statement) only the
+        nesting depth unwinds; the transaction itself stays open exactly as
+        an errored statement leaves it.
+        """
+        self.begin_statement()
+        try:
+            yield
+        except BaseException:
+            if self._statement_depth > 0:
+                self._statement_depth -= 1
+            raise
+        self.statement_finished(wrote=wrote)
+
     def statement_finished(self, wrote: bool) -> None:
         """Called by the database after each statement.
 
-        Autocommit transactions commit immediately; explicit transactions
-        stay open until :meth:`commit` / :meth:`abort`.
+        Autocommit transactions commit when the *outermost* statement
+        finishes; explicit transactions stay open until :meth:`commit` /
+        :meth:`abort`.
         """
+        if self._statement_depth > 0:
+            self._statement_depth -= 1
         txn = self._current
         if txn is None:
             return
         txn.statements += 1
-        if txn.autocommit:
+        if txn.autocommit and self._statement_depth == 0:
             if wrote:
                 self.recorder.record("commits")
             txn.status = "committed"

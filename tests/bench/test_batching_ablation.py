@@ -21,23 +21,28 @@ SMALL_WORKLOAD = WorkloadConfig(clients=4, sessions_per_client=2,
 
 
 class TestScenarioWiring:
-    def test_batch_ops_flag_reaches_genie_and_app(self):
-        scenario = Scenario(ScenarioConfig(name=UPDATE_SCENARIO, seed_scale=TINY,
-                                           batch_ops=True)).setup()
+    def test_default_scenario_is_batched_and_pipelined(self):
+        """batch_ops defaults on everywhere since the committed baseline."""
+        scenario = Scenario(ScenarioConfig(name=UPDATE_SCENARIO,
+                                           seed_scale=TINY)).setup()
         try:
             assert scenario.genie.batch_trigger_ops
             assert scenario.genie.trigger_op_queue is not None
             assert scenario.app.batch_reads
+            assert scenario.genie.app_cache.pipeline_batches
+            assert scenario.genie.trigger_cache.pipeline_batches
         finally:
             scenario.teardown()
 
-    def test_default_scenario_stays_eager(self):
-        scenario = Scenario(ScenarioConfig(name=UPDATE_SCENARIO,
-                                           seed_scale=TINY)).setup()
+    def test_batch_ops_off_restores_legacy_eager_mode(self):
+        scenario = Scenario(ScenarioConfig(name=UPDATE_SCENARIO, seed_scale=TINY,
+                                           batch_ops=False,
+                                           pipeline_batches=False)).setup()
         try:
             assert not scenario.genie.batch_trigger_ops
             assert scenario.genie.trigger_op_queue is None
             assert not scenario.app.batch_reads
+            assert not scenario.genie.app_cache.pipeline_batches
         finally:
             scenario.teardown()
 
@@ -94,3 +99,69 @@ class TestCli:
         out = capsys.readouterr().out
         assert "--batch-ops" in out
         assert "batched protocol" in out
+
+
+class TestCasBatchingAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.bench.experiments import experiment_cas_batching
+        return experiment_cas_batching(workload=SMALL_WORKLOAD)
+
+    def test_batched_cas_strictly_reduces_round_trips(self, result):
+        """Acceptance: batched CAS on strictly reduces recorded round trips."""
+        from repro.bench.experiments import BATCHED_CAS, EAGER_CAS, PIPELINED_CAS
+        assert result.round_trips[EAGER_CAS] > result.round_trips[BATCHED_CAS] > 0
+        assert result.round_trips[EAGER_CAS] > result.round_trips[PIPELINED_CAS] > 0
+
+    def test_update_in_place_actually_batches_its_cas_path(self, result):
+        from repro.bench.experiments import BATCHED_CAS, EAGER_CAS
+        batched = result.events[BATCHED_CAS]
+        assert batched["trigger_cache_ops"] == 0
+        assert batched["trigger_cache_batches"] > 0
+        eager = result.events[EAGER_CAS]
+        assert eager["trigger_cache_ops"] > 0
+        assert eager["trigger_cache_batches"] == 0
+        # The batched flush writes through CAS — swaps land on the servers.
+        assert result.cas_stats[BATCHED_CAS]["cas_ok"] > 0
+
+    def test_pipelining_overlaps_batches_without_changing_round_trips(self, result):
+        from repro.bench.experiments import BATCHED_CAS, PIPELINED_CAS
+        assert result.round_trips[PIPELINED_CAS] == result.round_trips[BATCHED_CAS]
+        assert result.events[PIPELINED_CAS]["trigger_cache_overlapped_batches"] > 0
+        assert result.events[BATCHED_CAS]["trigger_cache_overlapped_batches"] == 0
+        # max() instead of sum(): strictly less cache-network time per page.
+        assert result.cache_net_ms[PIPELINED_CAS] < result.cache_net_ms[BATCHED_CAS]
+
+    def test_trigger_path_reduction_isolates_the_cas_flush(self, result):
+        """The headline number must not credit app-side read batching."""
+        from repro.bench.experiments import BATCHED_CAS, EAGER_CAS
+        assert result.trigger_round_trips(EAGER_CAS) \
+            > result.trigger_round_trips(BATCHED_CAS) > 0
+        assert result.round_trip_reduction(BATCHED_CAS) >= 2.0
+
+    def test_render(self, result):
+        from repro.bench.reporting import render_experiment_cas_batching
+        out = render_experiment_cas_batching(result)
+        assert "Trigger-path round trips" in out
+        assert "TOTAL round trips" in out
+        assert "Trigger-path reduction" in out
+        assert "Pipelining gain" in out
+        assert "EagerCAS" in out and "BatchedCAS" in out and "Pipelined" in out
+
+
+class TestCasBatchCli:
+    def test_exp_cas_batch_registered_with_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["exp-cas-batch"])
+        assert args.cas_batch == "both"
+        assert callable(args.func)
+        args = parser.parse_args(["exp-cas-batch", "--cas-batch", "off"])
+        assert args.cas_batch == "off"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["exp-cas-batch", "--cas-batch", "diagonal"])
+
+    def test_exp_cas_batch_help_documents_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exp-cas-batch", "--help"])
+        out = capsys.readouterr().out
+        assert "--cas-batch" in out

@@ -99,27 +99,50 @@ class TestEffortMetrics:
         assert report["generated_trigger_lines"] > 50
 
     def test_trigger_source_is_rendered_python(self, stack):
+        """The default (batched) genie renders commit-time-queue triggers."""
         genie = stack["genie"]
         cached = genie.cacheable(cache_class_type="TopKQuery", main_model="Wall",
                                  where_fields=["person_id"], sort_field="posted",
                                  k=5)
         source = genie.trigger_generator.full_source()
         assert "def cg_" in source
-        assert "cache.gets(cache_key)" in source
+        # Batched default: the trigger enqueues; the flush runs the CAS pair.
+        assert "queue.enqueue_mutate(cache_key" in source
+        assert "gets_multi" in source and "cas_multi" in source
         assert cached.keys.prefix in source
         # Each generated trigger's metadata carries its own source text.
         trigger = stack["database"].triggers.list_triggers("wall")[0]
         assert trigger.metadata["cached_object"] == cached.name
         assert "memcache.Client" in trigger.metadata["source"]
 
-    def test_invalidate_source_uses_delete(self, stack):
+    def test_eager_trigger_source_keeps_per_key_cas(self, stack):
+        """batch_trigger_ops=False renders the paper's original gets/cas body."""
+        genie = CacheGenie(registry=stack["registry"],
+                           database=stack["database"],
+                           cache_servers=[stack["cache_server"]],
+                           batch_trigger_ops=False).activate()
+        try:
+            cached = genie.cacheable(
+                cache_class_type="TopKQuery", main_model="Wall",
+                where_fields=["person_id"], sort_field="posted", k=5,
+                name="eager_topk")
+            source = genie.trigger_generator.full_source()
+            assert "cache.gets(cache_key)" in source
+            assert "cache.cas(cache_key" in source
+            assert "queue.enqueue" not in source
+            assert cached.keys.prefix in source
+        finally:
+            genie.deactivate()
+            stack["genie"].activate()
+
+    def test_invalidate_source_uses_queued_delete(self, stack):
         genie = stack["genie"]
         cached = genie.cacheable(cache_class_type="FeatureQuery", main_model="Profile",
                                  where_fields=["person_id"],
                                  update_strategy="invalidate")
         spec = cached.get_trigger_info()[0]
         source = render_trigger_source(cached, spec)
-        assert "cache.delete(cache_key)" in source
+        assert "queue.enqueue_delete(cache_key)" in source
         assert "cache.cas(" not in source
 
 

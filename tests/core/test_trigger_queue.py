@@ -332,3 +332,101 @@ class TestTransactionalSessionQueue:
         session2.abort()
         assert queue2.pending_count == 0
         assert client.get("n") == 6
+
+
+class TestFlushCasRetries:
+    """The flush's batched CAS: winners commit, losers re-read and retry."""
+
+    def test_flush_writes_through_cas(self, cache):
+        client, server = cache
+        client.set("n", 1)
+        queue = TriggerOpQueue(client)
+        queue.enqueue_mutate(FakeOwner(), "n", lambda v: v + 1)
+        cas_before = server.stats.cas_ok
+        queue.flush()
+        assert client.get("n") == 2
+        assert server.stats.cas_ok == cas_before + 1
+
+    def test_contended_key_retries_only_the_loser(self, cache):
+        client, server = cache
+        client.set("w", 10)
+        client.set("l", 10)
+        queue = TriggerOpQueue(client)
+        owner = FakeOwner()
+        sneaks = []
+
+        def contended(value):
+            # A concurrent writer rewrites "l" between the flush's batched
+            # read and its batched CAS — but only the first time around.
+            if not sneaks:
+                sneaks.append(True)
+                client.set("l", 100)
+            return value + 1
+
+        queue.enqueue_mutate(owner, "w", lambda v: v + 1)
+        queue.enqueue_mutate(owner, "l", contended)
+        gets_before = server.stats.gets
+        queue.flush()
+        # Round 1 read both keys; round 2 re-read only the loser.
+        assert server.stats.gets - gets_before == 3
+        # The winner committed once; the loser's chain re-applied to the
+        # contending writer's value, not the stale snapshot.
+        assert client.get("w") == 11
+        assert client.get("l") == 101
+        assert owner.stats.updates_applied == 2
+        assert owner.stats.cas_retries == 1
+        assert queue.cas_retries == 1
+        assert queue.cas_fallbacks == 0
+
+    def test_retries_exhausted_fall_back_to_invalidation(self, cache):
+        client, _server = cache
+        client.set("hot", 0)
+        queue = TriggerOpQueue(client, cas_max_retries=2)
+        owner = FakeOwner()
+
+        def always_contended(value):
+            client.set("hot", value + 1000)  # every round loses the race
+            return value + 1
+
+        queue.enqueue_mutate(owner, "hot", always_contended)
+        queue.flush()
+        # No stale value survives: the unwinnable key was invalidated.
+        assert client.get("hot") is None
+        assert owner.stats.invalidations == 1
+        assert owner.stats.updates_applied == 0
+        assert queue.cas_retries == 2
+        assert queue.cas_fallbacks == 1
+
+    def test_oversized_result_invalidates_without_burning_retries(self, cache):
+        server0 = CacheServer("tiny", max_item_bytes=256)
+        client = CacheClient([server0], recorder=Recorder(), from_trigger=True)
+        client.set("k", "seed")
+        queue = TriggerOpQueue(client)
+        owner = FakeOwner()
+        queue.enqueue_mutate(owner, "k", lambda v: "x" * 1024)
+        gets_before = server0.stats.gets
+        queue.flush()
+        # One read round only: too-large skips straight to invalidation.
+        assert server0.stats.gets - gets_before == 1
+        assert queue.cas_retries == 0
+        assert queue.cas_fallbacks == 1
+        assert client.get("k") is None
+        assert owner.stats.invalidations == 1
+
+    def test_key_vanishing_mid_flush_quits_like_the_eager_path(self, cache):
+        client, _server = cache
+        client.set("gone", 1)
+        queue = TriggerOpQueue(client)
+        owner = FakeOwner()
+
+        def deletes_underneath(value):
+            client.delete("gone")
+            return value + 1
+
+        queue.enqueue_mutate(owner, "gone", deletes_underneath)
+        queue.flush()
+        # CAS_MISSING: nothing left to maintain — no retry, no fallback.
+        assert client.get("gone") is None
+        assert owner.stats.updates_applied == 0
+        assert queue.cas_retries == 0
+        assert queue.cas_fallbacks == 0

@@ -213,3 +213,172 @@ class TestClientMultiOpAccounting:
         multi_trips = recorder.total.cache_round_trips - before.cache_round_trips
         single_trips = len(keys)  # what a per-key loop would have charged
         assert multi_trips * 2 <= single_trips
+
+
+class TestServerCasMulti:
+    def test_gets_multi_returns_values_with_tokens(self):
+        server = CacheServer("m0")
+        server.set("a", 1)
+        server.set("b", 2)
+        out = server.gets_multi(["a", "b", "c"])
+        assert set(out) == {"a", "b"}
+        assert out["a"][0] == 1 and out["b"][0] == 2
+        # Tokens are live: a cas with them succeeds.
+        assert server.cas("a", 10, out["a"][1])
+        assert server.stats.gets == 3
+        assert server.stats.hits == 2
+        assert server.stats.misses == 1
+
+    def test_cas_multi_per_key_verdicts(self):
+        from repro.memcache import CAS_MISMATCH, CAS_MISSING, CAS_STORED
+        server = CacheServer("m0")
+        server.set("fresh", 1)
+        server.set("stale", 1)
+        tokens = server.gets_multi(["fresh", "stale"])
+        server.set("stale", 2)  # bumps the CAS id behind the reader's back
+        verdicts = server.cas_multi({
+            "fresh": (10, tokens["fresh"][1]),
+            "stale": (20, tokens["stale"][1]),
+            "gone": (30, 12345),
+        })
+        assert verdicts == {"fresh": CAS_STORED, "stale": CAS_MISMATCH,
+                            "gone": CAS_MISSING}
+        # One stale token did not poison the batch: the winner stored.
+        assert server.get("fresh") == 10
+        assert server.get("stale") == 2
+        assert server.stats.cas_ok == 1
+        assert server.stats.cas_mismatch == 1
+        assert server.stats.cas_miss == 1
+
+    def test_cas_multi_oversized_value_fails_only_its_key(self):
+        from repro.memcache import CAS_STORED, CAS_TOO_LARGE
+        server = CacheServer("m0", max_item_bytes=256)
+        server.set("small", 1)
+        server.set("big", 1)
+        tokens = server.gets_multi(["small", "big"])
+        verdicts = server.cas_multi({
+            "small": (2, tokens["small"][1]),
+            "big": ("x" * 1024, tokens["big"][1]),
+        })
+        assert verdicts["small"] == CAS_STORED
+        # Distinct from a mismatch: a retry can never store this value.
+        assert verdicts["big"] == CAS_TOO_LARGE
+        assert server.get("small") == 2
+        assert server.get("big") == 1
+        # The refused store counted neither a win nor a set.
+        assert server.stats.cas_ok == 1
+
+
+class TestClientCasAccounting:
+    def test_single_cas_charges_cache_cas_not_cache_sets(self):
+        recorder = Recorder()
+        client, _ = make_client(1, recorder=recorder)
+        client.set("k", "v1")
+        sets_before = recorder.total.cache_sets
+        _value, token = client.gets("k")
+        assert client.cas("k", "v2", token)
+        # A losing CAS is a round trip too — and still not a set.
+        assert not client.cas("k", "v3", token)
+        assert recorder.total.cache_cas == 2
+        assert recorder.total.cache_sets == sets_before
+        assert client.stats.cas_ok == 1
+        assert client.stats.cas_mismatch == 1
+
+    def test_cas_multi_round_trip_and_mismatch_accounting(self):
+        from repro.memcache import CAS_MISMATCH, CAS_STORED
+        recorder = Recorder()
+        client, _ = make_client(2, recorder=recorder)
+        keys = [f"key:{i}" for i in range(8)]
+        client.set_multi({k: 0 for k in keys})
+        tokens = client.gets_multi(keys)
+        client.set(keys[3], 99)  # invalidate one token behind the reader
+        before = recorder.total.copy()
+        verdicts = client.cas_multi({k: (1, tokens[k][1]) for k in keys})
+        batches = len(client._group_by_server(keys))
+        assert recorder.total.cache_multi_cas - before.cache_multi_cas \
+            + recorder.total.cache_overlapped_batches \
+            - before.cache_overlapped_batches == batches
+        assert recorder.total.cache_sets == before.cache_sets
+        assert verdicts[keys[3]] == CAS_MISMATCH
+        assert all(verdicts[k] == CAS_STORED for k in keys if k != keys[3])
+        assert recorder.total.cas_multi_mismatch - before.cas_multi_mismatch == 1
+        assert client.stats.cas_ok == 7
+        assert client.stats.cas_mismatch == 1
+
+    def test_partial_failure_retries_only_losers_without_double_charging(self):
+        """Satellite acceptance: per-key verdicts, loser-only retry, and no
+        second cache_bytes_moved charge for the keys that already won."""
+        from repro.memcache import CAS_MISMATCH, CAS_STORED
+        recorder = Recorder()
+        client, _ = make_client(1, recorder=recorder)
+        client.set("w", 0)
+        client.set("l", 0)
+        tokens = client.gets_multi(["w", "l"])
+        client.set("l", 5)  # contending writer: "l" will lose round one
+        winner_value, loser_value = "winner-payload", "loser-payload"
+        before = recorder.total.copy()
+        verdicts = client.cas_multi({"w": (winner_value, tokens["w"][1]),
+                                     "l": (loser_value, tokens["l"][1])})
+        assert verdicts == {"w": CAS_STORED, "l": CAS_MISMATCH}
+        first_bytes = recorder.total.cache_bytes_moved - before.cache_bytes_moved
+        assert first_bytes == sizeof_value(winner_value) + sizeof_value(loser_value)
+        # Retry exactly the loser with a fresh token.
+        retry_tokens = client.gets_multi(["l"])
+        mid = recorder.total.copy()
+        verdicts = client.cas_multi({"l": (loser_value, retry_tokens["l"][1])})
+        assert verdicts == {"l": CAS_STORED}
+        retry_bytes = recorder.total.cache_bytes_moved - mid.cache_bytes_moved
+        # Only the loser's payload travelled again (plus nothing for "w").
+        assert retry_bytes == sizeof_value(loser_value)
+        assert client.get("w") == winner_value
+        assert client.get("l") == loser_value
+
+    def test_empty_cas_multi_charges_nothing(self):
+        recorder = Recorder()
+        client, _ = make_client(2, recorder=recorder)
+        assert client.cas_multi({}) == {}
+        assert recorder.total.cache_multi_cas == 0
+
+
+class TestPipelinedBatches:
+    def _spread_keys(self, client, count=40):
+        """Keys guaranteed to span both servers of the two-server ring."""
+        keys = [f"key:{i}" for i in range(count)]
+        assert len(client._group_by_server(keys)) == 2
+        return keys
+
+    def test_overlapped_batches_charged_latency_free(self):
+        from repro.storage.costmodel import CostModel
+        serial_rec, piped_rec = Recorder(), Recorder()
+        serial, _ = make_client(2, recorder=serial_rec)
+        piped, _ = make_client(2, recorder=piped_rec, pipeline_batches=True)
+        keys = self._spread_keys(serial)
+        serial.get_multi(keys)
+        piped.get_multi(keys)
+        model = CostModel()
+        # Same wire round trips either way...
+        assert (serial_rec.total.cache_round_trips
+                == piped_rec.total.cache_round_trips == 2)
+        # ...but the pipelined call charges max() not sum() of batch latency.
+        assert piped_rec.total.cache_overlapped_batches == 1
+        assert piped_rec.total.cache_multi_gets == 1
+        serial_net = model.demand(serial_rec.total).cache_net_ms
+        piped_net = model.demand(piped_rec.total).cache_net_ms
+        assert piped_net == serial_net - model.cache_op_net_ms
+
+    def test_trigger_context_overlap_counter(self):
+        recorder = Recorder()
+        client, _ = make_client(2, recorder=recorder, from_trigger=True,
+                                pipeline_batches=True)
+        keys = self._spread_keys(client)
+        client.reset_connection()
+        client.get_multi(keys)
+        assert recorder.total.trigger_cache_batches == 1
+        assert recorder.total.trigger_cache_overlapped_batches == 1
+
+    def test_single_server_call_never_overlaps(self):
+        recorder = Recorder()
+        client, _ = make_client(1, recorder=recorder, pipeline_batches=True)
+        client.set_multi({f"k{i}": i for i in range(10)})
+        assert recorder.total.cache_overlapped_batches == 0
+        assert recorder.total.cache_multi_sets == 1

@@ -93,3 +93,50 @@ class TestExplicitTransactions:
         database.commit()
         assert database.transactions.committed == 1
         assert database.transactions.aborted == 0
+
+
+class TestStatementNesting:
+    """Statements issued from trigger bodies must not commit their parent.
+
+    A LinkQuery trigger walks its join chain backwards with real SELECTs
+    while the firing INSERT is still executing; before depth tracking those
+    inner reads committed the INSERT's autocommit transaction out from under
+    it, firing the commit hooks (and the trigger-op queue flush) too early.
+    """
+
+    def test_trigger_reads_do_not_commit_the_firing_statement(self, database):
+        order = []
+        database.create_trigger(
+            "reads_inside", "accounts", "insert",
+            lambda data: (database.find("accounts"), order.append("trigger"))[1])
+        database.transactions.on_commit.append(lambda: order.append("commit"))
+        database.insert("accounts", {"owner": "carol", "balance": 5})
+        # One commit, fired after the trigger (not by the trigger's read).
+        assert order == ["trigger", "commit"]
+        assert database.transactions.committed == 1
+        assert database.transactions.current is None
+
+    def test_trigger_reading_insert_still_charges_a_commit(self, database):
+        database.create_trigger(
+            "reads_inside", "accounts", "insert",
+            lambda data: database.find("accounts"))
+        before = database.recorder.total.commits
+        database.insert("accounts", {"owner": "dave", "balance": 1})
+        assert database.recorder.total.commits == before + 1
+
+    def test_failing_trigger_unwinds_statement_depth(self, database):
+        from repro.errors import TriggerError
+
+        def boom(data):
+            raise RuntimeError("no")
+
+        database.create_trigger("boom", "accounts", "insert", boom)
+        with pytest.raises(TriggerError):
+            database.insert("accounts", {"owner": "eve", "balance": 1})
+        database.triggers.drop_trigger("boom")
+        fired = []
+        database.transactions.on_commit.append(lambda: fired.append(True))
+        # Depth unwound: the next statement autocommits normally.
+        database.insert("accounts", {"owner": "frank", "balance": 2})
+        assert fired == [True]
+        assert database.transactions.current is None

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Documentation checks: relative-link integrity and runnable snippets.
+
+Run from the repository root (CI's docs job does)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Two checks keep the docs layer from rotting silently:
+
+* **Links** — every relative markdown link in ``README.md`` and ``docs/``
+  must point at an existing file, and every ``#anchor`` must match a
+  heading (GitHub slug rules) in the target file.
+* **Doctests** — every fenced ```python block that contains ``>>>``
+  prompts is executed with :mod:`doctest`.  Blocks within one file share a
+  namespace, in order, so a setup block can feed the examples below it.
+
+Exit status 0 when everything passes; a non-zero status lists every broken
+link / failing example on stderr.  No dependencies beyond the standard
+library (plus the ``repro`` package being importable for the snippets).
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Files whose links and snippets are checked.
+DOC_FILES = ("README.md", "EXPERIMENTS.md", "docs")
+
+#: Inline markdown links: [text](target) — images share the syntax.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks with an info string, non-greedy across lines.
+_FENCE_RE = re.compile(r"^```(\w*)[^\n]*\n(.*?)^```\s*$",
+                       re.MULTILINE | re.DOTALL)
+
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+_FENCED_CODE_RE = re.compile(r"^```.*?^```\s*$", re.MULTILINE | re.DOTALL)
+_INLINE_CODE_RE = re.compile(r"`[^`\n]*`")
+
+
+def strip_code(text: str) -> str:
+    """Remove fenced blocks and inline code spans before scanning links.
+
+    Ordinary code like ``handlers[name](event)`` matches the markdown-link
+    syntax; only prose links should be validated.
+    """
+    return _INLINE_CODE_RE.sub("", _FENCED_CODE_RE.sub("", text))
+
+
+def doc_paths() -> List[Path]:
+    """The markdown files under check, in a stable order."""
+    paths: List[Path] = []
+    for entry in DOC_FILES:
+        path = REPO_ROOT / entry
+        if path.is_dir():
+            paths.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            paths.append(path)
+    return paths
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, punctuation dropped,
+    spaces to hyphens (backticks and markdown emphasis are stripped first)."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> List[str]:
+    return [github_slug(m.group(1)) for m in _HEADING_RE.finditer(path.read_text())]
+
+
+def check_links(paths: List[Path]) -> List[str]:
+    """Return one error string per broken relative link or anchor."""
+    errors: List[str] = []
+    for path in paths:
+        for match in _LINK_RE.finditer(strip_code(path.read_text())):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, anchor = target.partition("#")
+            resolved = (path.parent / base).resolve() if base else path
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO_ROOT)}: broken link "
+                              f"-> {target}")
+                continue
+            if anchor and resolved.suffix == ".md":
+                if anchor not in heading_slugs(resolved):
+                    errors.append(f"{path.relative_to(REPO_ROOT)}: missing "
+                                  f"anchor -> {target}")
+    return errors
+
+
+def python_snippets(path: Path) -> List[Tuple[int, str]]:
+    """(line, source) of each ```python block containing doctest prompts."""
+    text = path.read_text()
+    snippets: List[Tuple[int, str]] = []
+    for match in _FENCE_RE.finditer(text):
+        language, body = match.group(1), match.group(2)
+        if language == "python" and ">>>" in body:
+            line = text.count("\n", 0, match.start()) + 1
+            snippets.append((line, body))
+    return snippets
+
+
+def check_doctests(paths: List[Path]) -> List[str]:
+    """Run each file's doctest blocks (shared namespace, in order)."""
+    errors: List[str] = []
+    parser = doctest.DocTestParser()
+    for path in paths:
+        snippets = python_snippets(path)
+        if not snippets:
+            continue
+        name = str(path.relative_to(REPO_ROOT))
+        source = "\n".join(body for _line, body in snippets)
+        globs: Dict[str, object] = {}
+        test = parser.get_doctest(source, globs, name, name, 0)
+        runner = doctest.DocTestRunner(verbose=False,
+                                       optionflags=doctest.ELLIPSIS)
+        output: List[str] = []
+        runner.run(test, out=output.append)
+        if runner.failures:
+            errors.append(f"{name}: {runner.failures} of {runner.tries} "
+                          f"doctest example(s) failed\n" + "".join(output))
+    return errors
+
+
+def main() -> int:
+    paths = doc_paths()
+    if not paths:
+        print("check_docs: no documentation files found", file=sys.stderr)
+        return 1
+    errors = check_links(paths) + check_doctests(paths)
+    snippet_count = sum(len(python_snippets(p)) for p in paths)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"check_docs: {len(errors)} problem(s) across {len(paths)} "
+              f"file(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs: {len(paths)} file(s) OK "
+          f"({snippet_count} doctest block(s) executed)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
