@@ -1,9 +1,12 @@
 #!/usr/bin/env python
 """Comparing consistency strategies, plus the §3.3 serializability extension.
 
-Part 1 runs the same write-then-read sequence under the three per-object
-strategies (update-in-place, invalidate, expiry) and prints what each one
-does to the cache.
+Part 1 runs the same write-then-read sequence under all five registered
+:class:`~repro.core.ConsistencyStrategy` objects — the paper's three
+(update-in-place, invalidate, expiry) plus leased invalidation and
+async-refresh — and prints what each one does to the cache.  A virtual
+clock drives the time-based strategies so lease windows and freshness
+deadlines visibly elapse.
 
 Part 2 demonstrates the full-consistency extension sketched in §3.3: two
 transactions contend on a cached key under two-phase locking, one blocks,
@@ -14,11 +17,14 @@ Run with::
     python examples/consistency_strategies.py
 """
 
-from repro.core import (CacheGenie, Param, TransactionalCacheSession,
-                        TwoPhaseLockingCoordinator, WouldBlock)
+from repro.core import (AsyncRefreshStrategy, CacheGenie,
+                        LeasedInvalidateStrategy, Param,
+                        TransactionalCacheSession, TwoPhaseLockingCoordinator,
+                        WouldBlock)
 from repro.errors import DeadlockError
 from repro.memcache import CacheClient, CacheServer
 from repro.orm import CharField, ForeignKey, IntegerField, Model, Registry
+from repro.sim import VirtualClock
 from repro.storage import Database
 
 registry = Registry("strategies")
@@ -40,41 +46,56 @@ class Score(Model):
 
 
 def compare_strategies() -> None:
+    clock = VirtualClock()
     database = Database()
     registry.bind(database)
     registry.create_all()
     genie = CacheGenie(registry=registry, database=database,
-                       cache_servers=[CacheServer("cache0")]).activate()
+                       cache_servers=[CacheServer("cache0", clock=clock)]
+                       ).activate()
 
     players = [Player.objects.create(name=f"player{i}") for i in range(3)]
     for player in players:
         for points in (10, 20, 30):
             Score.objects.create(player=player, points=points)
 
-    strategies = ("update-in-place", "invalidate", "expiry")
+    # Strategies are first-class objects resolved through a registry:
+    # legacy names still work, and instances carry their own windows.
+    strategies = ("update-in-place", "invalidate",
+                  LeasedInvalidateStrategy(lease_seconds=5.0),
+                  AsyncRefreshStrategy(refresh_seconds=0.5),
+                  "expiry")
     print("strategy comparison (cached count of a player's scores)\n")
     for strategy in strategies:
-        # All three declarations share one query shape (the count of a
-        # player's scores), and CacheGenie rejects two live cached objects
-        # with the same shape — so each strategy's object is removed before
-        # the next one is declared.
+        # All declarations share one query shape (the count of a player's
+        # scores), and CacheGenie rejects two live cached objects with the
+        # same shape — so each strategy's object is removed before the next
+        # one is declared.
+        label = strategy if isinstance(strategy, str) else strategy.name
+        options = {"expiry_seconds": 60} if strategy == "expiry" else {}
         cached = genie.cacheable(
             Score.objects.filter(player_id=Param("player_id")).count(),
-            name=f"score_count_{strategy}",
-            update_strategy=strategy, expiry_seconds=60,
-            use_transparently=False)
+            name=f"score_count_{label}",
+            update_strategy=strategy,
+            use_transparently=False, **options)
         player = players[0]
         before = cached.evaluate(player_id=player.pk)
         Score.objects.create(player=player, points=99)          # a write
+        clock.advance(1.0)  # time passes: async-refresh entries go stale
         in_cache = cached.peek(player_id=player.pk)
         after = cached.evaluate(player_id=player.pk)
-        print(f"  {strategy:16s} cached-before={before}  "
-              f"cache-entry-after-write={in_cache!r}  next-read={after}")
+        served_stale = cached.stats.stale_served > 0
+        print(f"  {label:18s} cached-before={before}  "
+              f"cache-entry-after-write={in_cache!r}  next-read={after}"
+              f"{'  (served stale, refreshing in background)' if served_stale else ''}")
         Score.objects.filter(player_id=player.pk, points=99).delete()
         genie.remove_cached_object(cached.name)
 
     print("\n(update-in-place keeps the entry fresh; invalidate drops it so the\n"
-          " next read recomputes; expiry leaves it stale until the TTL fires.)")
+          " next read recomputes; leased invalidation serves the retained stale\n"
+          " value while one reader refreshes; async-refresh serves stale past its\n"
+          " freshness deadline and refreshes in the background; expiry leaves it\n"
+          " stale until the TTL fires.)")
     genie.deactivate()
 
 

@@ -12,7 +12,7 @@ LinkQuery).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict, Optional
 
 from ...core import CacheGenie, Param
 from ...core.cache_classes.base import CacheClass
@@ -21,12 +21,14 @@ from .models import (BookmarkInstance, Friendship, FriendshipInvitation,
 
 
 def install_cached_objects(genie: CacheGenie,
-                           update_strategy: str = None) -> Dict[str, CacheClass]:
+                           update_strategy: Optional[Any] = None,
+                           ) -> Dict[str, CacheClass]:
     """Declare the social app's 14 cached objects on ``genie``.
 
-    ``update_strategy`` overrides the per-object default (the benchmark
-    harness passes ``"invalidate"`` or ``"update-in-place"`` to build the
-    paper's Invalidate and Update configurations).
+    ``update_strategy`` overrides the per-object default: a registered
+    strategy name or a :class:`~repro.core.ConsistencyStrategy` instance
+    (the benchmark harness passes the scenario's resolved strategy object
+    to build each evaluated configuration).
     """
     kwargs = {}
     if update_strategy is not None:

@@ -14,6 +14,7 @@ code::
     python -m repro.bench exp5
     python -m repro.bench exp-batch --batch-ops both
     python -m repro.bench exp-cas-batch --cas-batch both
+    python -m repro.bench exp-strategies [--quick]
 
 Each command prints the same rendered rows/series the corresponding
 ``benchmarks/`` target saves under ``benchmarks/_results/``.
@@ -76,6 +77,14 @@ def _cmd_exp_batch(args: argparse.Namespace) -> str:
     }[args.batch_ops]
     result = experiments.experiment_batching(scenario=args.scenario, modes=modes)
     return reporting.render_experiment_batching(result)
+
+
+def _cmd_exp_strategies(args: argparse.Namespace) -> str:
+    scenarios = tuple(args.strategies) if args.strategies \
+        else experiments.STRATEGY_ABLATION_SCENARIOS
+    result = experiments.experiment_strategies(scenarios=scenarios,
+                                               quick=args.quick)
+    return reporting.render_experiment_strategies(result)
 
 
 def _cmd_exp_cas_batch(args: argparse.Namespace) -> str:
@@ -152,6 +161,20 @@ def build_parser() -> argparse.ArgumentParser:
              "gets + one cas round trip per key), or both, which adds the "
              "intermediate serial-batches column (default: both)")
     exp_cas.set_defaults(func=_cmd_exp_cas_batch)
+
+    exp_strategies = sub.add_parser(
+        "exp-strategies",
+        help="Consistency-strategy ablation: all five strategies (incl. "
+             "leased invalidation and async-refresh) on the hot-key "
+             "wall/top-k workload")
+    exp_strategies.add_argument(
+        "--strategies", nargs="+", default=None,
+        choices=list(experiments.STRATEGY_ABLATION_SCENARIOS),
+        help="subset of strategy scenarios to run (default: all five)")
+    exp_strategies.add_argument(
+        "--quick", action="store_true",
+        help="tiny seed and short trace — the CI smoke configuration")
+    exp_strategies.set_defaults(func=_cmd_exp_strategies)
     return parser
 
 

@@ -23,7 +23,8 @@ from ..sim import (ReplayResult, RunMetrics, SimulationOptions, VirtualClock,
 from ..storage import (ColumnDef, CostModel, Database, IndexDef, Recorder,
                        TableSchema)
 from ..workload import WorkloadConfig, WorkloadGenerator
-from .scenarios import (ALL_SCENARIOS, INVALIDATE_SCENARIO, NO_CACHE,
+from .scenarios import (ALL_SCENARIOS, ASYNC_REFRESH_SCENARIO, EXPIRY_SCENARIO,
+                        INVALIDATE_SCENARIO, LEASED_SCENARIO, NO_CACHE,
                         Scenario, ScenarioConfig, UPDATE_SCENARIO)
 
 # ---------------------------------------------------------------------------
@@ -57,6 +58,8 @@ class ScenarioRun:
     cache_hit_ratio: float = 0.0
     cache_stats: Dict[str, float] = field(default_factory=dict)
     effort: Dict[str, int] = field(default_factory=dict)
+    #: Aggregated per-cached-object counters (db_fallbacks, stale_served, ...).
+    object_totals: Dict[str, float] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -78,7 +81,9 @@ def run_scenario(
     scenario = Scenario(config).setup()
     try:
         user_ids = list(range(1, config.seed_scale.users + 1))
-        replayer = WorkloadReplayer(scenario.app, scenario.database)
+        replayer = WorkloadReplayer(
+            scenario.app, scenario.database, clock=scenario.clock,
+            page_interval_seconds=config.page_interval_seconds)
         if warmup is not None:
             warmup_trace = WorkloadGenerator(warmup, user_ids).generate()
             replayer.replay(warmup_trace, record=False)
@@ -94,6 +99,8 @@ def run_scenario(
             cache_hit_ratio=scenario.cache_hit_ratio(),
             cache_stats=scenario.cache_stats(),
             effort=scenario.genie.effort_report() if scenario.genie else {},
+            object_totals=(scenario.genie.stats.totals().as_dict()
+                           if scenario.genie else {}),
         )
     finally:
         scenario.teardown()
@@ -502,6 +509,157 @@ def experiment_cas_batching(
         events=events,
         cas_stats=cas_stats,
         cache_net_ms=cache_net_ms,
+        throughput=throughput,
+        cache_hit_ratio=hit_ratio,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Consistency-strategy ablation (`exp-strategies`)
+# ---------------------------------------------------------------------------
+
+#: Scenario names of the strategy ablation, in report order: the paper's two
+#: triggered strategies, the two new registry strategies, and classic expiry.
+STRATEGY_ABLATION_SCENARIOS = (UPDATE_SCENARIO, INVALIDATE_SCENARIO,
+                               LEASED_SCENARIO, ASYNC_REFRESH_SCENARIO,
+                               EXPIRY_SCENARIO)
+
+#: Hot-key variant of the wall/top-k workload: the same short sessions, but a
+#: heavier write share and stronger zipf skew, so a handful of hot users'
+#: walls/counters are invalidated and re-read over and over — the pattern
+#: where plain invalidation thrashes and leases earn their keep.
+HOT_KEY_WORKLOAD = WorkloadConfig(
+    clients=8, sessions_per_client=3, page_loads_per_session=5,
+    page_mix={"LookupBM": 45.0, "LookupFBM": 15.0,
+              "CreateBM": 25.0, "AcceptFR": 15.0},
+    zipf_parameter=2.6)
+
+#: Virtual seconds per page load during the ablation replay: time must pass
+#: for TTLs, lease windows, and freshness deadlines to mean anything.
+STRATEGY_PAGE_INTERVAL = 0.25
+
+#: Freshness window of the TTL-based strategies in the ablation (seconds of
+#: virtual time = a few pages' worth of staleness).
+STRATEGY_WINDOW_SECONDS = 2.0
+
+#: Lease window of leased invalidation: the per-key token rate limit bounds
+#: every hot key to at most one recompute per window, however many writes
+#: and readers hit it — wider than the hot keys' write-burst interval, which
+#: is precisely what plain invalidation cannot exploit.
+STRATEGY_LEASE_SECONDS = 4.0
+
+#: Per-object counters the ablation reports individually.
+STRATEGY_OBJECT_COUNTERS = ("db_fallbacks", "recomputations", "stale_served",
+                            "invalidations", "updates_applied")
+
+
+def _ablation_strategy(scenario: str):
+    """The strategy instance a given ablation scenario runs with.
+
+    The triggered strategies are the registered singletons; the time-based
+    ones get instances tuned to the ablation's virtual-time scale so their
+    windows span a handful of page loads.
+    """
+    from ..core import (AsyncRefreshStrategy, ExpiryStrategy,
+                        LeasedInvalidateStrategy, resolve_strategy)
+    if scenario == LEASED_SCENARIO:
+        return LeasedInvalidateStrategy(lease_seconds=STRATEGY_LEASE_SECONDS)
+    if scenario == ASYNC_REFRESH_SCENARIO:
+        return AsyncRefreshStrategy(refresh_seconds=STRATEGY_WINDOW_SECONDS)
+    if scenario == EXPIRY_SCENARIO:
+        return ExpiryStrategy(default_ttl=STRATEGY_WINDOW_SECONDS)
+    from .scenarios import SCENARIO_STRATEGIES
+    default = SCENARIO_STRATEGIES[scenario]
+    # NoCache maps to None: no strategy object (don't fall back to the
+    # resolve_strategy() default, which would mislabel the cacheless run).
+    return resolve_strategy(default) if default is not None else None
+
+
+@dataclass
+class StrategiesResult:
+    """Per-strategy accounting of the consistency-strategy ablation."""
+
+    scenarios: List[str]
+    strategy_names: Dict[str, str]          # scenario -> strategy registry name
+    serves_stale: Dict[str, bool]
+    triggers_installed: Dict[str, int]
+    object_counters: Dict[str, Dict[str, float]]  # scenario -> counter -> value
+    round_trips: Dict[str, int]
+    throughput: Dict[str, float]
+    cache_hit_ratio: Dict[str, float]
+
+    def blocking_db_work(self, scenario: str) -> float:
+        """Reads that blocked on the database plus recomputes performed."""
+        counters = self.object_counters.get(scenario, {})
+        return (counters.get("db_fallbacks", 0.0)
+                + counters.get("recomputations", 0.0))
+
+    def lease_gain_over_invalidate(self) -> float:
+        """How many times less DB recompute work leased invalidation does.
+
+        ``inf`` when leases eliminated every recompute/fallback that plain
+        invalidation paid (a zero denominator is the *best* outcome, not a
+        zero gain); 0.0 only when neither strategy did any DB work.
+        """
+        leased = self.blocking_db_work(LEASED_SCENARIO)
+        invalidate = self.blocking_db_work(INVALIDATE_SCENARIO)
+        if not leased:
+            return float("inf") if invalidate else 0.0
+        return invalidate / leased
+
+
+def experiment_strategies(
+    scenarios: Sequence[str] = STRATEGY_ABLATION_SCENARIOS,
+    workload: Optional[WorkloadConfig] = None,
+    quick: bool = False,
+) -> StrategiesResult:
+    """Sweep all five consistency strategies on the hot-key workload.
+
+    Every scenario replays the identical trace with a different
+    :class:`~repro.core.ConsistencyStrategy` object on the config (the
+    registry singletons for the triggered pair, window-tuned instances for
+    the time-based trio), with the virtual clock advancing
+    :data:`STRATEGY_PAGE_INTERVAL` seconds per page so windows elapse.
+    ``quick=True`` shrinks the seed and trace for CI smoke runs.
+    """
+    base_workload = workload or HOT_KEY_WORKLOAD
+    seed_scale = DEFAULT_SEED_SCALE
+    if quick:
+        seed_scale = SeedScale.tiny()
+        base_workload = base_workload.with_overrides(
+            clients=4, sessions_per_client=1, page_loads_per_session=4)
+
+    strategy_names: Dict[str, str] = {}
+    serves_stale: Dict[str, bool] = {}
+    triggers_installed: Dict[str, int] = {}
+    object_counters: Dict[str, Dict[str, float]] = {}
+    round_trips: Dict[str, int] = {}
+    throughput: Dict[str, float] = {}
+    hit_ratio: Dict[str, float] = {}
+
+    for scenario in scenarios:
+        strategy = _ablation_strategy(scenario)
+        config = ScenarioConfig(
+            name=scenario, strategy=strategy, seed_scale=seed_scale,
+            page_interval_seconds=STRATEGY_PAGE_INTERVAL)
+        run = run_scenario(config, workload=base_workload)
+        strategy_names[scenario] = strategy.name if strategy else "-"
+        serves_stale[scenario] = strategy.serves_stale if strategy else False
+        triggers_installed[scenario] = run.effort.get("generated_triggers", 0)
+        object_counters[scenario] = {
+            name: run.object_totals.get(name, 0.0)
+            for name in STRATEGY_OBJECT_COUNTERS}
+        round_trips[scenario] = run.replay.total_counters.cache_round_trips
+        throughput[scenario] = run.throughput
+        hit_ratio[scenario] = run.cache_hit_ratio
+
+    return StrategiesResult(
+        scenarios=list(scenarios),
+        strategy_names=strategy_names,
+        serves_stale=serves_stale,
+        triggers_installed=triggers_installed,
+        object_counters=object_counters,
+        round_trips=round_trips,
         throughput=throughput,
         cache_hit_ratio=hit_ratio,
     )

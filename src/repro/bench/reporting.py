@@ -9,7 +9,8 @@ from .experiments import (BATCHED_CAS, EAGER_CAS, PIPELINED_CAS,
                           Experiment1Result, Experiment2Result,
                           Experiment3Result, Experiment4Result,
                           Experiment5Result, MicroLookupResult,
-                          MicroTriggerResult)
+                          MicroTriggerResult, StrategiesResult)
+from .scenarios import INVALIDATE_SCENARIO, LEASED_SCENARIO
 
 #: Table 1 of the paper: qualitative comparison with representative systems.
 TABLE1_ROWS: List[Dict[str, str]] = [
@@ -215,6 +216,65 @@ def render_experiment_cas_batching(result: CasBatchingResult) -> str:
         lines += [
             f"Pipelining gain:      {result.pipelining_net_gain():.2f}x less "
             f"cache-network time per page vs serial batches",
+        ]
+    return "\n".join(lines)
+
+
+def render_experiment_strategies(result: StrategiesResult) -> str:
+    """Render the consistency-strategy ablation: one column per strategy."""
+    scenarios = list(result.scenarios)
+    headers = ["Metric"] + scenarios
+    rows = [
+        ["Strategy object"] + [result.strategy_names[s] for s in scenarios],
+        ["May serve stale data"] + ["yes" if result.serves_stale[s] else "no"
+                                    for s in scenarios],
+        ["Triggers installed"] + [result.triggers_installed[s] for s in scenarios],
+    ]
+    counter_labels = [
+        ("db_fallbacks", "Blocking DB fallbacks (reads)"),
+        ("recomputations", "Recomputations (background/trigger)"),
+        ("stale_served", "Stale values served"),
+        ("invalidations", "Invalidations"),
+        ("updates_applied", "In-place updates applied"),
+    ]
+    for counter, label in counter_labels:
+        rows.append([label] + [int(result.object_counters[s].get(counter, 0))
+                               for s in scenarios])
+    rows.append(["TOTAL cache round trips"]
+                + [result.round_trips[s] for s in scenarios])
+    rows.append(["Throughput (req/s)"]
+                + [f"{result.throughput[s]:.1f}" for s in scenarios])
+    rows.append(["Cache hit ratio"]
+                + [f"{result.cache_hit_ratio[s] * 100.0:.0f}%" for s in scenarios])
+    lines = [
+        "Consistency-strategy ablation — hot-key wall/top-k workload",
+        format_table(headers, rows),
+    ]
+    if LEASED_SCENARIO in scenarios and INVALIDATE_SCENARIO in scenarios:
+        invalidate_total = result.blocking_db_work(INVALIDATE_SCENARIO)
+        leased_total = result.blocking_db_work(LEASED_SCENARIO)
+        invalidate_blocking = result.object_counters[INVALIDATE_SCENARIO].get(
+            "db_fallbacks", 0.0)
+        leased_blocking = result.object_counters[LEASED_SCENARIO].get(
+            "db_fallbacks", 0.0)
+        if leased_blocking:
+            blocking_text = (f"{invalidate_blocking / leased_blocking:.1f}x "
+                             f"fewer reads stall on the database")
+        else:
+            blocking_text = "leases eliminated every database stall"
+        gain = result.lease_gain_over_invalidate()
+        if gain == float("inf"):
+            gain_text = "leases eliminated all database work"
+        else:
+            gain_text = f"{gain:.2f}x less database work"
+        lines += [
+            "",
+            f"Leased invalidation vs plain invalidation: "
+            f"{leased_blocking:.0f} blocking DB fallbacks vs "
+            f"{invalidate_blocking:.0f} ({blocking_text}), and "
+            f"{leased_total:.0f} total DB recomputes+fallbacks vs "
+            f"{invalidate_total:.0f} ({gain_text}; stale reads bounded by "
+            f"the lease window)",
         ]
     return "\n".join(lines)
 

@@ -16,12 +16,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..apps.social import (SeedScale, SeedSummary, SocialApplication,
                            install_cached_objects, seed_database,
                            social_registry)
-from ..core import CacheGenie, INVALIDATE, UPDATE_IN_PLACE
+from ..core import (ASYNC_REFRESH, CacheGenie, ConsistencyStrategy, EXPIRY,
+                    INVALIDATE, LEASED_INVALIDATE, UPDATE_IN_PLACE,
+                    resolve_strategy)
 from ..core.cache_classes.base import CacheClass
 from ..memcache import CacheServer
 from ..sim import VirtualClock
@@ -31,8 +33,27 @@ from ..storage import CostModel, Database
 NO_CACHE = "NoCache"
 INVALIDATE_SCENARIO = "Invalidate"
 UPDATE_SCENARIO = "Update"
+EXPIRY_SCENARIO = "Expiry"
+LEASED_SCENARIO = "LeasedInvalidate"
+ASYNC_REFRESH_SCENARIO = "AsyncRefresh"
 
+#: The paper's three evaluated configurations (experiments 1-5 sweep these).
 ALL_SCENARIOS = (NO_CACHE, INVALIDATE_SCENARIO, UPDATE_SCENARIO)
+
+#: Default consistency strategy per scenario name.  A config built with just
+#: a name resolves its strategy object from this table once, at construction
+#: — nothing downstream matches on the name string again.
+SCENARIO_STRATEGIES: Dict[str, Optional[str]] = {
+    NO_CACHE: None,
+    UPDATE_SCENARIO: UPDATE_IN_PLACE,
+    INVALIDATE_SCENARIO: INVALIDATE,
+    EXPIRY_SCENARIO: EXPIRY,
+    LEASED_SCENARIO: LEASED_INVALIDATE,
+    ASYNC_REFRESH_SCENARIO: ASYNC_REFRESH,
+}
+
+#: Every buildable scenario name (the strategy ablation sweeps the cached ones).
+ALL_STRATEGY_SCENARIOS = tuple(SCENARIO_STRATEGIES)
 
 
 @dataclass
@@ -61,23 +82,47 @@ class ScenarioConfig:
     #: (pipelined) instead of the sum of their round-trip latencies
     #: (the ``exp-cas-batch`` ablation's third column).
     pipeline_batches: bool = True
+    #: The consistency strategy driving the cached objects: a
+    #: :class:`~repro.core.strategies.ConsistencyStrategy` instance, a
+    #: registered name, or None to resolve the scenario name's default from
+    #: :data:`SCENARIO_STRATEGIES`.  Resolved once at construction — the
+    #: config carries the *object*, never a name to re-match downstream.
+    strategy: Optional[Union[str, ConsistencyStrategy]] = None
+    #: Virtual seconds the replayer advances the shared clock per page load.
+    #: 0 (the default) freezes time, as the committed experiments 1-5 expect;
+    #: the strategy ablation sets it so TTLs, lease windows, and freshness
+    #: deadlines actually elapse during a replay.
+    page_interval_seconds: float = 0.0
     seed_scale: SeedScale = field(default_factory=SeedScale)
     rng_seed: int = 99
+
+    def __post_init__(self) -> None:
+        if self.strategy is None:
+            default = SCENARIO_STRATEGIES.get(self.name)
+            if default is not None:
+                self.strategy = resolve_strategy(default)
+        elif not isinstance(self.strategy, ConsistencyStrategy):
+            self.strategy = resolve_strategy(self.strategy)
 
     @property
     def uses_cache(self) -> bool:
         return self.name != NO_CACHE
 
     @property
-    def strategy(self) -> Optional[str]:
-        if self.name == UPDATE_SCENARIO:
-            return UPDATE_IN_PLACE
-        if self.name == INVALIDATE_SCENARIO:
-            return INVALIDATE
-        return None
+    def strategy_name(self) -> Optional[str]:
+        """The resolved strategy's registry name (None for NoCache)."""
+        return self.strategy.name if self.strategy is not None else None
 
     def variant(self, **overrides) -> "ScenarioConfig":
-        """Return a copy with the given fields replaced."""
+        """Return a copy with the given fields replaced.
+
+        Overriding ``name`` without an explicit ``strategy`` re-resolves the
+        strategy from the new scenario name (matching the pre-object
+        behavior, where the strategy was derived from the name) instead of
+        silently carrying the previous scenario's strategy object along.
+        """
+        if "name" in overrides and "strategy" not in overrides:
+            overrides["strategy"] = None  # __post_init__ re-derives from name
         return replace(self, **overrides)
 
 
@@ -166,7 +211,7 @@ class Scenario:
     def describe(self) -> Dict[str, object]:
         return {
             "name": self.config.name,
-            "strategy": self.config.strategy,
+            "strategy": self.config.strategy_name,
             "cache_size_bytes": self.config.cache_size_bytes if self.config.uses_cache else 0,
             "buffer_pool_pages": self.config.buffer_pool_pages,
             "triggers_enabled": self.config.triggers_enabled,
@@ -176,7 +221,8 @@ class Scenario:
 
 def build_scenario(name: str, **overrides) -> Scenario:
     """Convenience constructor: build and set up a scenario by name."""
-    if name not in ALL_SCENARIOS:
-        raise ValueError(f"unknown scenario {name!r}; expected one of {ALL_SCENARIOS}")
+    if name not in ALL_STRATEGY_SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {name!r}; expected one of {ALL_STRATEGY_SCENARIOS}")
     config = ScenarioConfig(name=name).variant(**overrides) if overrides else ScenarioConfig(name=name)
     return Scenario(config).setup()

@@ -14,14 +14,23 @@ from .cache_classes.base import evaluate_many
 from .interception import CacheGenieInterceptor
 from .keys import KeyScheme
 from .manager import CacheGenie, cacheable
+from .refresh import RefreshQueue
 from .stats import CachedObjectStats, CacheGenieStats, DeclarationInfo
-from .strategies import EXPIRY, INVALIDATE, UPDATE_IN_PLACE
+from .strategies import (ASYNC_REFRESH, AsyncRefreshStrategy,
+                         ConsistencyStrategy, EXPIRY, ExpiryStrategy,
+                         INVALIDATE, InvalidateStrategy, LEASED_INVALIDATE,
+                         LeasedInvalidateStrategy, UPDATE_IN_PLACE,
+                         UpdateInPlaceStrategy, get_strategy,
+                         register_strategy, registered_strategies,
+                         resolve_strategy, unregister_strategy)
 from .trigger_queue import TriggerOpQueue
 from .triggergen import TriggerGenerator, render_trigger_source
 from .txn2pl import (TransactionalCacheSession, TwoPhaseLockingCoordinator,
                      WouldBlock)
 
 __all__ = [
+    "ASYNC_REFRESH",
+    "AsyncRefreshStrategy",
     "BUILTIN_CACHE_CLASSES",
     "CacheClass",
     "CacheGenie",
@@ -29,15 +38,21 @@ __all__ = [
     "CacheGenieStats",
     "CachedObjectStats",
     "ChainStep",
+    "ConsistencyStrategy",
     "CountQuery",
     "DeclarationInfo",
     "EXPIRY",
+    "ExpiryStrategy",
     "FeatureQuery",
     "INVALIDATE",
+    "InvalidateStrategy",
     "KeyScheme",
+    "LEASED_INVALIDATE",
+    "LeasedInvalidateStrategy",
     "LinkQuery",
     "Param",
     "QueryTemplate",
+    "RefreshQueue",
     "TopKQuery",
     "TransactionalCacheSession",
     "TriggerGenerator",
@@ -45,8 +60,14 @@ __all__ = [
     "TriggerSpec",
     "TwoPhaseLockingCoordinator",
     "UPDATE_IN_PLACE",
+    "UpdateInPlaceStrategy",
     "WouldBlock",
     "cacheable",
     "evaluate_many",
+    "get_strategy",
+    "register_strategy",
+    "registered_strategies",
     "render_trigger_source",
+    "resolve_strategy",
+    "unregister_strategy",
 ]

@@ -12,8 +12,11 @@ Per §3.1 of the paper, a cache class must perform three tasks:
 
 Subclasses (FeatureQuery, LinkQuery, CountQuery, TopKQuery) specialize the
 query template, the affected-key computation, and the incremental update
-logic; the shared plumbing — key naming, strategy dispatch, CAS retry loops,
-statistics — lives here.
+logic.  Consistency *policy* lives on the object's
+:class:`~repro.core.strategies.ConsistencyStrategy`: the read path, the
+trigger dispatch, and expiry all go through ``self.strategy`` — a cache
+class never compares strategy names.  The shared plumbing — key naming, CAS
+retry loops, statistics — lives here.
 """
 
 from __future__ import annotations
@@ -26,8 +29,7 @@ from ...orm.template import QueryTemplate
 from ..keys import KeyScheme, fingerprint
 from ..serializer import freeze_rows, freeze_value, thaw_rows
 from ..stats import CachedObjectStats
-from ..strategies import (EXPIRY, INVALIDATE, UPDATE_IN_PLACE, needs_triggers,
-                          validate_strategy)
+from ..strategies import ConsistencyStrategy, UPDATE_IN_PLACE, resolve_strategy
 
 if TYPE_CHECKING:  # pragma: no cover
     from ...orm.queryset import QueryDescription
@@ -59,10 +61,11 @@ class CacheClass:
         genie: "CacheGenie",
         main_model: type,
         where_fields: Sequence[str],
-        update_strategy: str = UPDATE_IN_PLACE,
+        update_strategy: Any = UPDATE_IN_PLACE,
         use_transparently: bool = True,
         expiry_seconds: Optional[float] = None,
         template: Optional[QueryTemplate] = None,
+        const_filters: Optional[Dict[str, Any]] = None,
     ) -> None:
         if not where_fields:
             raise CacheClassError(
@@ -74,9 +77,16 @@ class CacheClass:
         self.where_fields: List[str] = [
             self._resolve_column(main_model, f) for f in where_fields
         ]
-        self.update_strategy = validate_strategy(update_strategy)
-        if self.update_strategy == EXPIRY and expiry_seconds is None:
-            expiry_seconds = 30.0
+        #: Constant equality filters narrowing the cached rows (e.g. a
+        #: ``status="PENDING"`` alongside the Param): part of the query
+        #: shape, the key fingerprint, and the trigger row gate.
+        self.const_filters: Dict[str, Any] = {
+            self._resolve_column(main_model, column): value
+            for column, value in (const_filters or {}).items()
+        }
+        #: The consistency policy, resolved through the strategy registry;
+        #: accepts a registered name or a ConsistencyStrategy instance.
+        self.strategy: ConsistencyStrategy = resolve_strategy(update_strategy)
         self.expiry_seconds = expiry_seconds
         self.use_transparently = use_transparently
         self.stats = CachedObjectStats()
@@ -87,14 +97,21 @@ class CacheClass:
 
     # -- helpers ---------------------------------------------------------------
 
+    @property
+    def update_strategy(self) -> str:
+        """The strategy's registry name (the pre-object API surface)."""
+        return self.strategy.name
+
     @staticmethod
     def _resolve_column(model: type, field_name: str) -> str:
         """Resolve a field name (or raw column) to its storage column."""
         return model._meta.column_for(field_name)
 
     def _fingerprint(self) -> str:
+        consts = ",".join(f"{c}={self.const_filters[c]!r}"
+                          for c in sorted(self.const_filters))
         return fingerprint(self.cache_class_type, self.main_table,
-                           ",".join(self.where_fields))
+                           ",".join(self.where_fields) + ("|" + consts if consts else ""))
 
     @property
     def main_table(self) -> str:
@@ -117,7 +134,15 @@ class CacheClass:
         return getattr(self.genie, "trigger_op_queue", None)
 
     def _expire(self) -> Optional[float]:
-        return self.expiry_seconds if self.update_strategy == EXPIRY else None
+        return self.strategy.expiry_for(self)
+
+    def _query_filters(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Parameter values merged with the declared constant filters."""
+        if not self.const_filters:
+            return params
+        merged = dict(self.const_filters)
+        merged.update(params)
+        return merged
 
     # -- key construction ------------------------------------------------------
 
@@ -136,6 +161,13 @@ class CacheClass:
         """Build the cache key from a main-table row's values."""
         return self.keys.key_for([row.get(c) for c in self.where_fields])
 
+    def row_in_scope(self, row: Optional[Dict[str, Any]]) -> bool:
+        """Whether a main-table row satisfies the declared constant filters."""
+        if row is None:
+            return False
+        return all(row.get(column) == value
+                   for column, value in self.const_filters.items())
+
     # -- step 1: query generation (subclass responsibility) --------------------
 
     def compute_from_db(self, params: Dict[str, Any]) -> Any:
@@ -150,7 +182,7 @@ class CacheClass:
 
     def get_trigger_info(self) -> List[TriggerSpec]:
         """Return the trigger specs CacheGenie must install for this object."""
-        if not needs_triggers(self.update_strategy):
+        if not self.strategy.needs_triggers:
             return []
         specs: List[TriggerSpec] = []
         for table in self.trigger_tables():
@@ -180,19 +212,16 @@ class CacheClass:
         """Fetch the cached value, falling back to the database on a miss.
 
         This is both the explicit API (``cached_user_profile.evaluate(user_id=42)``)
-        and what transparent interception calls under the hood.
+        and what transparent interception calls under the hood.  The read
+        path is the strategy's: a plain look-aside get for the triggered
+        strategies, a lease read for leased invalidation, an envelope
+        freshness check for async-refresh.
         """
+        self.genie.run_pending_refreshes()
         normalized = self._normalize_params(params)
         key = self.make_key(**normalized)
-        value = self.app_cache.get(key)
-        if value is not None:
-            self.stats.cache_hits += 1
-            return self._present(self._thaw(value))
-        self.stats.cache_misses += 1
-        self.stats.db_fallbacks += 1
-        value = self.compute_from_db(normalized)
-        self.app_cache.set(key, self._freeze(value), expire=self._expire())
-        return self._present(self._thaw(self._freeze(value)))
+        frozen = self.strategy.fetch(self, key, normalized)
+        return self._present(self._thaw(frozen))
 
     def evaluate_multi(self, params_list: Sequence[Dict[str, Any]]) -> List[Any]:
         """Batched :meth:`evaluate`: one multi-get round trip per server.
@@ -214,7 +243,7 @@ class CacheClass:
     def peek(self, **params: Any) -> Optional[Any]:
         """Return the cached value without falling back to the database."""
         key = self.make_key(**self._normalize_params(params))
-        value = self.app_cache.get(key)
+        value = self.strategy.peek(self, key)
         return self._thaw(value) if value is not None else None
 
     def _normalize_params(self, params: Dict[str, Any]) -> Dict[str, Any]:
@@ -256,7 +285,8 @@ class CacheClass:
     def _build_template(self) -> QueryTemplate:
         """Derive the query shape from this object's declaration parameters."""
         return QueryTemplate(model=self.main_model, kind="select",
-                             param_fields=tuple(self.where_fields))
+                             param_fields=tuple(self.where_fields),
+                             const_filters=tuple(sorted(self.const_filters.items())))
 
     def matches(self, description: "QueryDescription") -> Optional[Dict[str, Any]]:
         """Return evaluate() parameters if this object can satisfy the query.
@@ -280,14 +310,45 @@ class CacheClass:
         """Dispatch a trigger firing to the configured consistency strategy."""
         self.stats.trigger_invocations += 1
         self.trigger_cache.reset_connection()
-        if self.update_strategy == INVALIDATE:
-            self._invalidate_affected(table, event, new, old)
-        elif self.update_strategy == UPDATE_IN_PLACE:
-            self.apply_incremental_update(table, event, new, old)
+        if self.const_filters and table == self.main_table:
+            # Constant filters gate which rows belong to the cached set: a
+            # row moving across the constant boundary is an insert/delete
+            # from the cache's point of view; a row outside it is a no-op.
+            event, new, old = self._project_const_event(event, new, old)
+            if event is None:
+                return
+        self.strategy.on_write(self, table, event, new, old)
 
-    def _invalidate_affected(self, table: str, event: str,
-                             new: Optional[Dict[str, Any]],
-                             old: Optional[Dict[str, Any]]) -> None:
+    def _project_const_event(
+        self, event: str, new: Optional[Dict[str, Any]],
+        old: Optional[Dict[str, Any]],
+    ) -> Tuple[Optional[str], Optional[Dict[str, Any]], Optional[Dict[str, Any]]]:
+        """Re-express a row change relative to the constant-filtered subset."""
+        new_in = self.row_in_scope(new)
+        old_in = self.row_in_scope(old)
+        if event == "insert":
+            return ("insert", new, None) if new_in else (None, None, None)
+        if event == "delete":
+            return ("delete", None, old) if old_in else (None, None, None)
+        # update
+        if new_in and old_in:
+            return "update", new, old
+        if new_in:
+            return "insert", new, None   # the row entered the cached subset
+        if old_in:
+            return "delete", None, old   # the row left the cached subset
+        return None, None, None
+
+    def invalidate_affected(self, table: str, event: str,
+                            new: Optional[Dict[str, Any]],
+                            old: Optional[Dict[str, Any]]) -> None:
+        """Invalidate every key affected by a row change (strategy hook target).
+
+        The delete itself goes through the strategy — a plain ``delete`` for
+        classic invalidation, a stale-retaining ``lease_delete`` for leased
+        invalidation — and through the commit-time queue when batching is on
+        (the flush groups keys per strategy and uses its batched form).
+        """
         keys = set()
         for row in (new, old):
             if row is not None:
@@ -296,17 +357,23 @@ class CacheClass:
         for key in keys:
             if queue is not None:
                 queue.enqueue_delete(self, key)
-            elif self.trigger_cache.delete(key):
+            elif self.strategy.invalidate_eager(self, key):
                 self.stats.invalidations += 1
+
+    # Backwards-compatible alias (pre-registry name).
+    _invalidate_affected = invalidate_affected
 
     def affected_keys(self, table: str, row: Dict[str, Any]) -> List[str]:
         """Cache keys affected by a change to ``row`` in ``table``.
 
         The base implementation assumes ``table`` is the main table and keys
         are derived directly from the row's where-field values; subclasses
-        with join chains override this.
+        with join chains override this.  Rows outside the declared constant
+        filters affect nothing.
         """
         if table != self.main_table:
+            return []
+        if self.const_filters and not self.row_in_scope(row):
             return []
         return [self.key_from_row(row)]
 
@@ -382,15 +449,17 @@ def evaluate_many(
 ) -> List[Any]:
     """Batched evaluate() across cached objects sharing one cache client.
 
-    All requested keys are fetched with a single ``get_multi`` (one round
-    trip per cache server); misses fall back to the database per object and
-    are written back with a single batched ``set_multi`` per expiry group.
-    Results are returned in request order, shaped exactly as the individual
-    ``evaluate()`` calls would shape them.
+    All requested keys are fetched in one round trip per server per strategy
+    read protocol (``get_multi`` for the classic strategies, ``lease_multi``
+    for leased invalidation); misses fall back to the database per object
+    and are written back with a single batched ``set_multi`` per
+    (strategy, expiry) group.  Results are returned in request order, shaped
+    exactly as the individual ``evaluate()`` calls would shape them.
     """
     if not requests:
         return []
     client = requests[0][0].app_cache
+    requests[0][0].genie.run_pending_refreshes()
     entries: List[Tuple[CacheClass, str, Dict[str, Any]]] = []
     for cached_object, params in requests:
         if cached_object.app_cache is not client:
@@ -401,14 +470,34 @@ def evaluate_many(
         entries.append((cached_object, cached_object.make_key(**normalized),
                         normalized))
 
-    found = client.get_multi([key for _, key, _ in entries])
+    # Fetch phase: group unique keys by strategy so each read protocol runs
+    # one batched round trip per server (a stale-serving strategy also
+    # schedules its background refreshes here).
+    by_strategy: Dict[int, Tuple[ConsistencyStrategy, List[Tuple[CacheClass, str, Dict[str, Any]]]]] = {}
+    seen_keys = set()
+    for cached_object, key, normalized in entries:
+        if key in seen_keys:
+            continue
+        seen_keys.add(key)
+        bucket = by_strategy.setdefault(
+            id(cached_object.strategy), (cached_object.strategy, []))
+        bucket[1].append((cached_object, key, normalized))
+    found: Dict[str, Tuple[Any, bool]] = {}
+    for strategy, items in by_strategy.values():
+        found.update(strategy.fetch_multi(client, items))
+
+    # Miss write-back: every value is enveloped by its *own* object's
+    # strategy (wrap_for_store may depend on per-object state), then batched
+    # into one set_multi per expiry group — the same round trips as before.
     writes: Dict[Optional[float], Dict[str, Any]] = {}
     computed: Dict[str, Any] = {}
     results: List[Any] = []
     for cached_object, key, normalized in entries:
         if key in found:
+            frozen, stale = found[key]
             cached_object.stats.cache_hits += 1
-            frozen = found[key]
+            if stale:
+                cached_object.stats.stale_served += 1
         elif key in computed:
             # A duplicate request in the same batch: serve the value computed
             # a moment ago (a sequential loop would have hit the fresh entry).
@@ -420,7 +509,8 @@ def evaluate_many(
             value = cached_object.compute_from_db(normalized)
             frozen = cached_object._freeze(value)
             computed[key] = frozen
-            writes.setdefault(cached_object._expire(), {})[key] = frozen
+            writes.setdefault(cached_object._expire(), {})[key] = \
+                cached_object.strategy.wrap_for_store(cached_object, frozen)
         results.append(cached_object._present(cached_object._thaw(frozen)))
     for expire, mapping in writes.items():
         client.set_multi(mapping, expire=expire)

@@ -32,7 +32,7 @@ class CountQuery(CacheClass):
     def compute_from_db(self, params: Dict[str, Any]) -> int:
         query = StorageCountQuery(
             table=self.main_table,
-            predicate=predicate_from_filters(params),
+            predicate=predicate_from_filters(self._query_filters(params)),
         )
         return self.db.count(query)
 
@@ -48,7 +48,8 @@ class CountQuery(CacheClass):
 
     def _build_template(self) -> QueryTemplate:
         return QueryTemplate(model=self.main_model, kind="count",
-                             param_fields=tuple(self.where_fields))
+                             param_fields=tuple(self.where_fields),
+                             const_filters=tuple(sorted(self.const_filters.items())))
 
     def result_for_application(self, value: int,
                                description: "QueryDescription") -> int:
@@ -69,22 +70,40 @@ class CountQuery(CacheClass):
             old_key = self.key_from_row(old)
             new_key = self.key_from_row(new)
             if old_key != new_key:
-                self._bump(old_key, -1)
-                self._bump(new_key, +1)
+                # A group-moving update is a pure-counter run: one batched
+                # incr_multi carries the -1/+1 pair in a single round trip
+                # per server on the eager path (queued mode chains per key).
+                self._bump_many({old_key: -1, new_key: +1})
             # An update that keeps the where-field does not change the count.
 
     def _bump(self, key: str, delta: int) -> None:
         """Increment/decrement the cached count if (and only if) it is cached."""
+        self._bump_many({key: delta})
+
+    def _bump_many(self, deltas: Dict[str, int]) -> None:
+        """Apply a run of counter deltas, batched where the path allows.
+
+        With commit-time batching the deltas enqueue per key (chaining with
+        the transaction's other mutations).  On the eager path a multi-key
+        run goes through ``incr_multi`` — one round trip per server instead
+        of one per key — and a single delta keeps the classic
+        ``incr``/``decr`` wire op.
+        """
         queue = self._op_queue()
         if queue is not None:
-            # Deltas to the same key chain in the queue, so a transaction
-            # touching N rows of one group costs one cache op at commit.
-            queue.enqueue_mutate(self, key, lambda value: (
-                max(0, value + delta) if isinstance(value, int) else None))
+            for key, delta in deltas.items():
+                queue.enqueue_mutate(self, key, lambda value, d=delta: (
+                    max(0, value + d) if isinstance(value, int) else None))
             return
-        if delta > 0:
-            result = self.trigger_cache.incr(key, delta)
-        else:
-            result = self.trigger_cache.decr(key, -delta)
-        if result is not None:
-            self.stats.updates_applied += 1
+        if len(deltas) == 1:
+            ((key, delta),) = deltas.items()
+            if delta > 0:
+                result = self.trigger_cache.incr(key, delta)
+            else:
+                result = self.trigger_cache.decr(key, -delta)
+            if result is not None:
+                self.stats.updates_applied += 1
+            return
+        results = self.trigger_cache.incr_multi(deltas)
+        self.stats.updates_applied += sum(
+            1 for value in results.values() if value is not None)

@@ -31,7 +31,7 @@ class FeatureQuery(CacheClass):
     def compute_from_db(self, params: Dict[str, Any]) -> List[Dict[str, Any]]:
         query = SelectQuery(
             table=self.main_table,
-            predicate=predicate_from_filters(params),
+            predicate=predicate_from_filters(self._query_filters(params)),
         )
         return self.db.select(query)
 

@@ -47,6 +47,14 @@ class LinkQuery(CacheClass):
                  descending: bool = True,
                  limit: Optional[int] = None, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
+        if self.const_filters:
+            # Parity with QueryTemplate.from_queryset: chain evaluation does
+            # not apply constant predicates, so accepting one here would
+            # silently cache unfiltered rows under a filtered shape.
+            raise CacheClassError(
+                f"LinkQuery {self.name!r} does not support const_filters; "
+                f"filter the chain's base rows with where_fields only"
+            )
         if not chain:
             raise CacheClassError(
                 f"LinkQuery {self.name!r} requires a non-empty relationship chain"

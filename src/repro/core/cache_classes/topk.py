@@ -55,7 +55,7 @@ class TopKQuery(CacheClass):
     def compute_from_db(self, params: Dict[str, Any]) -> List[Dict[str, Any]]:
         query = SelectQuery(
             table=self.main_table,
-            predicate=predicate_from_filters(params),
+            predicate=predicate_from_filters(self._query_filters(params)),
             order_by=[OrderBy(column=self.sort_column, descending=self.descending)],
             limit=self.capacity,
         )
@@ -69,7 +69,8 @@ class TopKQuery(CacheClass):
         return QueryTemplate(model=self.main_model, kind="select",
                              param_fields=tuple(self.where_fields),
                              order_by=((self.sort_column, self.descending),),
-                             limit=self.k)
+                             limit=self.k,
+                             const_filters=tuple(sorted(self.const_filters.items())))
 
     def result_for_application(self, value: List[Dict[str, Any]],
                                description: "QueryDescription") -> Any:

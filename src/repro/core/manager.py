@@ -44,8 +44,9 @@ from ..orm.template import QueryTemplate
 from ..storage.database import Database
 from .cache_classes import BUILTIN_CACHE_CLASSES, CacheClass
 from .interception import CacheGenieInterceptor
+from .refresh import RefreshQueue
 from .stats import CacheGenieStats, DeclarationInfo
-from .strategies import UPDATE_IN_PLACE
+from .strategies import UPDATE_IN_PLACE, resolve_strategy
 from .trigger_queue import TriggerOpQueue
 from .triggergen import TriggerGenerator
 
@@ -56,6 +57,7 @@ _SHAPE_KEYWORDS = frozenset({
     "cache_class_type", "main_model", "where_fields",   # legacy-form keys
     "k", "sort_field", "sort_order",                    # TopKQuery shape
     "chain", "order_by", "descending", "limit",         # LinkQuery shape
+    "const_filters",                                    # constant equality filters
 })
 
 
@@ -67,11 +69,12 @@ class CacheGenie:
         registry: Registry,
         database: Optional[Database] = None,
         cache_servers: Optional[Sequence[CacheServer]] = None,
-        default_strategy: str = UPDATE_IN_PLACE,
+        default_strategy: Any = UPDATE_IN_PLACE,
         reuse_trigger_connections: bool = False,
         batch_trigger_ops: bool = True,
         pipeline_batches: bool = True,
         cache_address: str = "cache-host:11211",
+        refresh_delay_seconds: float = 0.0,
     ) -> None:
         self.registry = registry
         self.db = database or registry.db
@@ -80,7 +83,9 @@ class CacheGenie:
             cache_servers = [CacheServer("cache0")]
         self.cache_servers = list(cache_servers)
         self.cache_address = cache_address
-        self.default_strategy = default_strategy
+        #: Default consistency policy, resolved through the strategy registry
+        #: (a registered name or a ConsistencyStrategy instance).
+        self.default_strategy = resolve_strategy(default_strategy)
         self.pipeline_batches = pipeline_batches
         #: Client used by the application (and by evaluate()).
         self.app_cache = CacheClient(self.cache_servers, recorder=self.recorder,
@@ -110,6 +115,26 @@ class CacheGenie:
             self.trigger_op_queue = TriggerOpQueue(self.trigger_cache)
             self.db.transactions.on_commit.append(self.trigger_op_queue.flush)
             self.db.transactions.on_abort.append(self.trigger_op_queue.discard)
+        #: Background refresh worker for the stale-serving strategies
+        #: (leased invalidation, async-refresh): stale reads schedule one
+        #: recompute per key here, drained on subsequent cache activity.
+        self.refresh_queue = RefreshQueue(clock=self.now,
+                                          delay_seconds=refresh_delay_seconds)
+
+    # -- clock / background refresh ----------------------------------------------
+
+    def now(self) -> float:
+        """Virtual time in seconds, read from the cache servers' clock."""
+        return self.cache_servers[0].clock()
+
+    def schedule_refresh(self, cached_object: CacheClass, key: str,
+                         params: Dict[str, Any]) -> bool:
+        """Queue one background recompute of ``key`` (deduplicated per key)."""
+        return self.refresh_queue.schedule(cached_object, key, params)
+
+    def run_pending_refreshes(self) -> int:
+        """Drain due background refreshes (called on every read path entry)."""
+        return self.refresh_queue.drain(self.now())
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -128,6 +153,7 @@ class CacheGenie:
             self._activated = False
         for cached_object in list(self.cached_objects.values()):
             self.remove_cached_object(cached_object.name)
+        self.refresh_queue.discard()
         if self.trigger_op_queue is not None:
             self.trigger_op_queue.discard()
             hooks = self.db.transactions
@@ -234,6 +260,8 @@ class CacheGenie:
                 f"through/count) instead of overriding them")
         type_name, inferred_params = template.infer_cache_class()
         inferred_params.update(params)  # shape-neutral options (e.g. reserve=)
+        if template.const_filters:
+            inferred_params["const_filters"] = dict(template.const_filters)
         return self._install(
             cache_class=self._resolve_cache_class(type_name),
             model=template.model,
@@ -337,6 +365,9 @@ class CacheGenie:
         # effort_report() keep counting work for objects that no longer exist.
         self.stats.per_object.pop(name, None)
         self.stats.declarations.pop(name, None)
+        # Pending background refreshes too: a refresh outliving its object
+        # would recompute a dead query and repopulate a trigger-less key.
+        self.refresh_queue.discard_for(cached_object)
         shape = cached_object.template.shape_fingerprint()
         if self._shapes.get(shape) == name:
             del self._shapes[shape]

@@ -1,0 +1,140 @@
+"""Background refresh worker for stale-serving consistency strategies.
+
+The ``leased-invalidate`` and ``async-refresh`` strategies decouple *serving*
+from *recomputing*: a read that finds a stale entry returns it immediately
+and schedules one recompute instead of blocking on the database.  The
+:class:`RefreshQueue` models the background worker that performs those
+recomputes: entries are keyed by cache key (a burst of stale reads schedules
+exactly one refresh), each carries a virtual-time ``ready_at``, and the queue
+drains lazily whenever the application next touches the cache — the same
+way a worker thread would make progress between requests.
+
+Refreshes recompute through the owning cached object and store through its
+strategy (so async-refresh envelopes get a new freshness deadline, and a
+leased key's fresh ``set`` clears the server-side stale retention).  Each
+completed refresh credits the object's ``recomputations`` counter — the
+background analogue of a blocking ``db_fallbacks``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cache_classes.base import CacheClass
+
+
+class _PendingRefresh:
+    __slots__ = ("cached_object", "key", "params", "ready_at")
+
+    def __init__(self, cached_object: "CacheClass", key: str,
+                 params: Dict[str, Any], ready_at: float) -> None:
+        self.cached_object = cached_object
+        self.key = key
+        self.params = params
+        self.ready_at = ready_at
+
+
+class RefreshQueue:
+    """Deduplicated queue of pending background recomputes.
+
+    ``clock`` is a callable returning virtual seconds (the genie's clock);
+    ``delay_seconds`` models the latency between scheduling a refresh and
+    the background worker completing it — with the default of 0 the refresh
+    is applied at the next drain point (still never on the critical path of
+    the read that scheduled it).
+    """
+
+    def __init__(self, clock: Callable[[], float],
+                 delay_seconds: float = 0.0) -> None:
+        self.clock = clock
+        self.delay_seconds = float(delay_seconds)
+        self._pending: "OrderedDict[str, _PendingRefresh]" = OrderedDict()
+        self._draining = False
+        # Lifetime statistics, for tests and the ablation report.
+        self.scheduled = 0
+        self.coalesced = 0
+        self.completed = 0
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def pending_keys(self) -> List[str]:
+        return list(self._pending)
+
+    # -- scheduling -------------------------------------------------------------
+
+    def schedule(self, cached_object: "CacheClass", key: str,
+                 params: Dict[str, Any]) -> bool:
+        """Queue one background recompute of ``key``.
+
+        A key already pending coalesces (the later schedule is a no-op) —
+        this is what turns a thundering herd of stale reads into a single
+        database recompute.  Returns True if a new refresh was queued.
+        """
+        if key in self._pending:
+            self.coalesced += 1
+            return False
+        self.scheduled += 1
+        self._pending[key] = _PendingRefresh(
+            cached_object, key, dict(params),
+            ready_at=self.clock() + self.delay_seconds)
+        return True
+
+    # -- draining ---------------------------------------------------------------
+
+    def drain(self, now: Optional[float] = None) -> int:
+        """Run every pending refresh whose ``ready_at`` has passed.
+
+        Re-entrant calls (a refresh's own database statements trigger a
+        drain-calling code path) return immediately.  Returns the number of
+        refreshes completed.
+        """
+        if self._draining or not self._pending:
+            return 0
+        now = self.clock() if now is None else now
+        due = [key for key, entry in self._pending.items()
+               if entry.ready_at <= now]
+        if not due:
+            return 0
+        self._draining = True
+        try:
+            for key in due:
+                entry = self._pending.pop(key)
+                self._run(entry)
+            return len(due)
+        finally:
+            self._draining = False
+
+    def discard(self) -> int:
+        """Drop every pending refresh (scenario teardown)."""
+        dropped = len(self._pending)
+        self._pending.clear()
+        return dropped
+
+    def discard_for(self, cached_object: "CacheClass") -> int:
+        """Drop the pending refreshes scheduled by one cached object.
+
+        Called when the object is removed: a refresh that outlives its
+        declaration would recompute a dead query and repopulate a key whose
+        triggers are gone (the same leak-after-removal class of bug that
+        per-object stats once had).
+        """
+        victims = [key for key, entry in self._pending.items()
+                   if entry.cached_object is cached_object]
+        for key in victims:
+            del self._pending[key]
+        return len(victims)
+
+    def _run(self, entry: _PendingRefresh) -> None:
+        cached_object = entry.cached_object
+        frozen = cached_object._freeze(
+            cached_object.compute_from_db(entry.params))
+        cached_object.strategy.store(cached_object, cached_object.app_cache,
+                                     entry.key, frozen)
+        cached_object.stats.recomputations += 1
+        self.completed += 1

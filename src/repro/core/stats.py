@@ -38,8 +38,11 @@ class CachedObjectStats:
     transparent_fetches: int = 0   # served through ORM interception
     updates_applied: int = 0       # trigger applied an incremental update
     invalidations: int = 0         # trigger deleted a key
-    recomputations: int = 0        # trigger recomputed a value from the DB
+    recomputations: int = 0        # value recomputed from the DB (trigger or
+                                   # background refresh)
     cas_retries: int = 0           # CAS conflicts retried inside triggers
+    stale_served: int = 0          # reads answered with a known-stale value
+                                   # (leased invalidation / async-refresh)
     trigger_invocations: int = 0
 
     @property

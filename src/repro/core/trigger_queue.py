@@ -153,16 +153,37 @@ class TriggerOpQueue:
                 self._flush_mutations(mutates)
 
             if deletes:
-                removed = set(self.cache.delete_multi([k for k, _ in deletes]))
-                for key, op in deletes:
-                    if key in removed:
-                        self._credit(op.owner, "invalidations")
+                self._flush_deletes(deletes)
 
             self.flushes += 1
             self.flushed_keys += len(ops)
             return len(ops)
         finally:
             self._flushing = False
+
+    def _flush_deletes(self, deletes: List[Tuple[str, _PendingOp]]) -> None:
+        """Flush queued invalidations, one batched multi-op per strategy.
+
+        Each owner's :class:`~repro.core.strategies.ConsistencyStrategy`
+        chooses the wire form of its batched invalidation —
+        ``delete_multi`` for classic invalidation, ``lease_delete_multi``
+        (stale-retaining) for leased invalidation — so a transaction mixing
+        strategies still flushes one batch per (strategy, server).
+        """
+        groups: "OrderedDict[int, Tuple[Any, List[Tuple[str, _PendingOp]]]]" = OrderedDict()
+        for key, op in deletes:
+            strategy = getattr(op.owner, "strategy", None)
+            bucket = groups.setdefault(id(strategy), (strategy, []))
+            bucket[1].append((key, op))
+        for strategy, items in groups.values():
+            keys = [k for k, _ in items]
+            if strategy is not None:
+                removed = set(strategy.flush_invalidations(self.cache, keys))
+            else:
+                removed = set(self.cache.delete_multi(keys))
+            for key, op in items:
+                if key in removed:
+                    self._credit(op.owner, "invalidations")
 
     def _flush_mutations(self, pending: Dict[str, _PendingOp]) -> None:
         """Propagate mutation chains with batched CAS, retrying only losers.

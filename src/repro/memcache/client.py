@@ -19,7 +19,8 @@ from ..errors import CacheServerError
 from ..storage.costmodel import Recorder
 from .hashring import HashRing
 from .item import sizeof_value
-from .server import CAS_MISMATCH, CAS_STORED, CAS_TOO_LARGE, CacheServer
+from .server import (CAS_MISMATCH, CAS_STORED, CAS_TOO_LARGE, LEASE_ACQUIRED,
+                     LEASE_HIT, LEASE_STALE, CacheServer)
 from .stats import CacheStats
 
 
@@ -369,6 +370,105 @@ class CacheClient:
                 self._charge_batch_item()
         return deleted
 
+    def lease_delete(self, key: str, stale_seconds: float) -> bool:
+        """Invalidate a key, retaining its value as servable-stale.
+
+        The leased-invalidation trigger op: accounting matches
+        :meth:`delete` (it is a delete variant on the wire).
+        """
+        self._charge_connection()
+        result = self._server_for(key).lease_delete(key, stale_seconds)
+        self.stats.deletes += 1
+        self.stats.lease_deletes += 1
+        if self.from_trigger:
+            self.recorder.record("trigger_cache_ops")
+        else:
+            self.recorder.record("cache_deletes")
+        return result
+
+    def lease_delete_multi(self, keys: Sequence[str],
+                           stale_seconds: float) -> List[str]:
+        """Batched :meth:`lease_delete` in one round trip per server.
+
+        Returns the keys that existed (and were moved to stale retention).
+        Round-trip accounting matches :meth:`delete_multi` — the flush of a
+        leased-invalidation transaction costs what a plain invalidation
+        flush costs.
+        """
+        if not keys:
+            return []
+        self._charge_connection()
+        existed: List[str] = []
+        for index, (server_name, batch) in enumerate(self._group_by_server(keys).items()):
+            server = self._servers[server_name]
+            self._charge_batch("cache_multi_deletes", index)
+            existed.extend(server.lease_delete_multi(batch, stale_seconds))
+            for _key in batch:
+                self.stats.deletes += 1
+                self.stats.lease_deletes += 1
+                self._charge_batch_item()
+        return existed
+
+    def lease(self, key: str,
+              lease_seconds: float) -> Tuple[str, Optional[Any], Optional[int]]:
+        """Read a key under the lease protocol (see CacheServer.lease).
+
+        One round trip, like :meth:`get`; a served value (fresh or stale)
+        counts as a hit and moves its bytes, a true miss as a miss.
+        """
+        self._charge_connection()
+        state, value, token = self._server_for(key).lease(key, lease_seconds)
+        self.stats.gets += 1
+        if self.from_trigger:
+            self.recorder.record("trigger_cache_ops")
+        else:
+            self.recorder.record("cache_leases")
+        if value is None and state != LEASE_HIT:
+            self.stats.misses += 1
+            self.recorder.record("cache_misses")
+        else:
+            self.stats.hits += 1
+            if state != LEASE_HIT:
+                self.stats.stale_hits += 1
+            self.recorder.record("cache_hits")
+            self.recorder.record("cache_bytes_moved", sizeof_value(value))
+        if state == LEASE_ACQUIRED:
+            self.stats.leases_granted += 1
+        return state, value, token
+
+    def lease_multi(self, keys: Sequence[str], lease_seconds: float,
+                    ) -> Dict[str, Tuple[str, Optional[Any], Optional[int]]]:
+        """Batched :meth:`lease` in one round trip per server.
+
+        The lease counterpart of :meth:`get_multi`; per-key accounting
+        matches N single :meth:`lease` calls.
+        """
+        if not keys:
+            return {}
+        self._charge_connection()
+        out: Dict[str, Tuple[str, Optional[Any], Optional[int]]] = {}
+        for index, (server_name, batch) in enumerate(self._group_by_server(keys).items()):
+            server = self._servers[server_name]
+            self._charge_batch("cache_multi_leases", index)
+            states = server.lease_multi(batch, lease_seconds)
+            for key in batch:
+                self.stats.gets += 1
+                self._charge_batch_item()
+                state, value, token = states[key]
+                out[key] = (state, value, token)
+                if value is None and state != LEASE_HIT:
+                    self.stats.misses += 1
+                    self.recorder.record("cache_misses")
+                else:
+                    self.stats.hits += 1
+                    if state != LEASE_HIT:
+                        self.stats.stale_hits += 1
+                    self.recorder.record("cache_hits")
+                    self.recorder.record("cache_bytes_moved", sizeof_value(value))
+                if state == LEASE_ACQUIRED:
+                    self.stats.leases_granted += 1
+        return out
+
     def incr(self, key: str, delta: int = 1) -> Optional[int]:
         """Increment an integer value."""
         self._charge_connection()
@@ -396,6 +496,42 @@ class CacheClient:
         else:
             self.stats.decr_ok += 1
         return result
+
+    def incr_multi(self, deltas: Dict[str, int]) -> Dict[str, Optional[int]]:
+        """Adjust several counters in one round trip per server.
+
+        ``deltas`` maps keys to *signed* deltas (negative values decrement,
+        floored at zero like :meth:`decr`), so one batch can carry a mixed
+        run such as a group-moving UPDATE's ``-1``/``+1`` pair.  Returns the
+        new value per key, or None where the key missed.
+        """
+        if not deltas:
+            return {}
+        self._charge_connection()
+        out: Dict[str, Optional[int]] = {}
+        for index, (server_name, batch) in enumerate(
+                self._group_by_server(list(deltas)).items()):
+            server = self._servers[server_name]
+            self._charge_batch("cache_multi_counters", index)
+            results = server.incr_multi({k: deltas[k] for k in batch})
+            for key in batch:
+                self._charge_batch_item()
+                result = results[key]
+                out[key] = result
+                if deltas[key] >= 0:
+                    if result is None:
+                        self.stats.incr_miss += 1
+                    else:
+                        self.stats.incr_ok += 1
+                elif result is None:
+                    self.stats.decr_miss += 1
+                else:
+                    self.stats.decr_ok += 1
+        return out
+
+    def decr_multi(self, deltas: Dict[str, int]) -> Dict[str, Optional[int]]:
+        """Batched :meth:`decr`: ``{key: delta}`` with deltas applied negatively."""
+        return self.incr_multi({key: -delta for key, delta in deltas.items()})
 
     def flush_all(self) -> None:
         """Drop every item on every server."""

@@ -31,6 +31,24 @@ CAS_MISSING = "missing"    # key is gone — evicted/expired/deleted (NOT_FOUND)
 CAS_TOO_LARGE = "too-large"  # value exceeds max_item_bytes (SERVER_ERROR);
                              # retrying cannot help — invalidate instead
 
+#: Per-key states of a lease read (the leased-invalidation protocol, after
+#: the lease design in Nishtala et al., *Scaling Memcache at Facebook*).
+LEASE_HIT = "hit"            # live fresh entry: an ordinary cache hit
+LEASE_STALE = "stale"        # stale-retained value served; someone else holds
+                             # the lease (or the issue rate limit), don't recompute
+LEASE_ACQUIRED = "acquired"  # caller won the lease token: it is the one
+                             # reader responsible for recomputing this key
+
+
+class _StaleEntry:
+    """A recently lease-deleted value, retained for stale serving."""
+
+    __slots__ = ("value", "stale_until")
+
+    def __init__(self, value: Any, stale_until: float) -> None:
+        self.value = value
+        self.stale_until = stale_until
+
 
 class CacheServer:
     """One memcached-like server instance."""
@@ -48,6 +66,13 @@ class CacheServer:
         self.clock = clock or _time.monotonic
         self.stats = CacheStats()
         self._cas_counter = itertools.count(1)
+        #: Recently lease-deleted values, servable as stale during their
+        #: retention window (Facebook's "recently deleted items" structure).
+        self._stale: Dict[str, _StaleEntry] = {}
+        #: Per-key (timestamp, window) of the last lease token issued: the
+        #: timestamp rate-limits token grants, the window lets the sweep
+        #: prune records once their rate-limit period has passed.
+        self._lease_issued_at: Dict[str, Tuple[float, float]] = {}
 
     # -- validation -----------------------------------------------------------
 
@@ -140,6 +165,8 @@ class CacheServer:
                     flags=flags, expires_at=self._expiry(expire), size=size)
         evicted = self.store.put(item)
         self.stats.evictions += len(evicted)
+        # A fresh store supersedes any stale-retained value for the key.
+        self._stale.pop(key, None)
 
     def set(self, key: str, value: Any, expire: Optional[float] = None, flags: int = 0) -> bool:
         """Unconditionally store a value."""
@@ -219,11 +246,135 @@ class CacheServer:
         """Remove a key; returns True if it existed."""
         self._check_key(key)
         self.stats.deletes += 1
-        return self.store.delete(key)
+        # Consistency with the lease read path: an expired stale retention
+        # is already gone, so it must not count as "existed".
+        retained = self._stale_entry(key) is not None
+        self._stale.pop(key, None)
+        return self.store.delete(key) or retained
 
     def delete_multi(self, keys: Sequence[str]) -> List[str]:
         """Batched :meth:`delete`.  Returns the keys that actually existed."""
         return [key for key in keys if self.delete(key)]
+
+    # -- leases (stale-retaining invalidation) ---------------------------------
+
+    #: Sweep the stale-retention buffer for expired entries once it exceeds
+    #: this many keys (amortized cleanup for cold keys never re-read).
+    _STALE_SWEEP_THRESHOLD = 1024
+
+    def _sweep_stale(self) -> None:
+        """Drop expired stale retentions and spent rate-limit records so
+        cold, never-re-read keys do not accumulate without bound (live
+        entries are inherently bounded by the activity of one window)."""
+        now = self.clock()
+        if len(self._stale) > self._STALE_SWEEP_THRESHOLD:
+            for key in [k for k, e in self._stale.items()
+                        if now >= e.stale_until]:
+                del self._stale[key]
+                self._lease_issued_at.pop(key, None)
+        if len(self._lease_issued_at) > self._STALE_SWEEP_THRESHOLD:
+            for key in [k for k, (issued, window)
+                        in self._lease_issued_at.items()
+                        if now - issued >= window]:
+                del self._lease_issued_at[key]
+
+    def lease_delete(self, key: str, stale_seconds: float) -> bool:
+        """Invalidate ``key`` but *retain* its value as servable-stale.
+
+        The live entry is removed (reads no longer count it as a hit) and
+        its value moves to the recently-deleted buffer for ``stale_seconds``,
+        where :meth:`lease` can serve it while one lease holder recomputes.
+        Returns True if the key existed (live or already stale-retained).
+        """
+        self._check_key(key)
+        self.stats.deletes += 1
+        self.stats.lease_deletes += 1
+        self._sweep_stale()
+        item = self._live_item(key, touch=False)
+        if item is not None:
+            self.store.delete(key)
+            self._stale[key] = _StaleEntry(item.value,
+                                           self.clock() + float(stale_seconds))
+            return True
+        entry = self._stale_entry(key)
+        if entry is not None:
+            # Another invalidation during the window: extend the retention
+            # (the value is already stale; staleness is still bounded by
+            # ``stale_seconds`` past the *latest* write).
+            entry.stale_until = self.clock() + float(stale_seconds)
+            return True
+        return False
+
+    def lease_delete_multi(self, keys: Sequence[str],
+                           stale_seconds: float) -> List[str]:
+        """Batched :meth:`lease_delete`.  Returns the keys that existed."""
+        return [key for key in keys if self.lease_delete(key, stale_seconds)]
+
+    def _stale_entry(self, key: str) -> Optional[_StaleEntry]:
+        entry = self._stale.get(key)
+        if entry is None:
+            return None
+        if self.clock() >= entry.stale_until:
+            del self._stale[key]
+            return None
+        return entry
+
+    def lease(self, key: str,
+              lease_seconds: float) -> Tuple[str, Optional[Any], Optional[int]]:
+        """Read ``key`` under the lease protocol.
+
+        Returns ``(state, value, token)``:
+
+        * :data:`LEASE_HIT` — a live fresh entry; ``value`` is it.
+        * :data:`LEASE_ACQUIRED` — the caller won the lease token and is the
+          one reader that should recompute.  ``value`` is the stale-retained
+          value if one exists (serve it; recompute in the background) or
+          None on a true miss (recompute on the critical path, as usual).
+        * :data:`LEASE_STALE` — a stale-retained value served while another
+          reader holds the lease (or the per-key token rate limit of one
+          token per ``lease_seconds`` is in effect): do not recompute.
+
+        Token issuance is rate-limited per key — at most one token every
+        ``lease_seconds`` — which is what bounds a hot key's recompute rate
+        however many invalidations and readers hit it.
+        """
+        self._check_key(key)
+        self.stats.gets += 1
+        item = self._live_item(key)
+        if item is not None:
+            self.stats.hits += 1
+            return LEASE_HIT, item.value, None
+        now = self.clock()
+        record = self._lease_issued_at.get(key)
+        issued = record[0] if record is not None else None
+        can_issue = issued is None or (now - issued) >= float(lease_seconds)
+        entry = self._stale_entry(key)
+        if entry is None and issued is not None and can_issue:
+            # Lazy pruning: with no stale value retained and the rate-limit
+            # window passed, the record carries no information — drop it so
+            # a churning key space doesn't grow this map without bound (the
+            # lease_delete-time sweep catches keys never read again).
+            del self._lease_issued_at[key]
+        if entry is not None:
+            self.stats.hits += 1
+            self.stats.stale_hits += 1
+            if can_issue:
+                self._lease_issued_at[key] = (now, float(lease_seconds))
+                self.stats.leases_granted += 1
+                return LEASE_ACQUIRED, entry.value, next(self._cas_counter)
+            return LEASE_STALE, entry.value, None
+        # True miss: nothing retained.  Always grant, and without starting
+        # the rate-limit window — the caller must go to the database anyway,
+        # and its set repopulates the key for everyone; the limit exists to
+        # bound recomputes of *stale-retained* (hot, invalidated) keys.
+        self.stats.misses += 1
+        self.stats.leases_granted += 1
+        return LEASE_ACQUIRED, None, next(self._cas_counter)
+
+    def lease_multi(self, keys: Sequence[str], lease_seconds: float,
+                    ) -> Dict[str, Tuple[str, Optional[Any], Optional[int]]]:
+        """Batched :meth:`lease`: ``{key: (state, value, token)}``."""
+        return {key: self.lease(key, lease_seconds) for key in keys}
 
     def incr(self, key: str, delta: int = 1) -> Optional[int]:
         """Increment an integer value; returns the new value or None on miss."""
@@ -249,9 +400,32 @@ class CacheServer:
         self._store(key, new_value, None, item.flags)
         return new_value
 
+    def incr_multi(self, deltas: Mapping[str, int]) -> Dict[str, Optional[int]]:
+        """Batched counter adjustment: ``{key: signed_delta}`` in, new values out.
+
+        Positive deltas increment, negative deltas decrement (floored at
+        zero, as :meth:`decr` does) — one wire batch can carry a mixed run,
+        which is what a group-moving UPDATE's ``-1``/``+1`` pair needs.
+        Per-key statistics match N single ``incr``/``decr`` calls; misses
+        (absent or non-integer values) report None for their key.
+        """
+        out: Dict[str, Optional[int]] = {}
+        for key, delta in deltas.items():
+            if delta >= 0:
+                out[key] = self.incr(key, delta)
+            else:
+                out[key] = self.decr(key, -delta)
+        return out
+
+    def decr_multi(self, deltas: Mapping[str, int]) -> Dict[str, Optional[int]]:
+        """Batched :meth:`decr`: ``{key: delta}`` with deltas applied negatively."""
+        return self.incr_multi({key: -delta for key, delta in deltas.items()})
+
     def flush_all(self) -> None:
-        """Drop every item."""
+        """Drop every item (stale-retained values included)."""
         self.store.clear()
+        self._stale.clear()
+        self._lease_issued_at.clear()
 
     # -- introspection --------------------------------------------------------
 

@@ -25,6 +25,11 @@ class CacheStats:
     decr_miss: int = 0
     evictions: int = 0
     expirations: int = 0
+    # Lease protocol (leased invalidation): tokens granted, stale values
+    # served from the recently-deleted buffer, and stale-retaining deletes.
+    leases_granted: int = 0
+    stale_hits: int = 0
+    lease_deletes: int = 0
 
     @property
     def hit_ratio(self) -> float:

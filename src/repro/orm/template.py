@@ -138,6 +138,10 @@ class QueryTemplate:
     order_by: Tuple[Tuple[str, bool], ...] = ()
     limit: Optional[int] = None
     chain: Tuple[ChainStep, ...] = ()
+    #: Constant equality filters ((column, value) pairs, sorted) narrowing
+    #: the cached rows alongside the Param placeholders — e.g.
+    #: ``filter(status="PENDING", user_id=Param("u"))``.
+    const_filters: Tuple[Tuple[str, Any], ...] = ()
 
     @property
     def table(self) -> str:
@@ -164,23 +168,29 @@ class QueryTemplate:
                 "use [:k] to declare a Top-K query")
 
         params: Dict[str, Param] = {}
+        consts: Dict[str, Any] = {}
         for key, value in queryset._filters.items():
             column, _, suffix = key.partition("__")
-            if not isinstance(value, Param):
-                raise TemplateError(
-                    f"cacheable templates only accept Param placeholders as "
-                    f"filter values; {key!r} was given the constant {value!r}")
             if suffix and suffix != "exact":
                 raise TemplateError(
                     f"cacheable templates only support equality filters; "
                     f"{key!r} uses the lookup {suffix!r}")
-            params[column] = value
+            if isinstance(value, Param):
+                params[column] = value
+            else:
+                # A constant filter: folded into the query shape (and the
+                # cache-key fingerprint) rather than varying per entry.
+                consts[column] = value
         if not params:
             raise TemplateError(
                 "cacheable templates must filter on at least one "
                 "Param(...) placeholder")
 
         chain = tuple(queryset._through_steps)
+        if chain and consts:
+            raise TemplateError(
+                "constant filters are not supported on through() chains; "
+                "filter the chain's base rows with Param placeholders only")
         order_by = tuple(queryset._order_by)
         limit = queryset._limit
 
@@ -221,6 +231,7 @@ class QueryTemplate:
             order_by=order_by,
             limit=limit,
             chain=chain,
+            const_filters=tuple(sorted(consts.items())),
         )
 
     # -- shape inference -------------------------------------------------------
@@ -258,6 +269,7 @@ class QueryTemplate:
             ";".join(f"{c}:{'desc' if d else 'asc'}" for c, d in self.order_by),
             str(self.limit),
             ";".join(f"{s.direction}:{s.field}:{s.model_name}" for s in self.chain),
+            ";".join(f"{c}={v!r}" for c, v in self.const_filters),
         ]
         return "|".join(parts)
 
@@ -290,8 +302,12 @@ class QueryTemplate:
                     return None
             # Feature shape (limit is None): any ordering/limit is acceptable;
             # the cached object re-sorts and trims when presenting results.
-        if set(description.filters) != set(self.param_fields):
+        expected = set(self.param_fields) | {c for c, _ in self.const_filters}
+        if set(description.filters) != expected:
             return None
+        for column, value in self.const_filters:
+            if description.filters[column] != value:
+                return None
         return {column: description.filters[column] for column in self.param_fields}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -303,4 +319,6 @@ class QueryTemplate:
             bits.append(f"limit={self.limit}")
         if self.chain:
             bits.append(f"chain={list(self.chain)!r}")
+        if self.const_filters:
+            bits.append(f"consts={dict(self.const_filters)!r}")
         return f"<QueryTemplate {' '.join(bits)}>"

@@ -85,11 +85,22 @@ class ReplayResult:
 
 
 class WorkloadReplayer:
-    """Executes workload traces against the application, measuring demands."""
+    """Executes workload traces against the application, measuring demands.
 
-    def __init__(self, app: SocialApplication, database: Database) -> None:
+    When ``clock`` and ``page_interval_seconds`` are supplied, the replayer
+    advances the shared virtual clock between page loads, so time-based
+    consistency mechanisms (TTL expiry, lease windows, async-refresh
+    freshness deadlines) actually elapse during a replay.  The default is no
+    advance — the frozen-clock behavior the committed experiments expect.
+    """
+
+    def __init__(self, app: SocialApplication, database: Database,
+                 clock: Optional[object] = None,
+                 page_interval_seconds: float = 0.0) -> None:
         self.app = app
         self.database = database
+        self.clock = clock
+        self.page_interval_seconds = page_interval_seconds
 
     def replay(self, trace: WorkloadTrace, record: bool = True) -> ReplayResult:
         """Replay ``trace`` page by page, interleaving clients round-robin.
@@ -98,7 +109,10 @@ class WorkloadReplayer:
         (used for warm-up, like the paper's 40-client warm-up phase).
         """
         result = ReplayResult()
+        advance = (self.clock is not None and self.page_interval_seconds > 0)
         for page_load in self._interleave(trace):
+            if advance:
+                self.clock.advance(self.page_interval_seconds)
             with self.database.measure() as counters:
                 self.app.render(page_load.page, page_load.user_id)
             if not record:

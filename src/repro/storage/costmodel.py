@@ -76,6 +76,12 @@ class CostCounters:
     #: Application-side server batches overlapped by ``pipeline_batches``
     #: (wire round trips that wait behind a concurrent batch, so zero net ms).
     cache_overlapped_batches: int = 0
+    #: Lease-protocol reads (single round trips) and their batched form
+    #: (one event per server batch) — the leased-invalidation read path.
+    cache_leases: int = 0
+    cache_multi_leases: int = 0
+    #: Batched counter adjustments (incr_multi/decr_multi, one per server batch).
+    cache_multi_counters: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_bytes_moved: int = 0
@@ -89,9 +95,10 @@ class CostCounters:
         so they count here and are excluded only from the network demand.
         """
         return (self.cache_gets + self.cache_sets + self.cache_deletes
-                + self.cache_cas
+                + self.cache_cas + self.cache_leases
                 + self.cache_multi_gets + self.cache_multi_sets
                 + self.cache_multi_deletes + self.cache_multi_cas
+                + self.cache_multi_leases + self.cache_multi_counters
                 + self.cache_overlapped_batches
                 + self.trigger_cache_ops + self.trigger_cache_batches
                 + self.trigger_cache_overlapped_batches)
@@ -248,8 +255,10 @@ class CostModel:
              # Overlapped batches (``pipeline_batches``) wait behind another
              # batch of the same call, so they add no network time here —
              # the flush pays max() over its per-server batches, not sum().
+             + counters.cache_leases
              + counters.cache_multi_gets + counters.cache_multi_sets
-             + counters.cache_multi_deletes + counters.cache_multi_cas)
+             + counters.cache_multi_deletes + counters.cache_multi_cas
+             + counters.cache_multi_leases + counters.cache_multi_counters)
             * self.cache_op_net_ms
             + counters.cache_bytes_moved * self.cache_byte_net_ms
             # The network-wait half of opening a trigger-side memcached

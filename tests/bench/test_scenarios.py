@@ -1,26 +1,62 @@
-"""Tests for scenario assembly (NoCache / Invalidate / Update)."""
+"""Tests for scenario assembly (NoCache / Invalidate / Update / new strategies)."""
 
 import pytest
 
 from repro.apps.social import SeedScale
-from repro.bench import (INVALIDATE_SCENARIO, NO_CACHE, Scenario,
-                         ScenarioConfig, UPDATE_SCENARIO, build_scenario)
-from repro.core import INVALIDATE, UPDATE_IN_PLACE
+from repro.bench import (ASYNC_REFRESH_SCENARIO, EXPIRY_SCENARIO,
+                         INVALIDATE_SCENARIO, LEASED_SCENARIO, NO_CACHE,
+                         Scenario, ScenarioConfig, UPDATE_SCENARIO,
+                         build_scenario)
+from repro.core import (ASYNC_REFRESH, ConsistencyStrategy, EXPIRY, INVALIDATE,
+                        LEASED_INVALIDATE, LeasedInvalidateStrategy,
+                        UPDATE_IN_PLACE, get_strategy)
 
 
 TINY = SeedScale.tiny()
 
 
 class TestScenarioConfig:
-    def test_strategies_by_name(self):
+    def test_configs_carry_resolved_strategy_objects(self):
+        """The config resolves its strategy *object* once at construction —
+        nothing downstream matches on the scenario-name string."""
         assert ScenarioConfig(name=NO_CACHE).strategy is None
-        assert ScenarioConfig(name=INVALIDATE_SCENARIO).strategy == INVALIDATE
-        assert ScenarioConfig(name=UPDATE_SCENARIO).strategy == UPDATE_IN_PLACE
+        for name, expected in ((INVALIDATE_SCENARIO, INVALIDATE),
+                               (UPDATE_SCENARIO, UPDATE_IN_PLACE),
+                               (EXPIRY_SCENARIO, EXPIRY),
+                               (LEASED_SCENARIO, LEASED_INVALIDATE),
+                               (ASYNC_REFRESH_SCENARIO, ASYNC_REFRESH)):
+            config = ScenarioConfig(name=name)
+            assert isinstance(config.strategy, ConsistencyStrategy)
+            assert config.strategy is get_strategy(expected)
+            assert config.strategy_name == expected
+
+    def test_strategy_accepts_names_and_instances(self):
+        by_name = ScenarioConfig(name=UPDATE_SCENARIO, strategy=INVALIDATE)
+        assert by_name.strategy is get_strategy(INVALIDATE)
+        custom = LeasedInvalidateStrategy(lease_seconds=7.0)
+        by_instance = ScenarioConfig(name=LEASED_SCENARIO, strategy=custom)
+        assert by_instance.strategy is custom
 
     def test_variant_overrides(self):
         config = ScenarioConfig(name=UPDATE_SCENARIO).variant(cache_size_bytes=123)
         assert config.cache_size_bytes == 123
         assert config.name == UPDATE_SCENARIO
+        assert config.strategy is get_strategy(UPDATE_IN_PLACE)
+
+    def test_variant_name_override_re_resolves_the_strategy(self):
+        """Switching scenarios via variant(name=...) must not carry the old
+        scenario's strategy object along (the pre-object behavior derived
+        the strategy from the name)."""
+        switched = ScenarioConfig(name=UPDATE_SCENARIO).variant(
+            name=INVALIDATE_SCENARIO)
+        assert switched.strategy is get_strategy(INVALIDATE)
+        nocache = ScenarioConfig(name=UPDATE_SCENARIO).variant(name=NO_CACHE)
+        assert nocache.strategy is None
+        # An explicit strategy override still wins over the name default.
+        custom = LeasedInvalidateStrategy(lease_seconds=3.0)
+        kept = ScenarioConfig(name=UPDATE_SCENARIO).variant(
+            name=INVALIDATE_SCENARIO, strategy=custom)
+        assert kept.strategy is custom
 
     def test_unknown_scenario_name_rejected(self):
         with pytest.raises(ValueError):

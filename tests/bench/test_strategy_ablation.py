@@ -1,0 +1,71 @@
+"""The exp-strategies ablation: all five consistency strategies end-to-end."""
+
+from __future__ import annotations
+
+from repro.bench.cli import build_parser, main
+from repro.bench.experiments import (STRATEGY_ABLATION_SCENARIOS,
+                                     experiment_strategies)
+from repro.bench.reporting import render_experiment_strategies
+from repro.bench.scenarios import (ASYNC_REFRESH_SCENARIO, EXPIRY_SCENARIO,
+                                   INVALIDATE_SCENARIO, LEASED_SCENARIO,
+                                   UPDATE_SCENARIO)
+
+
+class TestStrategyAblation:
+    def test_quick_run_covers_all_five_strategies(self):
+        result = experiment_strategies(quick=True)
+        assert result.scenarios == list(STRATEGY_ABLATION_SCENARIOS)
+        assert result.strategy_names[UPDATE_SCENARIO] == "update-in-place"
+        assert result.strategy_names[LEASED_SCENARIO] == "leased-invalidate"
+        assert result.strategy_names[ASYNC_REFRESH_SCENARIO] == "async-refresh"
+        # The triggered strategies install triggers; the TTL-based ones don't.
+        assert result.triggers_installed[UPDATE_SCENARIO] > 0
+        assert result.triggers_installed[LEASED_SCENARIO] > 0
+        assert result.triggers_installed[EXPIRY_SCENARIO] == 0
+        assert result.triggers_installed[ASYNC_REFRESH_SCENARIO] == 0
+        # Every configuration actually served traffic.
+        assert all(result.throughput[s] > 0 for s in result.scenarios)
+
+        # Strategy signatures in the counters: updates for update-in-place,
+        # invalidations for the invalidating pair, stale serves + background
+        # recomputes for the stale-serving pair.
+        counters = result.object_counters
+        assert counters[UPDATE_SCENARIO]["updates_applied"] > 0
+        assert counters[INVALIDATE_SCENARIO]["invalidations"] > 0
+        assert counters[LEASED_SCENARIO]["invalidations"] > 0
+        assert counters[LEASED_SCENARIO]["stale_served"] > 0
+        assert counters[ASYNC_REFRESH_SCENARIO]["stale_served"] > 0
+        assert counters[ASYNC_REFRESH_SCENARIO]["recomputations"] > 0
+        assert counters[INVALIDATE_SCENARIO]["stale_served"] == 0
+        assert counters[UPDATE_SCENARIO]["stale_served"] == 0
+
+        # The headline claim: leases turn invalidation's blocking fallbacks
+        # into (fewer, rate-limited) background recomputes on hot keys.
+        assert (counters[LEASED_SCENARIO]["db_fallbacks"]
+                < counters[INVALIDATE_SCENARIO]["db_fallbacks"])
+        assert (result.blocking_db_work(LEASED_SCENARIO)
+                <= result.blocking_db_work(INVALIDATE_SCENARIO))
+
+    def test_subset_and_rendering(self):
+        result = experiment_strategies(
+            scenarios=(INVALIDATE_SCENARIO, LEASED_SCENARIO), quick=True)
+        rendered = render_experiment_strategies(result)
+        assert "leased-invalidate" in rendered
+        assert "Blocking DB fallbacks" in rendered
+        assert "Leased invalidation vs plain invalidation" in rendered
+
+
+class TestCli:
+    def test_parser_registers_exp_strategies(self):
+        args = build_parser().parse_args(["exp-strategies", "--quick"])
+        assert args.quick is True and callable(args.func)
+        args = build_parser().parse_args(
+            ["exp-strategies", "--strategies", "Invalidate", "LeasedInvalidate"])
+        assert args.strategies == ["Invalidate", "LeasedInvalidate"]
+
+    def test_quick_command_prints_the_table(self, capsys):
+        assert main(["exp-strategies", "--quick",
+                     "--strategies", "Invalidate", "LeasedInvalidate"]) == 0
+        out = capsys.readouterr().out
+        assert "Consistency-strategy ablation" in out
+        assert "leased-invalidate" in out

@@ -141,11 +141,28 @@ class TestShapeNormalization:
 
 
 class TestShapeValidation:
-    def test_constant_filters_rejected(self, models):
+    def test_constant_filters_fold_into_shape(self, models):
+        Post = models["Post"]
+        template = QueryTemplate.from_queryset(
+            Post.objects.filter(author_id=Param("a"), score=3))
+        assert template.param_fields == ("author_id",)
+        assert template.const_filters == (("score", 3),)
+        # The constant is part of the shape identity, not a per-entry param.
+        plain = QueryTemplate.from_queryset(
+            Post.objects.filter(author_id=Param("a")))
+        assert template.shape_fingerprint() != plain.shape_fingerprint()
+
+    def test_const_only_filter_still_needs_a_param(self, models):
+        Post = models["Post"]
+        with pytest.raises(TemplateError, match="Param"):
+            QueryTemplate.from_queryset(Post.objects.filter(score=3))
+
+    def test_constant_filters_rejected_on_chains(self, models):
         Post = models["Post"]
         with pytest.raises(TemplateError, match="constant"):
             QueryTemplate.from_queryset(
-                Post.objects.filter(author_id=Param("a"), score=3))
+                Post.objects.filter(author_id=Param("a"), score=3)
+                .through("author"))
 
     def test_at_least_one_param_required(self, models):
         Post = models["Post"]
