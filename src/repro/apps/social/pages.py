@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ...core.cache_classes.base import evaluate_many
 from ...errors import DoesNotExist
@@ -59,15 +59,28 @@ class PageResult:
     detail: Dict[str, Any] = field(default_factory=dict)
 
 
+def _no_checkpoint(label: str) -> None:
+    """The serial default: page rendering never yields."""
+
+
 class SocialApplication:
-    """Renders the social site's pages against the ORM (and cached objects)."""
+    """Renders the social site's pages against the ORM (and cached objects).
+
+    ``checkpoint`` is the cooperative-scheduling hook of the concurrent
+    replay engine (:class:`repro.sim.concurrent.ConcurrentReplayer`): page
+    handlers call it between fragments — the operation boundaries where one
+    simulated worker can be paused and another advanced.  The default is a
+    no-op, so serial replay (and every committed experiment) is untouched.
+    """
 
     def __init__(self, cached_objects: Optional[Dict[str, Any]] = None,
                  rng: Optional[random.Random] = None,
-                 batch_reads: bool = True) -> None:
+                 batch_reads: bool = True,
+                 checkpoint: Optional[Callable[[str], None]] = None) -> None:
         self.cached = cached_objects or {}
         self.rng = rng or random.Random(0)
         self.batch_reads = batch_reads
+        self.checkpoint: Callable[[str], None] = checkpoint or _no_checkpoint
 
     # -- batched fragment fetching ----------------------------------------------
 
@@ -99,6 +112,7 @@ class SocialApplication:
         alone accounts for a dozen (all of them cacheable patterns).  With
         batching on, the whole dozen rides one multi-get per cache server.
         """
+        self.checkpoint("app:header")
         fetched = self._fetch_many([
             ("user_by_id", {"id": user_id}),
             ("user_profile", {"user_id": user_id}),
@@ -148,6 +162,7 @@ class SocialApplication:
         WallPost.objects.filter(sender_id=user_id).count()
 
     def _load_account(self, user_id: int) -> Dict[str, Any]:
+        self.checkpoint("app:account")
         fetched = self._fetch_many([
             ("user_by_id", {"id": user_id}),
             ("user_profile", {"user_id": user_id}),
@@ -274,12 +289,14 @@ class SocialApplication:
             # Users mostly re-save URLs that already circulate on the site (the
             # seeded unique bookmarks), occasionally introducing new ones.
             url = f"http://example.com/page/{self.rng.randrange(0, 300)}"
+        self.checkpoint("app:write")
         bookmark, created = Bookmark.objects.get_or_create(
             url=url, defaults={"description": description, "adder_id": user_id})
         instance = BookmarkInstance(
             bookmark=bookmark, user_id=user_id,
             description=description or url, note="")
         instance.save()
+        self.checkpoint("app:post-write")
         # Post-save renders: the redirect shows the user's bookmark list again,
         # including the fresh entry, its save count, and the latest-first view.
         if self._fetch_many([
@@ -312,6 +329,7 @@ class SocialApplication:
             pending = [{"pk": inv.pk, "from_user_id": inv.from_user_id}
                        for inv in FriendshipInvitation.objects.filter(to_user_id=user_id)
                        if inv.status == FriendshipInvitation.STATUS_PENDING]
+        self.checkpoint("app:write")
         if pending:
             invitation = pending[0]
             FriendshipInvitation.objects.filter(id=invitation["pk"]).update(
@@ -327,6 +345,7 @@ class SocialApplication:
                                  message="let's be friends",
                                  status=FriendshipInvitation.STATUS_PENDING).save()
             accepted = False
+        self.checkpoint("app:post-write")
         # Re-render the friends panel after the write: the updated counts, the
         # friend list, and the new friend's recent activity (their bookmarks).
         if self._fetch_many([
@@ -367,4 +386,5 @@ class SocialApplication:
         }
         if page not in handlers:
             raise ValueError(f"unknown page type {page!r}")
+        self.checkpoint(f"page:{page}")
         return handlers[page](user_id)

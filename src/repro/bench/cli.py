@@ -15,6 +15,7 @@ code::
     python -m repro.bench exp-batch --batch-ops both
     python -m repro.bench exp-cas-batch --cas-batch both
     python -m repro.bench exp-strategies [--quick]
+    python -m repro.bench exp-contention [--quick] [--check]
 
 Each command prints the same rendered rows/series the corresponding
 ``benchmarks/`` target saves under ``benchmarks/_results/``.
@@ -85,6 +86,26 @@ def _cmd_exp_strategies(args: argparse.Namespace) -> str:
     result = experiments.experiment_strategies(scenarios=scenarios,
                                                quick=args.quick)
     return reporting.render_experiment_strategies(result)
+
+
+def _cmd_exp_contention(args: argparse.Namespace) -> str:
+    # None falls through to the experiment's defaults (which --quick
+    # shrinks); explicit selections are honored even in quick mode.
+    result = experiments.experiment_contention(
+        scenarios=args.strategies,
+        workers=args.workers,
+        policies=args.policies,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    rendered = reporting.render_experiment_contention(result)
+    if args.check:
+        problems = result.check_contended()
+        if problems:
+            raise SystemExit(rendered + "\n\nCONTENTION CHECK FAILED:\n  "
+                             + "\n  ".join(problems))
+        rendered += "\nContention check passed: all contention counters fire at >= 2 workers."
+    return rendered
 
 
 def _cmd_exp_cas_batch(args: argparse.Namespace) -> str:
@@ -175,6 +196,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="tiny seed and short trace — the CI smoke configuration")
     exp_strategies.set_defaults(func=_cmd_exp_strategies)
+
+    exp_contention = sub.add_parser(
+        "exp-contention",
+        help="Contention ablation: N concurrent worker contexts interleaved "
+             "by a seeded scheduler on the hot-key wall/top-k workload — "
+             "CAS mismatches/retry rounds and lease contention vs worker "
+             "count, interleave policy, and strategy")
+    exp_contention.add_argument(
+        "--strategies", nargs="+", default=None,
+        choices=list(experiments.CONTENTION_SCENARIOS),
+        help="subset of strategy scenarios to sweep (default: all three)")
+    exp_contention.add_argument(
+        "--workers", type=int, nargs="+", default=None,
+        help="worker counts to sweep (default: 1 2 4; 1 = serial baseline)")
+    exp_contention.add_argument(
+        "--policies", nargs="+", default=None,
+        choices=list(experiments.CONTENTION_POLICIES),
+        help="interleave policies to sweep at >= 2 workers (default: all)")
+    exp_contention.add_argument(
+        "--seed", type=int, default=experiments.CONTENTION_SEED,
+        help="scheduler seed: a fixed seed reproduces the interleaving "
+             "bit for bit (default: %(default)s)")
+    exp_contention.add_argument(
+        "--quick", action="store_true",
+        help="tiny seed, short trace, adversarial policy only — the CI "
+             "smoke configuration")
+    exp_contention.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero unless every contention counter fires at >= 2 "
+             "workers (guards against the subsystem regressing to serial)")
+    exp_contention.set_defaults(func=_cmd_exp_contention)
     return parser
 
 

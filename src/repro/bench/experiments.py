@@ -18,7 +18,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..apps.social import SeedScale
 from ..memcache import CacheServer
-from ..sim import (ReplayResult, RunMetrics, SimulationOptions, VirtualClock,
+from ..sim import (ADVERSARIAL, ALL_POLICIES, ConcurrentReplayer, ROUND_ROBIN,
+                   ReplayResult, RunMetrics, SimulationOptions, VirtualClock,
                    WorkloadReplayer, simulate_population)
 from ..storage import (ColumnDef, CostModel, Database, IndexDef, Recorder,
                        TableSchema)
@@ -662,6 +663,196 @@ def experiment_strategies(
         round_trips=round_trips,
         throughput=throughput,
         cache_hit_ratio=hit_ratio,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Contention ablation (`exp-contention`) — concurrent workers vs serial replay
+# ---------------------------------------------------------------------------
+
+#: Strategies the contention ablation sweeps: the CAS-propagating headline
+#: strategy, plain invalidation (the herd victim), and leased invalidation
+#: (the herd fix — its windows are what contention actually contends).
+CONTENTION_SCENARIOS = (UPDATE_SCENARIO, INVALIDATE_SCENARIO, LEASED_SCENARIO)
+
+#: Worker counts swept (1 = the serial-equivalent baseline).
+CONTENTION_WORKERS = (1, 2, 4)
+
+#: Interleave policies swept at every worker count above 1.
+CONTENTION_POLICIES = ALL_POLICIES
+
+#: Scheduler seed of the committed runs (any fixed seed is bit-reproducible).
+CONTENTION_SEED = 0
+
+#: Contention counters reported per run (from the replay's cost counters).
+CONTENTION_COUNTERS = ("cas_multi_mismatch", "cas_retry_rounds",
+                       "lease_contended")
+
+
+@dataclass
+class ContentionRun:
+    """One (strategy, worker count, policy) cell of the contention ablation."""
+
+    scenario: str
+    workers: int
+    policy: str
+    schedule_signature: str
+    counters: Dict[str, int]               # CONTENTION_COUNTERS -> value
+    herd_size_max: int
+    stale_served: float
+    db_fallbacks: float
+    cas_fallbacks: int
+    round_trips: int
+    throughput: float
+    cache_hit_ratio: float
+
+    @property
+    def contended(self) -> bool:
+        """Did any contention counter fire in this run?"""
+        return any(self.counters.get(name, 0) > 0
+                   for name in CONTENTION_COUNTERS) or self.herd_size_max > 1
+
+
+@dataclass
+class ContentionResult:
+    """Outcome of the contention ablation sweep."""
+
+    scenarios: List[str]
+    workers: List[int]
+    policies: List[str]
+    runs: List[ContentionRun]
+
+    def run_for(self, scenario: str, workers: int,
+                policy: str) -> Optional[ContentionRun]:
+        for run in self.runs:
+            if (run.scenario == scenario and run.workers == workers
+                    and run.policy == policy):
+                return run
+        return None
+
+    def max_counter(self, name: str, min_workers: int = 2) -> int:
+        """Largest value of one contention counter across multi-worker runs."""
+        values = [run.counters.get(name, 0) for run in self.runs
+                  if run.workers >= min_workers]
+        return max(values) if values else 0
+
+    def check_contended(self, min_workers: int = 2) -> List[str]:
+        """Assertions of the CI smoke job: every contention counter must
+        fire somewhere at ``min_workers``+ workers.  Returns the failures
+        (empty = the subsystem still interleaves)."""
+        problems = []
+        for name in CONTENTION_COUNTERS:
+            if self.max_counter(name, min_workers) <= 0:
+                problems.append(
+                    f"{name} stayed 0 across every run with >= {min_workers} "
+                    f"workers — the concurrent replay no longer contends")
+        return problems
+
+
+def _run_contention_cell(scenario_name: str, workers: int, policy: str,
+                         workload: WorkloadConfig, seed_scale: SeedScale,
+                         warmup: Optional[WorkloadConfig],
+                         seed: int) -> ContentionRun:
+    """Replay one configuration with the concurrent engine and measure it."""
+    strategy = _ablation_strategy(scenario_name)
+    config = ScenarioConfig(
+        name=scenario_name, strategy=strategy, seed_scale=seed_scale,
+        page_interval_seconds=STRATEGY_PAGE_INTERVAL)
+    scenario = Scenario(config).setup()
+    try:
+        user_ids = list(range(1, config.seed_scale.users + 1))
+        if warmup is not None:
+            serial = WorkloadReplayer(
+                scenario.app, scenario.database, clock=scenario.clock,
+                page_interval_seconds=config.page_interval_seconds)
+            serial.replay(WorkloadGenerator(warmup, user_ids).generate(),
+                          record=False)
+        replayer = ConcurrentReplayer(
+            scenario.app, scenario.database, genie=scenario.genie,
+            workers=workers, policy=policy, seed=seed,
+            clock=scenario.clock,
+            page_interval_seconds=config.page_interval_seconds)
+        trace = WorkloadGenerator(workload, user_ids).generate()
+        replay = replayer.replay(trace)
+        metrics = simulate_population(replay, clients=workload.clients)
+        counters = replay.total_counters
+        cache_stats = scenario.cache_stats()
+        object_totals = (scenario.genie.stats.totals().as_dict()
+                         if scenario.genie else {})
+        queue = scenario.genie.trigger_op_queue if scenario.genie else None
+        return ContentionRun(
+            scenario=scenario_name,
+            workers=workers,
+            policy=policy,
+            schedule_signature=replay.schedule_signature,
+            counters={name: getattr(counters, name)
+                      for name in CONTENTION_COUNTERS},
+            herd_size_max=int(cache_stats.get("herd_size_max", 0)),
+            stale_served=object_totals.get("stale_served", 0.0),
+            db_fallbacks=object_totals.get("db_fallbacks", 0.0),
+            cas_fallbacks=queue.cas_fallbacks if queue is not None else 0,
+            round_trips=counters.cache_round_trips,
+            throughput=metrics.throughput,
+            cache_hit_ratio=scenario.cache_hit_ratio(),
+        )
+    finally:
+        scenario.teardown()
+
+
+def experiment_contention(
+    scenarios: Optional[Sequence[str]] = None,
+    workers: Optional[Sequence[int]] = None,
+    policies: Optional[Sequence[str]] = None,
+    workload: Optional[WorkloadConfig] = None,
+    seed: int = CONTENTION_SEED,
+    quick: bool = False,
+) -> ContentionResult:
+    """Sweep worker count x interleave policy x strategy on the hot-key
+    workload.
+
+    Every cell replays the identical trace through the concurrent engine;
+    only the interleaving differs.  One worker is the serial-equivalent
+    baseline (the policy is irrelevant, so it runs once, as round-robin)
+    and must leave every contention counter at zero; multi-worker cells are
+    where ``cas_multi_mismatch``/``cas_retry_rounds`` (Update) and
+    ``lease_contended``/``herd_size_max`` (LeasedInvalidate) come alive —
+    most reliably under the ``adversarial`` policy, which parks CAS-token
+    holders while other workers rewrite their keys.  ``quick=True`` shrinks
+    the seed/trace and the *default* sweep for the CI smoke job; explicit
+    ``scenarios``/``workers``/``policies`` selections are always honored.
+    """
+    base_workload = workload or HOT_KEY_WORKLOAD
+    seed_scale = DEFAULT_SEED_SCALE
+    warmup: Optional[WorkloadConfig] = DEFAULT_WARMUP
+    if quick:
+        seed_scale = SeedScale.tiny()
+        base_workload = base_workload.with_overrides(
+            clients=6, sessions_per_client=2, page_loads_per_session=4)
+        warmup = None
+        default_scenarios: Sequence[str] = (UPDATE_SCENARIO, LEASED_SCENARIO)
+        default_workers: Sequence[int] = (1, 2)
+        default_policies: Sequence[str] = (ADVERSARIAL,)
+    else:
+        default_scenarios = CONTENTION_SCENARIOS
+        default_workers = CONTENTION_WORKERS
+        default_policies = CONTENTION_POLICIES
+    scenarios = tuple(scenarios) if scenarios else tuple(default_scenarios)
+    workers = tuple(workers) if workers else tuple(default_workers)
+    policies = tuple(policies) if policies else tuple(default_policies)
+
+    runs: List[ContentionRun] = []
+    for scenario_name in scenarios:
+        for worker_count in workers:
+            cell_policies = list(policies) if worker_count > 1 else [ROUND_ROBIN]
+            for policy in cell_policies:
+                runs.append(_run_contention_cell(
+                    scenario_name, worker_count, policy,
+                    base_workload, seed_scale, warmup, seed))
+    return ContentionResult(
+        scenarios=list(scenarios),
+        workers=list(workers),
+        policies=list(policies),
+        runs=runs,
     )
 
 

@@ -26,6 +26,7 @@ from ..core import (ASYNC_REFRESH, CacheGenie, ConsistencyStrategy, EXPIRY,
                     resolve_strategy)
 from ..core.cache_classes.base import CacheClass
 from ..memcache import CacheServer
+from ..memcache.stats import CacheStats
 from ..sim import VirtualClock
 from ..storage import CostModel, Database
 
@@ -205,7 +206,13 @@ class Scenario:
         total: Dict[str, float] = {}
         for server in self.cache_servers:
             for key, value in server.stats_dict().items():
-                total[key] = total.get(key, 0) + value
+                if key in CacheStats._MAX_FIELDS:
+                    # High-water marks (herd_size_max) aggregate by max —
+                    # a key's lease window lives on exactly one server, so
+                    # summing per-server maxima would overstate the herd.
+                    total[key] = max(total.get(key, 0), value)
+                else:
+                    total[key] = total.get(key, 0) + value
         return total
 
     def describe(self) -> Dict[str, object]:

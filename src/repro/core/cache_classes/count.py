@@ -84,25 +84,17 @@ class CountQuery(CacheClass):
         """Apply a run of counter deltas, batched where the path allows.
 
         With commit-time batching the deltas enqueue per key (chaining with
-        the transaction's other mutations).  On the eager path a multi-key
-        run goes through ``incr_multi`` — one round trip per server instead
-        of one per key — and a single delta keeps the classic
-        ``incr``/``decr`` wire op.
+        the transaction's other mutations).  The eager path sends every run
+        — single deltas included — through the ``incr_multi`` bulk counter
+        protocol: one round trip per server batch, signed deltas, so a
+        group-moving UPDATE's ``-1``/``+1`` pair rides one wire batch and
+        single bumps no longer need their own ``incr``/``decr`` code path.
         """
         queue = self._op_queue()
         if queue is not None:
             for key, delta in deltas.items():
                 queue.enqueue_mutate(self, key, lambda value, d=delta: (
                     max(0, value + d) if isinstance(value, int) else None))
-            return
-        if len(deltas) == 1:
-            ((key, delta),) = deltas.items()
-            if delta > 0:
-                result = self.trigger_cache.incr(key, delta)
-            else:
-                result = self.trigger_cache.decr(key, -delta)
-            if result is not None:
-                self.stats.updates_applied += 1
             return
         results = self.trigger_cache.incr_multi(deltas)
         self.stats.updates_applied += sum(

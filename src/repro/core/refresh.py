@@ -56,6 +56,9 @@ class RefreshQueue:
         self.scheduled = 0
         self.coalesced = 0
         self.completed = 0
+        #: Keys in completion order — lets tests pin that a fixed scheduler
+        #: seed drains contended refreshes in a deterministic order.
+        self.completed_log: List[str] = []
 
     # -- state ------------------------------------------------------------------
 
@@ -138,3 +141,4 @@ class RefreshQueue:
                                      entry.key, frozen)
         cached_object.stats.recomputations += 1
         self.completed += 1
+        self.completed_log.append(entry.key)

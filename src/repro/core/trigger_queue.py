@@ -40,7 +40,7 @@ the cache at the cost of the occasional retry round.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple  # noqa: F401
 
 from ..memcache.server import CAS_MISMATCH, CAS_STORED, CAS_TOO_LARGE
 
@@ -80,6 +80,13 @@ class TriggerOpQueue:
         self.cas_max_retries = cas_max_retries
         self._ops: "OrderedDict[str, _PendingOp]" = OrderedDict()
         self._flushing = False
+        #: Parked (ops, flushing) state of inactive worker contexts.  Each
+        #: concurrent worker's transaction owns its own pending-op space —
+        #: ops enqueued by worker A's transaction flush at A's commit and
+        #: never mix with B's — and a flush suspended at a yield point
+        #: stays "flushing" only for its own context.
+        self._contexts: Dict[Any, Tuple["OrderedDict[str, _PendingOp]", bool]] = {}
+        self._context_key: Any = None
         # Lifetime statistics, for tests and the benchmark reports.
         self.enqueued = 0
         self.coalesced = 0
@@ -90,6 +97,13 @@ class TriggerOpQueue:
         self.cas_retries = 0
         #: Keys invalidated after exhausting every CAS retry round.
         self.cas_fallbacks = 0
+        #: Extra gets_multi/cas_multi rounds forced by CAS losers — zero
+        #: for a single writer, nonzero once concurrent workers contend.
+        self.cas_retry_rounds = 0
+        #: Per-worker attribution: ops enqueued / keys flushed per context
+        #: key (the default serial context is ``None``).
+        self.enqueued_by_context: Dict[Any, int] = {}
+        self.flushed_keys_by_context: Dict[Any, int] = {}
 
     # -- state ------------------------------------------------------------------
 
@@ -100,11 +114,43 @@ class TriggerOpQueue:
     def pending_keys(self) -> List[str]:
         return list(self._ops)
 
+    # -- worker contexts ---------------------------------------------------------
+
+    @property
+    def context_key(self) -> Any:
+        """The key of the live op-queue context (None = the default)."""
+        return self._context_key
+
+    def switch_context(self, key: Any) -> None:
+        """Park the live pending-op state and make ``key``'s state live.
+
+        Mirrors :meth:`TransactionManager.switch_context
+        <repro.storage.transactions.TransactionManager.switch_context>`: the
+        concurrent replayer switches both in lockstep when a worker resumes,
+        so the commit hooks always flush the committing worker's own ops.
+        """
+        if key == self._context_key:
+            return
+        self._contexts[self._context_key] = (self._ops, self._flushing)
+        self._ops, self._flushing = self._contexts.pop(key, (OrderedDict(), False))
+        self._context_key = key
+
+    def drop_context(self, key: Any) -> None:
+        """Forget a parked context (a finished worker); pending ops of an
+        interrupted transaction are discarded, like an abort."""
+        parked = self._contexts.pop(key, None)
+        if parked is not None:
+            self.discarded += len(parked[0])
+
+    def _attribute(self, counter: Dict[Any, int], n: int = 1) -> None:
+        counter[self._context_key] = counter.get(self._context_key, 0) + n
+
     # -- enqueueing -------------------------------------------------------------
 
     def enqueue_delete(self, owner: Any, key: str) -> None:
         """Queue an invalidation of ``key`` (wins over pending mutations)."""
         self.enqueued += 1
+        self._attribute(self.enqueued_by_context)
         if key in self._ops:
             self.coalesced += 1
         self._ops[key] = _PendingOp("delete", owner)
@@ -119,6 +165,7 @@ class TriggerOpQueue:
         a pending mutation chains with it.
         """
         self.enqueued += 1
+        self._attribute(self.enqueued_by_context)
         pending = self._ops.get(key)
         if pending is not None:
             self.coalesced += 1
@@ -157,6 +204,7 @@ class TriggerOpQueue:
 
             self.flushes += 1
             self.flushed_keys += len(ops)
+            self._attribute(self.flushed_keys_by_context, len(ops))
             return len(ops)
         finally:
             self._flushing = False
@@ -243,6 +291,10 @@ class TriggerOpQueue:
             if not losers:
                 return
             self.cas_retries += len(losers)
+            self.cas_retry_rounds += 1
+            recorder = getattr(self.cache, "recorder", None)
+            if recorder is not None:
+                recorder.record("cas_retry_rounds")
             for op in losers.values():
                 self._credit(op.owner, "cas_retries")
             outstanding = losers

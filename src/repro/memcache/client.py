@@ -13,7 +13,7 @@ simulation can model cache-network time.  Two "contexts" exist:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CacheServerError
 from ..storage.costmodel import Recorder
@@ -55,6 +55,22 @@ class CacheClient:
         self.pipeline_batches = pipeline_batches
         self._connected = False
         self.stats = CacheStats()
+        #: Cooperative-scheduling hook (installed only by the concurrent
+        #: replayer): called with ``"cache:<op>"`` after each multi-key
+        #: operation completes — a round-trip boundary where another worker
+        #: may legally run (which is what lets two workers race a
+        #: gets_multi/cas_multi pair on the same key).
+        self.checkpoint: Optional[Callable[[str], None]] = None
+        #: Worker attribution: the concurrent replayer sets
+        #: ``current_worker`` while a worker context runs, and every round
+        #: trip the client issues is tallied against it here.
+        self.current_worker: Optional[Any] = None
+        self.ops_by_worker: Dict[Any, int] = {}
+        #: Which worker won each key's most recent lease window (every
+        #: lease read flows through this client, so the map stays exact):
+        #: a rate-limited read is *contended* only when a different worker
+        #: holds the window's token.
+        self._lease_winners: Dict[str, Any] = {}
 
     # -- connection / accounting ----------------------------------------------
 
@@ -100,6 +116,21 @@ class CacheClient:
             batches.setdefault(self.ring.server_for(key), []).append(key)
         return batches
 
+    def _attribute_round_trip(self) -> None:
+        """Tally one round trip against the active worker context (if any)."""
+        worker = self.current_worker
+        if worker is not None:
+            self.ops_by_worker[worker] = self.ops_by_worker.get(worker, 0) + 1
+
+    def _charge_single(self, app_event: str) -> None:
+        """Charge one single-key round trip (``app_event`` from the
+        application; trigger-side clients fold into ``trigger_cache_ops``)."""
+        self._attribute_round_trip()
+        if self.from_trigger:
+            self.recorder.record("trigger_cache_ops")
+        else:
+            self.recorder.record(app_event)
+
     def _charge_batch(self, app_event: str, index: int = 0) -> None:
         """Charge one round trip for a multi-key batch sent to one server.
 
@@ -108,6 +139,7 @@ class CacheClient:
         latency; the rest overlap with it and are charged as latency-free
         overlapped round trips.
         """
+        self._attribute_round_trip()
         overlapped = self.pipeline_batches and index > 0
         if self.from_trigger:
             self.recorder.record("trigger_cache_overlapped_batches" if overlapped
@@ -115,6 +147,11 @@ class CacheClient:
         else:
             self.recorder.record("cache_overlapped_batches" if overlapped
                                  else app_event)
+
+    def _yield_point(self, op: str) -> None:
+        """Give the interleave scheduler a turn after a multi-op round trip."""
+        if self.checkpoint is not None:
+            self.checkpoint(f"cache:{op}")
 
     def _charge_batch_item(self) -> None:
         """Charge the per-key (marshalling) share of a batched operation."""
@@ -133,10 +170,7 @@ class CacheClient:
         server = self._server_for(key)
         value = server.get(key)
         self.stats.gets += 1
-        if self.from_trigger:
-            self.recorder.record("trigger_cache_ops")
-        else:
-            self.recorder.record("cache_gets")
+        self._charge_single("cache_gets")
         if value is None:
             self.stats.misses += 1
             self.recorder.record("cache_misses")
@@ -152,10 +186,7 @@ class CacheClient:
         server = self._server_for(key)
         value, token = server.gets(key)
         self.stats.gets += 1
-        if self.from_trigger:
-            self.recorder.record("trigger_cache_ops")
-        else:
-            self.recorder.record("cache_gets")
+        self._charge_single("cache_gets")
         if value is None:
             self.stats.misses += 1
             self.recorder.record("cache_misses")
@@ -194,6 +225,7 @@ class CacheClient:
                     self.recorder.record("cache_hits")
                     self.recorder.record("cache_bytes_moved", sizeof_value(value))
                     out[key] = value
+        self._yield_point("get_multi")
         return out
 
     def gets_multi(self, keys: Sequence[str]) -> Dict[str, Tuple[Any, int]]:
@@ -225,6 +257,10 @@ class CacheClient:
                     self.recorder.record("cache_hits")
                     self.recorder.record("cache_bytes_moved", sizeof_value(hit[0]))
                     out[key] = hit
+        # The yield point that makes batched CAS contendable: a worker that
+        # just read its tokens can be paused here while another worker
+        # writes the same keys, going on to lose the cas_multi.
+        self._yield_point("gets_multi")
         return out
 
     # -- writes ---------------------------------------------------------------
@@ -234,10 +270,7 @@ class CacheClient:
         self._charge_connection()
         result = self._server_for(key).set(key, value, expire)
         self.stats.sets += 1
-        if self.from_trigger:
-            self.recorder.record("trigger_cache_ops")
-        else:
-            self.recorder.record("cache_sets")
+        self._charge_single("cache_sets")
         self.recorder.record("cache_bytes_moved", sizeof_value(value))
         return result
 
@@ -266,6 +299,7 @@ class CacheClient:
                     continue
                 self.stats.sets += 1
                 self.recorder.record("cache_bytes_moved", sizeof_value(mapping[key]))
+        self._yield_point("set_multi")
         return failed
 
     def add(self, key: str, value: Any, expire: Optional[float] = None) -> bool:
@@ -273,10 +307,7 @@ class CacheClient:
         self._charge_connection()
         result = self._server_for(key).add(key, value, expire)
         self.stats.adds += 1
-        if self.from_trigger:
-            self.recorder.record("trigger_cache_ops")
-        else:
-            self.recorder.record("cache_sets")
+        self._charge_single("cache_sets")
         # The value travels to the server whether or not the add wins.
         self.recorder.record("cache_bytes_moved", sizeof_value(value))
         return result
@@ -290,13 +321,10 @@ class CacheClient:
             self.stats.cas_ok += 1
         else:
             self.stats.cas_mismatch += 1
-        if self.from_trigger:
-            self.recorder.record("trigger_cache_ops")
-        else:
-            # A CAS is its own round-trip event — not a cache_sets — so the
-            # ablations can separate conditional from unconditional writes,
-            # and a losing CAS no longer masquerades as a stored value.
-            self.recorder.record("cache_cas")
+        # A CAS is its own round-trip event — not a cache_sets — so the
+        # ablations can separate conditional from unconditional writes,
+        # and a losing CAS no longer masquerades as a stored value.
+        self._charge_single("cache_cas")
         # The value travels to the server whether or not the swap wins.
         self.recorder.record("cache_bytes_moved", sizeof_value(value))
         return result
@@ -339,6 +367,7 @@ class CacheClient:
                     self.stats.cas_miss += 1
                 self.recorder.record("cache_bytes_moved",
                                      sizeof_value(items[key][0]))
+        self._yield_point("cas_multi")
         return verdicts
 
     def delete(self, key: str) -> bool:
@@ -346,10 +375,7 @@ class CacheClient:
         self._charge_connection()
         result = self._server_for(key).delete(key)
         self.stats.deletes += 1
-        if self.from_trigger:
-            self.recorder.record("trigger_cache_ops")
-        else:
-            self.recorder.record("cache_deletes")
+        self._charge_single("cache_deletes")
         return result
 
     def delete_multi(self, keys: Sequence[str]) -> List[str]:
@@ -368,6 +394,7 @@ class CacheClient:
             for _key in batch:
                 self.stats.deletes += 1
                 self._charge_batch_item()
+        self._yield_point("delete_multi")
         return deleted
 
     def lease_delete(self, key: str, stale_seconds: float) -> bool:
@@ -380,10 +407,7 @@ class CacheClient:
         result = self._server_for(key).lease_delete(key, stale_seconds)
         self.stats.deletes += 1
         self.stats.lease_deletes += 1
-        if self.from_trigger:
-            self.recorder.record("trigger_cache_ops")
-        else:
-            self.recorder.record("cache_deletes")
+        self._charge_single("cache_deletes")
         return result
 
     def lease_delete_multi(self, keys: Sequence[str],
@@ -407,7 +431,29 @@ class CacheClient:
                 self.stats.deletes += 1
                 self.stats.lease_deletes += 1
                 self._charge_batch_item()
+        self._yield_point("lease_delete_multi")
         return existed
+
+    def _note_lease_contention(self, key: str, state: str) -> None:
+        """Track lease-window winners and record contended stale serves.
+
+        A :data:`LEASE_STALE` read counts as *contended* only when the
+        window's token is held by a different worker than the reader —
+        the same worker re-reading its own window is just the per-key rate
+        limit working (and is what a serial replay produces).
+        """
+        # The record deliberately survives LEASE_HITs: the server's
+        # rate-limit window (and its winner) outlives a fresh store, so a
+        # stale read in the same window after a refresh must still compare
+        # against that window's winner — pruning here would diverge from
+        # the server's verdict.  The map is bounded by the leased key
+        # space and cleared by flush_all().
+        if state == LEASE_ACQUIRED:
+            self._lease_winners[key] = self.current_worker
+        elif state == LEASE_STALE and \
+                self._lease_winners.get(key) != self.current_worker:
+            self.stats.lease_contended += 1
+            self.recorder.record("lease_contended")
 
     def lease(self, key: str,
               lease_seconds: float) -> Tuple[str, Optional[Any], Optional[int]]:
@@ -417,12 +463,11 @@ class CacheClient:
         counts as a hit and moves its bytes, a true miss as a miss.
         """
         self._charge_connection()
-        state, value, token = self._server_for(key).lease(key, lease_seconds)
+        state, value, token = self._server_for(key).lease(
+            key, lease_seconds, claimant=self.current_worker)
         self.stats.gets += 1
-        if self.from_trigger:
-            self.recorder.record("trigger_cache_ops")
-        else:
-            self.recorder.record("cache_leases")
+        self._charge_single("cache_leases")
+        self._note_lease_contention(key, state)
         if value is None and state != LEASE_HIT:
             self.stats.misses += 1
             self.recorder.record("cache_misses")
@@ -450,12 +495,14 @@ class CacheClient:
         for index, (server_name, batch) in enumerate(self._group_by_server(keys).items()):
             server = self._servers[server_name]
             self._charge_batch("cache_multi_leases", index)
-            states = server.lease_multi(batch, lease_seconds)
+            states = server.lease_multi(batch, lease_seconds,
+                                        claimant=self.current_worker)
             for key in batch:
                 self.stats.gets += 1
                 self._charge_batch_item()
                 state, value, token = states[key]
                 out[key] = (state, value, token)
+                self._note_lease_contention(key, state)
                 if value is None and state != LEASE_HIT:
                     self.stats.misses += 1
                     self.recorder.record("cache_misses")
@@ -467,16 +514,14 @@ class CacheClient:
                     self.recorder.record("cache_bytes_moved", sizeof_value(value))
                 if state == LEASE_ACQUIRED:
                     self.stats.leases_granted += 1
+        self._yield_point("lease_multi")
         return out
 
     def incr(self, key: str, delta: int = 1) -> Optional[int]:
         """Increment an integer value."""
         self._charge_connection()
         result = self._server_for(key).incr(key, delta)
-        if self.from_trigger:
-            self.recorder.record("trigger_cache_ops")
-        else:
-            self.recorder.record("cache_sets")
+        self._charge_single("cache_sets")
         if result is None:
             self.stats.incr_miss += 1
         else:
@@ -487,10 +532,7 @@ class CacheClient:
         """Decrement an integer value (floored at zero)."""
         self._charge_connection()
         result = self._server_for(key).decr(key, delta)
-        if self.from_trigger:
-            self.recorder.record("trigger_cache_ops")
-        else:
-            self.recorder.record("cache_sets")
+        self._charge_single("cache_sets")
         if result is None:
             self.stats.decr_miss += 1
         else:
@@ -527,6 +569,7 @@ class CacheClient:
                     self.stats.decr_miss += 1
                 else:
                     self.stats.decr_ok += 1
+        self._yield_point("incr_multi")
         return out
 
     def decr_multi(self, deltas: Dict[str, int]) -> Dict[str, Optional[int]]:
@@ -537,6 +580,7 @@ class CacheClient:
         """Drop every item on every server."""
         for server in self._servers.values():
             server.flush_all()
+        self._lease_winners.clear()
 
     # -- introspection --------------------------------------------------------
 

@@ -73,6 +73,14 @@ class CacheServer:
         #: timestamp rate-limits token grants, the window lets the sweep
         #: prune records once their rate-limit period has passed.
         self._lease_issued_at: Dict[str, Tuple[float, float]] = {}
+        #: Distinct claimants seen in the current lease window per key (the
+        #: token winner plus every rate-limited stale reader); feeds the
+        #: ``herd_size_max`` contention stat.  The winner's identity decides
+        #: whether a rate-limited read counts as *contended*: the same
+        #: claimant re-reading its own window is rate limiting working as
+        #: intended, a different claimant is a real race.
+        self._lease_herd: Dict[str, set] = {}
+        self._lease_winner: Dict[str, Any] = {}
 
     # -- validation -----------------------------------------------------------
 
@@ -277,6 +285,8 @@ class CacheServer:
                         in self._lease_issued_at.items()
                         if now - issued >= window]:
                 del self._lease_issued_at[key]
+                self._lease_herd.pop(key, None)
+                self._lease_winner.pop(key, None)
 
     def lease_delete(self, key: str, stale_seconds: float) -> bool:
         """Invalidate ``key`` but *retain* its value as servable-stale.
@@ -319,9 +329,16 @@ class CacheServer:
             return None
         return entry
 
-    def lease(self, key: str,
-              lease_seconds: float) -> Tuple[str, Optional[Any], Optional[int]]:
+    def lease(self, key: str, lease_seconds: float,
+              claimant: Any = None) -> Tuple[str, Optional[Any], Optional[int]]:
         """Read ``key`` under the lease protocol.
+
+        ``claimant`` identifies the reading context (the concurrent replay
+        passes its worker id; serial callers leave it None).  It feeds the
+        contention statistics only: ``lease_contended`` counts rate-limited
+        reads whose claimant differs from the window's token winner, and
+        ``herd_size_max`` tracks the most *distinct* claimants racing one
+        key's window.
 
         Returns ``(state, value, token)``:
 
@@ -355,13 +372,28 @@ class CacheServer:
             # a churning key space doesn't grow this map without bound (the
             # lease_delete-time sweep catches keys never read again).
             del self._lease_issued_at[key]
+            self._lease_herd.pop(key, None)
+            self._lease_winner.pop(key, None)
         if entry is not None:
             self.stats.hits += 1
             self.stats.stale_hits += 1
             if can_issue:
                 self._lease_issued_at[key] = (now, float(lease_seconds))
                 self.stats.leases_granted += 1
+                # A fresh window opens with one claimant: the token winner.
+                self._lease_winner[key] = claimant
+                self._lease_herd[key] = {claimant}
+                self.stats.herd_size_max = max(self.stats.herd_size_max, 1)
                 return LEASE_ACQUIRED, entry.value, next(self._cas_counter)
+            # Rate-limited.  A *different* claimant wanting the token while
+            # the winner holds it is the contended case the concurrent
+            # replay measures; the winner re-reading its own window is the
+            # rate limit doing its job.
+            if claimant != self._lease_winner.get(key):
+                self.stats.lease_contended += 1
+            herd = self._lease_herd.setdefault(key, {self._lease_winner.get(key)})
+            herd.add(claimant)
+            self.stats.herd_size_max = max(self.stats.herd_size_max, len(herd))
             return LEASE_STALE, entry.value, None
         # True miss: nothing retained.  Always grant, and without starting
         # the rate-limit window — the caller must go to the database anyway,
@@ -372,9 +404,10 @@ class CacheServer:
         return LEASE_ACQUIRED, None, next(self._cas_counter)
 
     def lease_multi(self, keys: Sequence[str], lease_seconds: float,
+                    claimant: Any = None,
                     ) -> Dict[str, Tuple[str, Optional[Any], Optional[int]]]:
         """Batched :meth:`lease`: ``{key: (state, value, token)}``."""
-        return {key: self.lease(key, lease_seconds) for key in keys}
+        return {key: self.lease(key, lease_seconds, claimant) for key in keys}
 
     def incr(self, key: str, delta: int = 1) -> Optional[int]:
         """Increment an integer value; returns the new value or None on miss."""
@@ -426,6 +459,8 @@ class CacheServer:
         self.store.clear()
         self._stale.clear()
         self._lease_issued_at.clear()
+        self._lease_herd.clear()
+        self._lease_winner.clear()
 
     # -- introspection --------------------------------------------------------
 

@@ -30,6 +30,16 @@ class CacheStats:
     leases_granted: int = 0
     stale_hits: int = 0
     lease_deletes: int = 0
+    # Lease contention (the concurrent-worker replay makes these nonzero):
+    # readers that wanted the recompute token while the per-key window was
+    # already claimed, and the largest herd — claimants racing one key's
+    # lease window (the token winner plus every stale-served reader).
+    lease_contended: int = 0
+    herd_size_max: int = 0
+
+    #: Fields that aggregate by ``max`` instead of summing: a high-water
+    #: mark summed across servers (or across stat snapshots) is meaningless.
+    _MAX_FIELDS = frozenset({"herd_size_max"})
 
     @property
     def hit_ratio(self) -> float:
@@ -43,7 +53,11 @@ class CacheStats:
 
     def add(self, other: "CacheStats") -> None:
         for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+            if f.name in self._MAX_FIELDS:
+                setattr(self, f.name, max(getattr(self, f.name),
+                                          getattr(other, f.name)))
+            else:
+                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
     def reset(self) -> None:
         for f in fields(self):

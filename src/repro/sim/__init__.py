@@ -3,7 +3,10 @@ closed-loop clients, metrics, MVA cross-checks, and the workload runner."""
 
 from .client import PageDemand, SimulatedClient
 from .clock import VirtualClock
+from .concurrent import ConcurrentReplayResult, ConcurrentReplayer
 from .events import EventEngine
+from .interleave import (ADVERSARIAL, ALL_POLICIES, InterleaveScheduler,
+                         RANDOM, ROUND_ROBIN, WorkerStatus)
 from .metrics import PageCompletion, RunMetrics, percentile
 from .mva import MVAResult, asymptotic_bounds, exact_mva
 from .resources import DelayResource, QueueingResource
@@ -12,18 +15,26 @@ from .runner import (ReplayResult, ReplayedPage, SimulationOptions,
                      simulate_population)
 
 __all__ = [
+    "ADVERSARIAL",
+    "ALL_POLICIES",
+    "ConcurrentReplayResult",
+    "ConcurrentReplayer",
     "DelayResource",
     "EventEngine",
+    "InterleaveScheduler",
     "MVAResult",
     "PageCompletion",
     "PageDemand",
     "QueueingResource",
+    "RANDOM",
+    "ROUND_ROBIN",
     "ReplayResult",
     "ReplayedPage",
     "RunMetrics",
     "SimulatedClient",
     "SimulationOptions",
     "VirtualClock",
+    "WorkerStatus",
     "WorkloadReplayer",
     "aggregate_resource_demands",
     "asymptotic_bounds",

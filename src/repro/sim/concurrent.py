@@ -1,0 +1,369 @@
+"""Concurrent-worker functional replay: interleaved page loads, real races.
+
+The serial :class:`~repro.sim.runner.WorkloadReplayer` executes page loads
+one at a time, so the consistency machinery built for contention — the
+batched-CAS retry loop, lease windows, thundering-herd suppression — is
+never exercised by a workload: every CAS wins, every lease is uncontested.
+This module closes that gap without giving up determinism.
+
+**Worker model.**  A :class:`ConcurrentReplayer` partitions the trace's
+client streams over N *worker contexts*.  Each worker executes its page
+loads as a cooperative coroutine: the application, the cache client, and
+the transaction manager call a ``checkpoint(label)`` hook at operation
+boundaries (page fragments, multi-key cache round trips, statement/commit
+completion), and the hook suspends the worker until the seeded
+:class:`~repro.sim.interleave.InterleaveScheduler` resumes it.  Exactly one
+worker runs at any instant — workers are OS threads only so that ordinary
+(non-generator) application code can be suspended mid-page; the strict
+hand-off makes the interleaving bit-identical for a fixed scheduler seed.
+
+**Isolation.**  On every switch the resumed worker installs its own
+execution context: its page's :class:`~repro.storage.costmodel.CostCounters`
+as the recorder scope (events are attributed to the worker that caused
+them), its transaction context on the
+:class:`~repro.storage.transactions.TransactionManager` (interleaved
+commits are legal — one worker can never commit another's transaction),
+and its pending-op context on the
+:class:`~repro.core.trigger_queue.TriggerOpQueue` (ops flush at their own
+transaction's commit).  The cache servers are deliberately *shared*: that
+is where workers race — two workers really do interleave
+``gets_multi``/``cas_multi`` on the same wall key, making
+``cas_multi_mismatch``/``cas_retry_rounds`` fire, and competing lease
+claimants drive ``lease_contended``/``herd_size_max``.
+
+The replay produces a :class:`ConcurrentReplayResult` — the serial
+:class:`~repro.sim.runner.ReplayResult` shape (``simulate_population``
+consumes it unchanged) plus the schedule log and contention summary.  With
+one worker the engine degenerates to exactly the serial replay: same page
+order, same demands, same counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import SimulationError
+from ..storage.costmodel import CostCounters
+from ..workload.trace import PageLoad, WorkloadTrace
+from .interleave import (InterleaveScheduler, ROUND_ROBIN, WorkerStatus,
+                         build_scheduler)
+from .runner import ReplayResult, ReplayedPage, WorkloadReplayer
+
+#: Give a wedged worker thread this long before declaring the replay stuck
+#: (a scheduling bug, not a slow run: all real work is simulated).
+_HANDOFF_TIMEOUT_SECONDS = 120.0
+
+
+class _WorkerAborted(BaseException):
+    """Raised inside a worker thread to unwind it during error cleanup."""
+
+
+@dataclass
+class ConcurrentReplayResult(ReplayResult):
+    """A :class:`ReplayResult` plus the interleaving that produced it."""
+
+    workers: int = 1
+    policy: str = ROUND_ROBIN
+    seed: int = 0
+    #: Worker id chosen at each scheduling decision, in order.
+    schedule: List[int] = field(default_factory=list)
+    #: Stable digest of ``schedule`` (compare runs without diffing the log).
+    schedule_signature: str = ""
+    #: Pages completed per worker id.
+    pages_by_worker: Dict[int, int] = field(default_factory=dict)
+
+    def contention_summary(self) -> Dict[str, int]:
+        """The counters the contention ablation is about."""
+        counters = self.total_counters
+        return {
+            "cas_multi_mismatch": counters.cas_multi_mismatch,
+            "cas_retry_rounds": counters.cas_retry_rounds,
+            "lease_contended": counters.lease_contended,
+        }
+
+
+class _WorkerContext:
+    """One cooperative worker: a thread plus its scheduling state."""
+
+    def __init__(self, worker_id: int, replayer: "ConcurrentReplayer",
+                 page_loads: List[PageLoad]) -> None:
+        self.worker_id = worker_id
+        self.page_loads = page_loads
+        self.label = "start"
+        self.pages_completed = 0
+        self.finished = False
+        self.error: Optional[BaseException] = None
+        self._replayer = replayer
+        self._resume = threading.Semaphore(0)
+        self._abort = False
+        self._page_counters = CostCounters()
+        self.thread = threading.Thread(
+            target=self._main, name=f"replay-worker-{worker_id}", daemon=True)
+
+    # Transaction/op-queue context key; distinct from the default (None).
+    @property
+    def context_key(self) -> Any:
+        return ("worker", self.worker_id)
+
+    def status(self) -> WorkerStatus:
+        return WorkerStatus(worker_id=self.worker_id, label=self.label,
+                            pages_completed=self.pages_completed)
+
+    # -- scheduler side --------------------------------------------------------
+
+    def resume(self) -> None:
+        self._resume.release()
+
+    def abort(self) -> None:
+        self._abort = True
+
+    # -- worker-thread side ----------------------------------------------------
+
+    def _wait_turn(self) -> None:
+        """Suspend until the scheduler resumes this worker."""
+        if not self._resume.acquire(timeout=_HANDOFF_TIMEOUT_SECONDS):
+            raise SimulationError(
+                f"worker {self.worker_id} was never rescheduled "
+                f"(paused at {self.label!r})")
+        if self._abort:
+            raise _WorkerAborted()
+        self._install_context()
+
+    def yield_control(self, label: str) -> None:
+        """The checkpoint: hand control to the scheduler, wait to be resumed."""
+        # Everything the scheduler reads (the label above all — the
+        # adversarial policy's parking decision depends on it) must be
+        # written BEFORE control is released: the scheduler thread may run
+        # the instant release() returns, and a stale label would make the
+        # schedule nondeterministic.
+        self.label = label
+        replayer = self._replayer
+        replayer._active_worker = None
+        replayer._control.release()
+        self._wait_turn()
+
+    def _install_context(self) -> None:
+        """Make this worker's attribution + transaction state the live one."""
+        replayer = self._replayer
+        replayer._active_worker = self
+        replayer.recorder.activate_scope(self._page_counters)
+        replayer.transactions.switch_context(self.context_key)
+        if replayer.op_queue is not None:
+            replayer.op_queue.switch_context(self.context_key)
+        for client in replayer.cache_clients:
+            client.current_worker = self.worker_id
+
+    def _main(self) -> None:
+        replayer = self._replayer
+        try:
+            # Block until the scheduler gives this worker its first turn
+            # (the label is already "start" from construction).
+            self._wait_turn()
+            for page_load in self.page_loads:
+                replayer._advance_clock()
+                self._page_counters = CostCounters()
+                replayer.recorder.activate_scope(self._page_counters)
+                replayer.app.render(page_load.page, page_load.user_id)
+                replayer._complete_page(self, page_load, self._page_counters)
+                self.pages_completed += 1
+                if self.page_loads[-1] is not page_load:
+                    self.yield_control("page:end")
+        except _WorkerAborted:
+            pass
+        except BaseException as exc:  # propagate to the scheduler loop
+            self.error = exc
+        finally:
+            self.finished = True
+            replayer._active_worker = None
+            replayer._control.release()
+
+
+class ConcurrentReplayer:
+    """Executes a workload trace with N interleaved worker contexts.
+
+    The counterpart of :class:`~repro.sim.runner.WorkloadReplayer`: same
+    constructor spirit (app + database + optional clock advance), same
+    ``replay(trace, record=...)`` entry point, same result shape —
+    ``simulate_population`` consumes either.  ``genie`` (the CacheGenie
+    instance, when the scenario has one) is what lets the engine install
+    cache-round-trip yield points and per-worker trigger-op contexts;
+    without it only app/database boundaries interleave (NoCache).
+    """
+
+    def __init__(
+        self,
+        app: Any,
+        database: Any,
+        genie: Optional[Any] = None,
+        workers: int = 2,
+        policy: str = ROUND_ROBIN,
+        seed: int = 0,
+        scheduler: Optional[InterleaveScheduler] = None,
+        clock: Optional[Any] = None,
+        page_interval_seconds: float = 0.0,
+    ) -> None:
+        if workers < 1:
+            raise SimulationError("ConcurrentReplayer needs at least 1 worker")
+        self.app = app
+        self.database = database
+        self.genie = genie
+        self.workers = workers
+        self.scheduler = build_scheduler(policy, seed, scheduler)
+        self.clock = clock
+        self.page_interval_seconds = page_interval_seconds
+        self.recorder = database.recorder
+        self.transactions = database.transactions
+        self.op_queue = getattr(genie, "trigger_op_queue", None)
+        self.cache_clients = []
+        if genie is not None:
+            self.cache_clients = [genie.app_cache, genie.trigger_cache]
+        # Live replay state.
+        self._active_worker: Optional[_WorkerContext] = None
+        self._control = threading.Semaphore(0)
+        self._result: Optional[ConcurrentReplayResult] = None
+        self._record = True
+
+    # -- worker assignment -----------------------------------------------------
+
+    def _partition(self, trace: WorkloadTrace) -> List[List[PageLoad]]:
+        """Deal the trace's client streams over the workers.
+
+        Clients are assigned round-robin by sorted id, and each worker
+        replays its clients' page loads in the serial replayer's global
+        round-robin order — so one worker's stream is exactly the serial
+        schedule restricted to its clients (and with one worker the whole
+        replay *is* the serial schedule).
+        """
+        ordered = WorkloadReplayer._interleave(trace)
+        client_ids = sorted({p.client_id for p in ordered})
+        worker_of = {cid: index % self.workers
+                     for index, cid in enumerate(client_ids)}
+        per_worker: List[List[PageLoad]] = [[] for _ in range(self.workers)]
+        for page_load in ordered:
+            per_worker[worker_of[page_load.client_id]].append(page_load)
+        return per_worker
+
+    # -- hooks -----------------------------------------------------------------
+
+    def _checkpoint(self, label: str) -> None:
+        """The hook installed on the app/client/transaction seams."""
+        worker = self._active_worker
+        if worker is not None:
+            worker.yield_control(label)
+
+    def _advance_clock(self) -> None:
+        if self.clock is not None and self.page_interval_seconds > 0:
+            self.clock.advance(self.page_interval_seconds)
+
+    def _complete_page(self, worker: _WorkerContext, page_load: PageLoad,
+                       counters: CostCounters) -> None:
+        """Record one finished page (called from the worker's own turn)."""
+        result = self._result
+        if result is None or not self._record:
+            return
+        demand = self.database.demand_of(counters)
+        result.pages.append(ReplayedPage(
+            client_id=page_load.client_id,
+            page=page_load.page,
+            user_id=page_load.user_id,
+            demand=demand,
+            counters=counters,
+        ))
+        result.total_counters.add(counters)
+
+    # -- the replay ------------------------------------------------------------
+
+    def replay(self, trace: WorkloadTrace,
+               record: bool = True) -> ConcurrentReplayResult:
+        """Replay ``trace`` across the worker contexts, interleaved.
+
+        Deterministic for a fixed (trace, scheduler policy, seed): the
+        decision log, the page completion order, and every counter are
+        bit-identical across runs.
+        """
+        self.scheduler.reset()
+        self._record = record
+        self._result = ConcurrentReplayResult(
+            workers=self.workers, policy=self.scheduler.policy,
+            seed=self.scheduler.seed)
+        contexts = [
+            _WorkerContext(worker_id=index, replayer=self, page_loads=loads)
+            for index, loads in enumerate(self._partition(trace))
+        ]
+        by_id = {w.worker_id: w for w in contexts}
+
+        previous_scope = self.recorder.activate_scope(None)
+        saved_app_checkpoint = self.app.checkpoint
+        saved_txn_checkpoint = self.transactions.checkpoint
+        saved_client_checkpoints = [c.checkpoint for c in self.cache_clients]
+        self.app.checkpoint = self._checkpoint
+        self.transactions.checkpoint = self._checkpoint
+        for client in self.cache_clients:
+            client.checkpoint = self._checkpoint
+
+        try:
+            for worker in contexts:
+                worker.thread.start()
+            failed: Optional[BaseException] = None
+            while True:
+                runnable = [w for w in contexts if not w.finished]
+                if not runnable:
+                    break
+                chosen = by_id[self.scheduler.choose(
+                    [w.status() for w in runnable])]
+                chosen.resume()
+                if not self._control.acquire(timeout=_HANDOFF_TIMEOUT_SECONDS):
+                    raise SimulationError(
+                        f"worker {chosen.worker_id} never yielded control")
+                if chosen.error is not None:
+                    failed = chosen.error
+                    break
+            if failed is not None:
+                for worker in contexts:
+                    if not worker.finished:
+                        worker.abort()
+                        worker.resume()
+                        self._control.acquire(timeout=_HANDOFF_TIMEOUT_SECONDS)
+                raise failed
+        finally:
+            for worker in contexts:
+                worker.thread.join(timeout=_HANDOFF_TIMEOUT_SECONDS)
+            # Restore the serial seams exactly as they were.
+            self.app.checkpoint = saved_app_checkpoint
+            self.transactions.checkpoint = saved_txn_checkpoint
+            for client, saved in zip(self.cache_clients,
+                                     saved_client_checkpoints):
+                client.checkpoint = saved
+                client.current_worker = None
+            self.recorder.activate_scope(previous_scope)
+            self._active_worker = None
+            # An aborted worker can leave an explicit transaction open in
+            # its parked context (the abort exception unwinds past the
+            # application's error handling); roll those back — in the
+            # worker's own transaction *and* op-queue context, so the
+            # on_abort hooks discard the right pending ops — before
+            # dropping the contexts.
+            for worker in contexts:
+                self.transactions.switch_context(worker.context_key)
+                if self.op_queue is not None:
+                    self.op_queue.switch_context(worker.context_key)
+                txn = self.transactions.current
+                if txn is not None and not txn.autocommit:
+                    self.transactions.abort()
+            self.transactions.switch_context(None)
+            if self.op_queue is not None:
+                self.op_queue.switch_context(None)
+            for worker in contexts:
+                self.transactions.drop_context(worker.context_key)
+                if self.op_queue is not None:
+                    self.op_queue.drop_context(worker.context_key)
+
+        result = self._result
+        result.schedule = list(self.scheduler.decisions)
+        result.schedule_signature = self.scheduler.signature()
+        result.pages_by_worker = {w.worker_id: w.pages_completed
+                                  for w in contexts}
+        self._result = None
+        return result

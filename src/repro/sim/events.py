@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
@@ -27,12 +28,20 @@ class EventEngine:
 
     def schedule(self, delay: float, callback: Callback) -> None:
         """Schedule ``callback`` to run ``delay`` time units from now."""
+        # NaN compares False against everything, so a plain ``< 0`` check
+        # lets it through — and a NaN timestamp makes the heap invariant
+        # (and therefore the pop order) undefined.  Infinity is equally
+        # meaningless as an event time.
+        if not math.isfinite(delay):
+            raise SimulationError(f"event delay must be finite, got {delay}")
         if delay < 0:
             raise SimulationError(f"cannot schedule an event {delay} in the past")
         heapq.heappush(self._events, (self.now + delay, next(self._sequence), callback))
 
     def schedule_at(self, timestamp: float, callback: Callback) -> None:
         """Schedule ``callback`` at an absolute simulation time."""
+        if not math.isfinite(timestamp):
+            raise SimulationError(f"event timestamp must be finite, got {timestamp}")
         if timestamp < self.now:
             raise SimulationError(f"cannot schedule an event at {timestamp} < now={self.now}")
         heapq.heappush(self._events, (timestamp, next(self._sequence), callback))

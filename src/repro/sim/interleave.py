@@ -1,0 +1,147 @@
+"""Seeded interleave scheduling for the concurrent replay engine.
+
+The :class:`~repro.sim.concurrent.ConcurrentReplayer` runs N worker contexts
+that pause at operation boundaries (cache multi-op round trips, database
+statement completion, page fragments); the :class:`InterleaveScheduler`
+decides, at every such boundary, which runnable worker advances next.  The
+policy is what turns the replay from "N workers taking polite turns" into a
+workload that actually races the consistency machinery:
+
+* ``round-robin`` — cycle the runnable workers in id order, one checkpoint
+  interval each.  The fairest schedule; contention arises only when two
+  workers' adjacent intervals happen to overlap on a key.
+* ``random`` — a seeded uniform pick among the runnable workers.  Models a
+  preemptive scheduler with no systematic bias; the same seed reproduces
+  the same interleaving bit for bit.
+* ``adversarial`` — the hot-key contention maximizer.  A worker that just
+  completed a ``gets_multi`` is *parked*: it holds CAS tokens it has not
+  yet written back, so the scheduler runs every other worker first —
+  letting their commits rewrite the same hot keys — and only resumes
+  parked workers (in seeded-rotation order) once nothing unparked remains.
+  Two workers flushing overlapping transactions are thereby both held at
+  the read-write gap, and whichever writes second loses its ``cas_multi``
+  and pays a retry round.
+
+Every decision is appended to :attr:`InterleaveScheduler.decisions`;
+:meth:`signature` digests the log so tests (and the ablation) can assert a
+fixed seed reproduces an identical interleaving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import SimulationError
+
+ROUND_ROBIN = "round-robin"
+RANDOM = "random"
+ADVERSARIAL = "adversarial"
+
+#: Every interleave policy the scheduler implements.
+ALL_POLICIES = (ROUND_ROBIN, RANDOM, ADVERSARIAL)
+
+#: Checkpoint labels after which a worker holds unwritten CAS tokens — the
+#: window the adversarial policy stretches by scheduling everyone else.
+_WRITE_INTENT_LABELS = frozenset({"cache:gets_multi"})
+
+
+@dataclass
+class WorkerStatus:
+    """What the scheduler sees of one runnable worker."""
+
+    worker_id: int
+    #: Label of the checkpoint the worker is paused at ("start" before its
+    #: first resume, "page:end" between page loads, "cache:gets_multi" mid
+    #: CAS flush, ...).
+    label: str = "start"
+    pages_completed: int = 0
+
+    @property
+    def holds_write_intent(self) -> bool:
+        """True when the worker is paused between reading CAS tokens and
+        writing them back — pausing it longer invites a mismatch."""
+        return self.label in _WRITE_INTENT_LABELS
+
+
+class InterleaveScheduler:
+    """Seeded policy deciding which worker context advances next."""
+
+    def __init__(self, policy: str = ROUND_ROBIN, seed: int = 0) -> None:
+        if policy not in ALL_POLICIES:
+            raise SimulationError(
+                f"unknown interleave policy {policy!r}; expected one of "
+                f"{ALL_POLICIES}")
+        self.policy = policy
+        self.seed = seed
+        self._rng = random.Random(seed)
+        #: Worker id chosen at each scheduling decision, in order.
+        self.decisions: List[int] = []
+        self._rotation = 0
+
+    def reset(self) -> None:
+        """Restart the decision log and the seeded stream (a fresh replay)."""
+        self._rng = random.Random(self.seed)
+        self.decisions = []
+        self._rotation = 0
+
+    # -- the decision ----------------------------------------------------------
+
+    def choose(self, runnable: Sequence[WorkerStatus]) -> int:
+        """Pick the worker (by id) that runs until its next checkpoint."""
+        if not runnable:
+            raise SimulationError("no runnable workers to schedule")
+        ordered = sorted(runnable, key=lambda w: w.worker_id)
+        if self.policy == RANDOM:
+            status = self._rng.choice(ordered)
+        elif self.policy == ADVERSARIAL:
+            status = self._choose_adversarial(ordered)
+        else:
+            status = self._choose_rotation(ordered)
+        self.decisions.append(status.worker_id)
+        return status.worker_id
+
+    def _choose_rotation(self, ordered: Sequence[WorkerStatus]) -> WorkerStatus:
+        """Round-robin over worker ids, skipping the ones not runnable."""
+        status = min(ordered, key=lambda w: ((w.worker_id - self._rotation)
+                                             % self._max_id_span(ordered),
+                                             w.worker_id))
+        self._rotation = status.worker_id + 1
+        return status
+
+    @staticmethod
+    def _max_id_span(ordered: Sequence[WorkerStatus]) -> int:
+        return max(w.worker_id for w in ordered) + 1
+
+    def _choose_adversarial(self, ordered: Sequence[WorkerStatus]) -> WorkerStatus:
+        """Starve CAS-token holders; rotate among everyone else."""
+        unparked = [w for w in ordered if not w.holds_write_intent]
+        if unparked:
+            return self._choose_rotation(unparked)
+        # Everyone runnable is parked mid read-modify-write: release them
+        # one at a time — the first to resume wins its cas_multi, each
+        # later one finds its overlapping tokens stale.
+        return self._choose_rotation(ordered)
+
+    # -- introspection ---------------------------------------------------------
+
+    def signature(self) -> str:
+        """Stable digest of the decision log (schedule identity)."""
+        payload = ",".join(str(d) for d in self.decisions)
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()[:16]
+
+    def describe(self) -> dict:
+        return {"policy": self.policy, "seed": self.seed,
+                "decisions": len(self.decisions),
+                "signature": self.signature()}
+
+
+def build_scheduler(policy: str = ROUND_ROBIN, seed: int = 0,
+                    scheduler: Optional[InterleaveScheduler] = None,
+                    ) -> InterleaveScheduler:
+    """Resolve an explicit scheduler instance or build one from knobs."""
+    if scheduler is not None:
+        return scheduler
+    return InterleaveScheduler(policy=policy, seed=seed)

@@ -59,12 +59,31 @@ class ReplayResult:
 
     pages: List[ReplayedPage] = field(default_factory=list)
     total_counters: CostCounters = field(default_factory=CostCounters)
+    #: Lazily built client_id -> pages index.  ``simulate_population`` asks
+    #: for every client's pages, which used to rescan ``pages`` once per
+    #: client (O(pages x clients)); the index makes that one pass total.
+    #: Rebuilt whenever ``pages`` has changed length since it was last
+    #: built, so direct appends stay supported (same-length in-place
+    #: element replacement is not detected — append, don't overwrite).
+    _client_index: Dict[int, List[ReplayedPage]] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+    _client_index_size: int = field(
+        default=-1, init=False, repr=False, compare=False)
+
+    def _indexed_by_client(self) -> Dict[int, List[ReplayedPage]]:
+        if self._client_index_size != len(self.pages):
+            index: Dict[int, List[ReplayedPage]] = {}
+            for page in self.pages:
+                index.setdefault(page.client_id, []).append(page)
+            self._client_index = index
+            self._client_index_size = len(self.pages)
+        return self._client_index
 
     def pages_for_client(self, client_id: int) -> List[ReplayedPage]:
-        return [p for p in self.pages if p.client_id == client_id]
+        return list(self._indexed_by_client().get(client_id, []))
 
     def client_ids(self) -> List[int]:
-        return sorted({p.client_id for p in self.pages})
+        return sorted(self._indexed_by_client())
 
     def mean_demand(self) -> Demand:
         """Average per-page demand across the whole replay."""
@@ -135,10 +154,11 @@ class WorkloadReplayer:
         for page_load in trace.page_loads():
             per_client.setdefault(page_load.client_id, []).append(page_load)
         ordered: List[PageLoad] = []
+        client_order = sorted(per_client)  # sorted once, not once per round
         cursors = {client: 0 for client in per_client}
         remaining = sum(len(v) for v in per_client.values())
         while remaining:
-            for client_id in sorted(per_client):
+            for client_id in client_order:
                 cursor = cursors[client_id]
                 loads = per_client[client_id]
                 if cursor < len(loads):

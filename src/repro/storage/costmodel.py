@@ -73,6 +73,14 @@ class CostCounters:
     #: Per-key CAS losses inside batched CAS (any client context): keys whose
     #: token went stale between the batched read and the batched write.
     cas_multi_mismatch: int = 0
+    #: Extra gets_multi/cas_multi rounds a commit-time flush ran because at
+    #: least one key lost its CAS (the rounds' round trips are counted by
+    #: their own events; this tallies how often contention forced a retry).
+    cas_retry_rounds: int = 0
+    #: Lease reads denied the recompute token because another claimant holds
+    #: the per-key window (served stale instead) — the lease-contention
+    #: signal of the concurrent-worker replay.
+    lease_contended: int = 0
     #: Application-side server batches overlapped by ``pipeline_batches``
     #: (wire round trips that wait behind a concurrent batch, so zero net ms).
     cache_overlapped_batches: int = 0
@@ -133,6 +141,18 @@ class Recorder:
         setattr(self.total, event, getattr(self.total, event) + n)
         if self._active is not None:
             setattr(self._active, event, getattr(self._active, event) + n)
+
+    def activate_scope(self, counters: Optional[CostCounters]) -> Optional[CostCounters]:
+        """Swap the active measurement scope, returning the previous one.
+
+        The concurrent replay engine attributes events to whichever worker
+        is running: on every worker switch it installs that worker's page
+        counters as the scope.  Unlike :meth:`measure`, swapped-out scopes
+        do not absorb the events of the scope that replaced them — they
+        were recorded while a *different* worker ran.
+        """
+        previous, self._active = self._active, counters
+        return previous
 
     @contextlib.contextmanager
     def measure(self) -> Iterator[CostCounters]:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import contextlib
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import TransactionError
 from .costmodel import Recorder
@@ -69,10 +69,63 @@ class TransactionManager:
         #: included).  CacheGenie's trigger-op queue flushes/discards here.
         self.on_commit: List[Callable[[], None]] = []
         self.on_abort: List[Callable[[], None]] = []
+        #: Parked (transaction, statement-depth) pairs of inactive worker
+        #: contexts.  The engine stays single-threaded-at-a-time; the
+        #: concurrent replayer interleaves worker coroutines by switching
+        #: which context's transaction state is live (see switch_context),
+        #: so one worker's in-flight transaction cannot be committed or
+        #: joined by another worker's statements.
+        self._contexts: Dict[Any, Tuple[Optional[Transaction], int]] = {}
+        self._context_key: Any = None
+        #: Cooperative-scheduling hook (installed only by the concurrent
+        #: replayer): called with a label after each outermost statement
+        #: completes and after each explicit commit, giving the interleave
+        #: scheduler a legal point to run another worker.
+        self.checkpoint: Optional[Callable[[str], None]] = None
 
     def _fire(self, callbacks: List[Callable[[], None]]) -> None:
         for callback in list(callbacks):
             callback()
+
+    def _checkpoint(self, label: str) -> None:
+        if self.checkpoint is not None:
+            self.checkpoint(label)
+
+    # -- worker contexts -------------------------------------------------------
+
+    @property
+    def context_key(self) -> Any:
+        """The key of the live transaction context (None = the default)."""
+        return self._context_key
+
+    def switch_context(self, key: Any) -> None:
+        """Park the live transaction state and make ``key``'s state live.
+
+        Each context carries its own open transaction and statement-nesting
+        depth, exactly like one worker's database connection; contexts never
+        see each other's transactions.  Switching to the already-live key is
+        a no-op.  An unknown key starts with a fresh, idle context.
+        """
+        if key == self._context_key:
+            return
+        self._contexts[self._context_key] = (self._current, self._statement_depth)
+        self._current, self._statement_depth = self._contexts.pop(key, (None, 0))
+        self._context_key = key
+
+    def drop_context(self, key: Any) -> None:
+        """Forget a parked context (a finished worker).
+
+        Raises :class:`TransactionError` if the context still has an open
+        explicit transaction — dropping it would leak the undo log.
+        """
+        if key == self._context_key:
+            raise TransactionError("cannot drop the live transaction context")
+        parked = self._contexts.pop(key, (None, 0))
+        txn = parked[0]
+        if txn is not None and not txn.autocommit:
+            self._contexts[key] = parked
+            raise TransactionError(
+                f"context {key!r} still has an open explicit transaction")
 
     # -- state ----------------------------------------------------------------
 
@@ -152,6 +205,12 @@ class TransactionManager:
             self.committed += 1
             self._current = None
             self._fire(self.on_commit)
+            self._checkpoint("db:commit" if wrote else "db:statement")
+        elif self._statement_depth == 0:
+            # A statement inside an explicit transaction: the transaction
+            # stays open, but the statement boundary is still a legal
+            # point for another worker to run.
+            self._checkpoint("db:statement")
 
     def commit(self) -> Transaction:
         """Commit the open explicit transaction."""
@@ -165,6 +224,7 @@ class TransactionManager:
         self.committed += 1
         self._current = None
         self._fire(self.on_commit)
+        self._checkpoint("db:commit")
         return txn
 
     def abort(self) -> Transaction:

@@ -111,3 +111,61 @@ class TestCountQuery:
         # Second evaluate must be a cache hit, not a recomputation of zero.
         cached.evaluate(owner_id=lonely.pk)
         assert cached.stats.cache_hits == 1
+
+
+class TestEagerBulkCounters:
+    def test_eager_single_bump_rides_incr_multi(self, items_setup):
+        """The eager (batch_trigger_ops=False) path sends every counter run
+        through the incr_multi bulk protocol: one trigger batch per bump,
+        no classic per-key incr/decr wire op."""
+        from repro.core import CacheGenie
+        items_setup["genie"].deactivate()
+        eager = CacheGenie(registry=items_setup["registry"],
+                           database=items_setup["database"],
+                           cache_servers=[items_setup["cache_server"]],
+                           batch_trigger_ops=False).activate()
+        try:
+            Item = items_setup["Item"]
+            cached = eager.cacheable(cache_class_type="CountQuery",
+                                     main_model="Item",
+                                     where_fields=["owner_id"])
+            owner = items_setup["owners"][0]
+            assert cached.evaluate(owner_id=owner.pk) == 5
+            recorder = items_setup["database"].recorder
+            singles_before = recorder.total.trigger_cache_ops
+            batches_before = recorder.total.trigger_cache_batches
+            Item.objects.create(owner=owner, label="bulk")
+            assert cached.peek(owner_id=owner.pk) == 6
+            assert cached.stats.updates_applied == 1
+            # The bump traveled as a one-key incr_multi batch (1 RT), not a
+            # single-op incr: batch count up, single-op count unchanged.
+            assert recorder.total.trigger_cache_batches == batches_before + 1
+            assert recorder.total.trigger_cache_ops == singles_before
+        finally:
+            eager.deactivate()
+
+    def test_eager_group_move_is_one_mixed_batch(self, items_setup):
+        from repro.core import CacheGenie
+        items_setup["genie"].deactivate()
+        eager = CacheGenie(registry=items_setup["registry"],
+                           database=items_setup["database"],
+                           cache_servers=[items_setup["cache_server"]],
+                           batch_trigger_ops=False).activate()
+        try:
+            Item = items_setup["Item"]
+            cached = eager.cacheable(cache_class_type="CountQuery",
+                                     main_model="Item",
+                                     where_fields=["owner_id"])
+            old_owner, new_owner = items_setup["owners"]
+            assert cached.evaluate(owner_id=old_owner.pk) == 5
+            assert cached.evaluate(owner_id=new_owner.pk) == 2
+            recorder = items_setup["database"].recorder
+            batches_before = recorder.total.trigger_cache_batches
+            Item.objects.filter(owner_id=old_owner.pk, label="item0").update(
+                owner_id=new_owner.pk)
+            assert cached.peek(owner_id=old_owner.pk) == 4
+            assert cached.peek(owner_id=new_owner.pk) == 3
+            # The -1/+1 pair rode one batch (both keys on the one server).
+            assert recorder.total.trigger_cache_batches == batches_before + 1
+        finally:
+            eager.deactivate()

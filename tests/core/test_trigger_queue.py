@@ -430,3 +430,95 @@ class TestFlushCasRetries:
         assert owner.stats.updates_applied == 0
         assert queue.cas_retries == 0
         assert queue.cas_fallbacks == 0
+
+
+class TestWorkerContexts:
+    def test_ops_enqueue_and_flush_per_context(self, cache):
+        client, _server = cache
+        client.set("a", 1)
+        client.set("b", 2)
+        queue = TriggerOpQueue(client)
+        owner = FakeOwner()
+        queue.enqueue_mutate(owner, "a", lambda v: v + 1)
+        queue.switch_context("w1")
+        assert queue.pending_count == 0  # w1 starts with its own empty space
+        queue.enqueue_mutate(owner, "b", lambda v: v + 10)
+        assert queue.pending_keys() == ["b"]
+        assert queue.flush() == 1  # flushes only w1's op
+        assert client.get("b") == 12
+        assert client.get("a") == 1  # the default context's op is untouched
+        queue.switch_context(None)
+        assert queue.pending_keys() == ["a"]
+        queue.flush()
+        assert client.get("a") == 2
+        assert queue.enqueued_by_context == {None: 1, "w1": 1}
+        assert queue.flushed_keys_by_context == {None: 1, "w1": 1}
+
+    def test_drop_context_discards_pending_ops(self, cache):
+        client, _server = cache
+        queue = TriggerOpQueue(client)
+        owner = FakeOwner()
+        queue.switch_context("w1")
+        queue.enqueue_delete(owner, "k")
+        queue.switch_context(None)
+        queue.drop_context("w1")
+        assert queue.discarded == 1
+        queue.switch_context("w1")
+        assert queue.pending_count == 0
+
+
+class TestInterleavedFlushContention:
+    def test_interleaved_flushes_contend_and_retry(self, cache):
+        """Deterministic recreation of the concurrent-replay CAS race: B's
+        commit lands between A's gets_multi and cas_multi, so A's token goes
+        stale, loses the swap, and pays a retry round."""
+        client, _server = cache
+        client.set("n", 100)
+        queue = TriggerOpQueue(client)
+        owner = FakeOwner()
+        queue.enqueue_mutate(owner, "n", lambda v: v + 1)       # context A
+        queue.switch_context("B")
+        queue.enqueue_mutate(owner, "n", lambda v: v + 10)      # context B
+        queue.switch_context(None)
+
+        fired = []
+
+        def checkpoint(label):
+            if label == "cache:gets_multi" and not fired:
+                fired.append(label)
+                queue.switch_context("B")
+                queue.flush()  # B commits while A still holds its token
+                queue.switch_context(None)
+
+        client.checkpoint = checkpoint
+        assert queue.flush() == 1
+        client.checkpoint = None
+        # Both transactions' mutations landed, in commit order (B then A).
+        assert client.get("n") == 111
+        assert queue.cas_retry_rounds == 1
+        assert queue.cas_retries == 1
+        assert owner.stats.cas_retries == 1
+        assert client.recorder.total.cas_multi_mismatch == 1
+        assert client.recorder.total.cas_retry_rounds == 1
+
+    def test_suspended_flush_flag_is_per_context(self, cache):
+        client, _server = cache
+        client.set("x", 1)
+        queue = TriggerOpQueue(client)
+        owner = FakeOwner()
+        queue.enqueue_mutate(owner, "x", lambda v: v + 1)
+        flushed_inside = []
+
+        def checkpoint(label):
+            if label == "cache:gets_multi" and not flushed_inside:
+                # While A's flush is suspended, B's context must not see
+                # itself as "already flushing".
+                queue.switch_context("B")
+                queue.enqueue_delete(owner, "y")
+                flushed_inside.append(queue.flush())
+                queue.switch_context(None)
+
+        client.checkpoint = checkpoint
+        queue.flush()
+        client.checkpoint = None
+        assert flushed_inside == [1]

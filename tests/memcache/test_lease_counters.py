@@ -216,3 +216,63 @@ class TestClientLeaseAccounting:
         assert client.incr_multi({}) == {}
         assert client.lease_delete_multi([], 5.0) == []
         assert recorder.total.cache_round_trips == 0
+
+
+class TestLeaseContention:
+    def test_server_counts_contended_claimants(self, clocked_server):
+        server, _now = clocked_server
+        server.set("k", "v")
+        server.lease_delete("k", stale_seconds=30.0)
+        state, value, token = server.lease("k", 5.0, claimant=0)
+        assert state == LEASE_ACQUIRED and value == "v" and token is not None
+        assert server.stats.lease_contended == 0
+        assert server.stats.herd_size_max == 1
+        # A different claimant in the same window: contended, herd grows.
+        assert server.lease("k", 5.0, claimant=1)[0] == LEASE_STALE
+        assert server.stats.lease_contended == 1
+        assert server.stats.herd_size_max == 2
+        # The winner re-reading its own window is the rate limit working,
+        # not contention; the herd counts *distinct* claimants.
+        assert server.lease("k", 5.0, claimant=0)[0] == LEASE_STALE
+        assert server.stats.lease_contended == 1
+        assert server.stats.herd_size_max == 2
+        assert server.lease("k", 5.0, claimant=2)[0] == LEASE_STALE
+        assert server.stats.herd_size_max == 3
+
+    def test_serial_claimant_never_contends(self, clocked_server):
+        server, _now = clocked_server
+        server.set("k", "v")
+        server.lease_delete("k", stale_seconds=30.0)
+        for _ in range(4):
+            server.lease("k", 5.0)  # claimant defaults to None (serial)
+        assert server.stats.lease_contended == 0
+        assert server.stats.herd_size_max == 1
+
+    def test_client_tracks_window_winners_per_worker(self):
+        server = CacheServer("contend-srv")
+        recorder = Recorder()
+        client = CacheClient([server], recorder=recorder)
+        client.set("k", "v")
+        client.lease_delete("k", 30.0)
+        client.current_worker = 0
+        state, _value, token = client.lease("k", 1000.0)
+        assert state == LEASE_ACQUIRED and token is not None
+        client.current_worker = 1
+        assert client.lease("k", 1000.0)[0] == LEASE_STALE
+        assert client.stats.lease_contended == 1
+        assert recorder.total.lease_contended == 1
+        client.current_worker = 0
+        assert client.lease("k", 1000.0)[0] == LEASE_STALE
+        assert client.stats.lease_contended == 1  # own window: not contended
+
+    def test_stats_aggregate_herd_by_max(self):
+        from repro.memcache.stats import CacheStats
+        a = CacheStats()
+        a.herd_size_max = 3
+        a.hits = 1
+        b = CacheStats()
+        b.herd_size_max = 2
+        b.hits = 5
+        a.add(b)
+        assert a.herd_size_max == 3
+        assert a.hits == 6

@@ -1,0 +1,99 @@
+"""InterleaveScheduler: policies, determinism, adversarial parking."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (ADVERSARIAL, ALL_POLICIES, InterleaveScheduler, RANDOM,
+                       ROUND_ROBIN, WorkerStatus)
+
+
+def statuses(*labels):
+    return [WorkerStatus(worker_id=i, label=label)
+            for i, label in enumerate(labels)]
+
+
+class TestPolicyValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            InterleaveScheduler(policy="fifo")
+
+    def test_all_policies_construct(self):
+        for policy in ALL_POLICIES:
+            assert InterleaveScheduler(policy=policy).policy == policy
+
+    def test_empty_runnable_rejected(self):
+        with pytest.raises(SimulationError):
+            InterleaveScheduler().choose([])
+
+
+class TestRoundRobin:
+    def test_cycles_worker_ids(self):
+        scheduler = InterleaveScheduler(ROUND_ROBIN)
+        run = statuses("a", "b", "c")
+        picks = [scheduler.choose(run) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_finished_workers(self):
+        scheduler = InterleaveScheduler(ROUND_ROBIN)
+        assert scheduler.choose(statuses("a", "b", "c")) == 0
+        # Worker 1 finished: the rotation continues over the survivors.
+        remaining = [WorkerStatus(worker_id=0), WorkerStatus(worker_id=2)]
+        assert scheduler.choose(remaining) == 2
+        assert scheduler.choose(remaining) == 0
+
+
+class TestRandomPolicy:
+    def test_same_seed_same_decisions(self):
+        run = statuses("a", "b", "c", "d")
+        first = InterleaveScheduler(RANDOM, seed=42)
+        second = InterleaveScheduler(RANDOM, seed=42)
+        picks = [first.choose(run) for _ in range(50)]
+        assert picks == [second.choose(run) for _ in range(50)]
+        assert first.signature() == second.signature()
+
+    def test_different_seed_diverges(self):
+        run = statuses("a", "b", "c", "d")
+        first = InterleaveScheduler(RANDOM, seed=1)
+        second = InterleaveScheduler(RANDOM, seed=2)
+        picks_a = [first.choose(run) for _ in range(50)]
+        picks_b = [second.choose(run) for _ in range(50)]
+        assert picks_a != picks_b
+
+    def test_reset_restarts_the_stream(self):
+        run = statuses("a", "b", "c")
+        scheduler = InterleaveScheduler(RANDOM, seed=7)
+        picks = [scheduler.choose(run) for _ in range(20)]
+        scheduler.reset()
+        assert [scheduler.choose(run) for _ in range(20)] == picks
+
+
+class TestAdversarial:
+    def test_parks_cas_token_holders(self):
+        scheduler = InterleaveScheduler(ADVERSARIAL)
+        # Worker 0 just finished a gets_multi (holds unwritten CAS tokens);
+        # the scheduler runs everyone else first.
+        run = statuses("cache:gets_multi", "page:end", "db:statement")
+        picks = [scheduler.choose(run) for _ in range(4)]
+        assert 0 not in picks
+
+    def test_releases_when_everyone_is_parked(self):
+        scheduler = InterleaveScheduler(ADVERSARIAL)
+        run = statuses("cache:gets_multi", "cache:gets_multi")
+        picks = {scheduler.choose(run) for _ in range(4)}
+        assert picks == {0, 1}
+
+    def test_write_intent_flag(self):
+        assert WorkerStatus(0, label="cache:gets_multi").holds_write_intent
+        assert not WorkerStatus(0, label="cache:get_multi").holds_write_intent
+
+
+class TestSignature:
+    def test_signature_reflects_the_log(self):
+        a = InterleaveScheduler(ROUND_ROBIN)
+        b = InterleaveScheduler(ROUND_ROBIN)
+        run = statuses("x", "y")
+        a.choose(run)
+        assert a.signature() != b.signature()
+        b.choose(run)
+        assert a.signature() == b.signature()
+        assert a.describe()["decisions"] == 1

@@ -47,6 +47,27 @@ class TestReplay:
         first_clients = [p.client_id for p in replay.pages[:4]]
         assert first_clients == [0, 1, 2, 3]
 
+    def test_pages_for_client_matches_a_linear_scan(self, replayed):
+        replay, _ = replayed
+        for client_id in replay.client_ids():
+            expected = [p for p in replay.pages if p.client_id == client_id]
+            assert replay.pages_for_client(client_id) == expected
+        assert replay.pages_for_client(9999) == []
+
+    def test_pages_for_client_index_tracks_appends(self, replayed):
+        replay, _ = replayed
+        before = len(replay.pages_for_client(0))
+        # The per-client index must rebuild when pages are appended after a
+        # lookup (the concurrent replayer appends in completion order).
+        replay.pages.append(replay.pages_for_client(0)[0])
+        assert len(replay.pages_for_client(0)) == before + 1
+
+    def test_pages_for_client_returns_a_copy(self, replayed):
+        replay, _ = replayed
+        listing = replay.pages_for_client(0)
+        listing.clear()
+        assert replay.pages_for_client(0)
+
 
 class TestSimulation:
     def test_throughput_positive_and_window_set(self, replayed):

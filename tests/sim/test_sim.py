@@ -67,6 +67,22 @@ class TestEventEngine:
         with pytest.raises(SimulationError):
             engine.run(max_events=100)
 
+    def test_non_finite_delays_rejected(self):
+        # NaN compares False against 0, so it used to slip past the
+        # negative-delay check and scramble the heap order.
+        engine = EventEngine()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(SimulationError):
+                engine.schedule(bad, lambda: None)
+        assert engine.pending_events == 0
+
+    def test_non_finite_timestamps_rejected(self):
+        engine = EventEngine()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(SimulationError):
+                engine.schedule_at(bad, lambda: None)
+        assert engine.pending_events == 0
+
 
 class TestQueueingResource:
     def test_single_server_serializes_jobs(self):

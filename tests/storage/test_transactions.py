@@ -140,3 +140,56 @@ class TestStatementNesting:
         database.insert("accounts", {"owner": "frank", "balance": 2})
         assert fired == [True]
         assert database.transactions.current is None
+
+
+class TestWorkerContexts:
+    def test_contexts_isolate_open_transactions(self, database):
+        txm = database.transactions
+        txm.begin()
+        database.insert("accounts", {"owner": "alice", "balance": 1})
+        # Another worker's context sees no open transaction and can run its
+        # own autocommit statements without touching the parked one.
+        txm.switch_context("w1")
+        assert txm.current is None
+        assert not txm.in_transaction
+        database.insert("accounts", {"owner": "bob", "balance": 2})
+        assert txm.current is None  # w1's statement autocommitted
+        # Back on the default context, the explicit transaction is intact.
+        txm.switch_context(None)
+        assert txm.in_transaction
+        txm.abort()
+        owners = [row["owner"] for row in database.find("accounts")]
+        assert owners == ["bob"]  # alice undone, bob kept
+
+    def test_switch_to_live_context_is_a_noop(self, database):
+        txm = database.transactions
+        txm.begin()
+        txm.switch_context(None)
+        assert txm.in_transaction
+        txm.abort()
+
+    def test_drop_context_refuses_open_explicit_transaction(self, database):
+        txm = database.transactions
+        txm.switch_context("w1")
+        txm.begin()
+        txm.switch_context(None)
+        with pytest.raises(TransactionError):
+            txm.drop_context("w1")
+        txm.switch_context("w1")
+        txm.commit()
+        txm.switch_context(None)
+        txm.drop_context("w1")  # now idle: dropping is fine
+
+    def test_cannot_drop_the_live_context(self, database):
+        with pytest.raises(TransactionError):
+            database.transactions.drop_context(None)
+
+    def test_checkpoint_fires_at_statement_boundaries(self, database):
+        labels = []
+        database.insert("accounts", {"owner": "zed", "balance": 1})
+        database.transactions.checkpoint = labels.append
+        database.insert("accounts", {"owner": "amy", "balance": 2})
+        database.get_by_pk("accounts", 1)
+        database.transactions.checkpoint = None
+        assert labels[0] == "db:commit"      # the write autocommitted
+        assert "db:statement" in labels      # the read completed
