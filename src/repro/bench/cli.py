@@ -46,8 +46,27 @@ def _cmd_table1(_args: argparse.Namespace) -> str:
 
 
 def _cmd_exp1(args: argparse.Namespace) -> str:
-    result = experiments.experiment1(client_counts=tuple(args.clients))
-    return reporting.render_experiment1(result)
+    # The historical CLI default counts (quick mode shrinks its own);
+    # explicit --clients is honored either way.
+    counts = args.clients
+    if counts is None and not args.quick:
+        counts = [1, 5, 10, 15, 25, 40]
+    result = experiments.experiment1(
+        client_counts=tuple(counts) if counts else None,
+        workers=args.workers,
+        policy=args.policy,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    rendered = reporting.render_experiment1(result)
+    if args.check:
+        problems = result.check_contended()
+        if problems:
+            raise SystemExit(rendered + "\n\nCONTENTION CHECK FAILED:\n  "
+                             + "\n  ".join(problems))
+        rendered += ("\nContention check passed: the closed-loop sweep "
+                     "consumed a contended schedule.")
+    return rendered
 
 
 def _cmd_exp2(args: argparse.Namespace) -> str:
@@ -136,7 +155,29 @@ def build_parser() -> argparse.ArgumentParser:
         .set_defaults(func=_cmd_table1)
 
     exp1 = sub.add_parser("exp1", help="Figure 2a/2b + Table 2 (clients sweep)")
-    exp1.add_argument("--clients", type=int, nargs="+", default=[1, 5, 10, 15, 25, 40])
+    exp1.add_argument("--clients", type=int, nargs="+", default=None,
+                      help="client counts to sweep (default: 1 5 10 15 25 40, "
+                           "or 1 4 with --quick)")
+    exp1.add_argument(
+        "--workers", type=int, default=1,
+        help="replay engine workers (default: 1 = the serial path; above 1 "
+             "the measured demands come from a real interleaving and the "
+             "lineup gains the LeasedInvalidate scenario)")
+    exp1.add_argument(
+        "--policy", choices=list(experiments.ALL_POLICIES),
+        default=experiments.ROUND_ROBIN,
+        help="interleave policy at >= 2 workers (default: %(default)s)")
+    exp1.add_argument(
+        "--seed", type=int, default=0,
+        help="scheduler seed: a fixed seed reproduces the interleaving "
+             "bit for bit (default: %(default)s)")
+    exp1.add_argument(
+        "--quick", action="store_true",
+        help="tiny seed and short trace — the CI smoke configuration")
+    exp1.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero unless the contention counters fire in the "
+             "closed-loop metrics (needs --workers >= 2)")
     exp1.set_defaults(func=_cmd_exp1)
 
     exp2 = sub.add_parser("exp2", help="Figure 3a (read/write mix sweep)")
@@ -212,8 +253,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker counts to sweep (default: 1 2 4; 1 = serial baseline)")
     exp_contention.add_argument(
         "--policies", nargs="+", default=None,
-        choices=list(experiments.CONTENTION_POLICIES),
-        help="interleave policies to sweep at >= 2 workers (default: all)")
+        choices=list(experiments.ALL_POLICIES),
+        help="interleave policies to sweep at >= 2 workers (default: "
+             "round-robin random adversarial; key-overlap is opt-in)")
     exp_contention.add_argument(
         "--seed", type=int, default=experiments.CONTENTION_SEED,
         help="scheduler seed: a fixed seed reproduces the interleaving "

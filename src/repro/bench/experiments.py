@@ -18,9 +18,9 @@ from typing import Dict, List, Optional, Sequence
 
 from ..apps.social import SeedScale
 from ..memcache import CacheServer
-from ..sim import (ADVERSARIAL, ALL_POLICIES, ConcurrentReplayer, ROUND_ROBIN,
-                   ReplayResult, RunMetrics, SimulationOptions, VirtualClock,
-                   WorkloadReplayer, simulate_population)
+from ..sim import (ADVERSARIAL, ALL_POLICIES, ConcurrentReplayer, RANDOM,
+                   ROUND_ROBIN, ReplayResult, RunMetrics, SimulationOptions,
+                   VirtualClock, WorkloadReplayer, simulate_population)
 from ..storage import (ColumnDef, CostModel, Database, IndexDef, Recorder,
                        TableSchema)
 from ..workload import WorkloadConfig, WorkloadGenerator
@@ -61,6 +61,9 @@ class ScenarioRun:
     effort: Dict[str, int] = field(default_factory=dict)
     #: Aggregated per-cached-object counters (db_fallbacks, stale_served, ...).
     object_totals: Dict[str, float] = field(default_factory=dict)
+    #: Replay engine configuration (1 worker = the serial inline path).
+    workers: int = 1
+    policy: str = ROUND_ROBIN
 
     @property
     def throughput(self) -> float:
@@ -77,19 +80,34 @@ def run_scenario(
     warmup: Optional[WorkloadConfig] = DEFAULT_WARMUP,
     sim_options: Optional[SimulationOptions] = None,
     clients: Optional[int] = None,
+    workers: int = 1,
+    policy: str = ROUND_ROBIN,
+    seed: int = 0,
 ) -> ScenarioRun:
-    """Build a scenario, replay the workload against it, and simulate it."""
+    """Build a scenario, replay the workload against it, and simulate it.
+
+    Every replay goes through the one concurrent engine; ``workers=1``
+    (the default) is its inline serial path, ``workers > 1`` interleaves
+    the trace across worker contexts under a seeded scheduler ``policy``.
+    Warm-up always replays serially — it models the quiet cache-filling
+    phase before the measured clients arrive.
+    """
     scenario = Scenario(config).setup()
     try:
         user_ids = list(range(1, config.seed_scale.users + 1))
-        replayer = WorkloadReplayer(
-            scenario.app, scenario.database, clock=scenario.clock,
-            page_interval_seconds=config.page_interval_seconds)
         if warmup is not None:
+            serial = WorkloadReplayer(
+                scenario.app, scenario.database, clock=scenario.clock,
+                page_interval_seconds=config.page_interval_seconds)
             warmup_trace = WorkloadGenerator(warmup, user_ids).generate()
-            replayer.replay(warmup_trace, record=False)
+            serial.replay(warmup_trace, record=False)
+        engine = ConcurrentReplayer(
+            scenario.app, scenario.database, genie=scenario.genie,
+            workers=workers, policy=policy, seed=seed,
+            clock=scenario.clock,
+            page_interval_seconds=config.page_interval_seconds)
         trace = WorkloadGenerator(workload, user_ids).generate()
-        replay = replayer.replay(trace)
+        replay = engine.replay(trace)
         metrics = simulate_population(replay, clients=clients or workload.clients,
                                       options=sim_options)
         return ScenarioRun(
@@ -102,6 +120,8 @@ def run_scenario(
             effort=scenario.genie.effort_report() if scenario.genie else {},
             object_totals=(scenario.genie.stats.totals().as_dict()
                            if scenario.genie else {}),
+            workers=workers,
+            policy=policy,
         )
     finally:
         scenario.teardown()
@@ -116,6 +136,12 @@ def _scenario_config(name: str, **overrides) -> ScenarioConfig:
 # Experiment 1 — throughput and latency vs number of clients (Fig 2a, 2b, Tab 2)
 # ---------------------------------------------------------------------------
 
+#: Scenario set of the concurrent exp1 sweep: the classic lineup plus leased
+#: invalidation, the strategy whose lease windows actually contend (without
+#: it the closed-loop path could never report ``lease_contended``).
+EXP1_CONCURRENT_SCENARIOS = tuple(ALL_SCENARIOS) + (LEASED_SCENARIO,)
+
+
 @dataclass
 class Experiment1Result:
     """Figure 2a/2b series plus Table 2 (latency by page type at 15 clients)."""
@@ -125,30 +151,101 @@ class Experiment1Result:
     latency: Dict[str, List[float]]               # scenario -> series (s)
     latency_by_page: Dict[str, Dict[str, float]]  # scenario -> page -> s
     cache_hit_ratio: Dict[str, float]
+    #: Replay engine configuration (1 worker = the serial inline path; the
+    #: policy/seed only matter above 1).
+    workers: int = 1
+    policy: str = ROUND_ROBIN
+    seed: int = 0
+    #: scenario -> contention counters of the replay the sweep simulated
+    #: (carried on the closed-loop metrics; all zero for workers=1).
+    contention: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: scenario -> schedule signature of the measured replay.
+    schedule_signatures: Dict[str, str] = field(default_factory=dict)
 
     def speedup_over_nocache(self, scenario: str, client_index: int = -1) -> float:
         base = self.throughput[NO_CACHE][client_index]
         return self.throughput[scenario][client_index] / base if base else 0.0
 
+    def max_contention(self, name: str) -> int:
+        """Largest value of one contention counter across the scenarios."""
+        values = [counters.get(name, 0)
+                  for counters in self.contention.values()]
+        return max(values) if values else 0
+
+    def check_contended(self) -> List[str]:
+        """Assertions of the CI smoke job: a multi-worker exp1 sweep must
+        measure demands that really contended — every contention counter
+        fires in some scenario's closed-loop metrics.  Returns the failures
+        (empty = the concurrent path still feeds the simulation)."""
+        if self.workers < 2:
+            return ["exp1 --check needs --workers >= 2 "
+                    "(one worker is the serial path and never contends)"]
+        problems = []
+        for name in CONTENTION_COUNTERS:
+            if self.max_contention(name) <= 0:
+                problems.append(
+                    f"{name} stayed 0 across every exp1 scenario at "
+                    f"{self.workers} workers — the closed-loop simulation "
+                    f"is not consuming a contended schedule")
+        return problems
+
 
 def experiment1(
-    client_counts: Sequence[int] = (1, 5, 10, 15, 20, 30, 40),
+    client_counts: Optional[Sequence[int]] = None,
     workload: Optional[WorkloadConfig] = None,
-    scenarios: Sequence[str] = ALL_SCENARIOS,
-    table2_clients: int = 15,
+    scenarios: Optional[Sequence[str]] = None,
+    table2_clients: Optional[int] = None,
+    workers: int = 1,
+    policy: str = ROUND_ROBIN,
+    seed: int = 0,
+    quick: bool = False,
 ) -> Experiment1Result:
-    """Reproduce Experiment 1: sweep the number of parallel clients."""
+    """Reproduce Experiment 1: sweep the number of parallel clients.
+
+    ``workers``/``policy``/``seed`` configure the replay engine: the
+    default is the serial inline path (bit-for-bit the historical exp1
+    numbers); above 1 the measured demands come from a real interleaving,
+    the scenario lineup gains leased invalidation (the lease-window
+    contender), and the closed-loop simulation consumes the schedule —
+    clients dispatch in first-completion order and the contention counters
+    ride along on the metrics.  ``quick=True`` shrinks the seed and trace
+    for CI smoke runs; explicit arguments are always honored.
+    """
+    if scenarios is None:
+        scenarios = ALL_SCENARIOS if workers <= 1 else EXP1_CONCURRENT_SCENARIOS
+    if client_counts is None:
+        client_counts = (1, 6) if quick else (1, 5, 10, 15, 20, 30, 40)
+    if table2_clients is None:
+        table2_clients = min(15, max(client_counts)) if quick else 15
+    seed_scale = DEFAULT_SEED_SCALE
+    warmup: Optional[WorkloadConfig] = DEFAULT_WARMUP
+    base_workload = workload or DEFAULT_WORKLOAD
+    if quick:
+        seed_scale = SeedScale.tiny()
+        warmup = None
+        if workload is None:
+            # Short sessions, tiny seed, a hot-key zipf skew, and the
+            # write-heavy hot-key page mix: a trace this small only
+            # contends (CAS swaps, lease claims) when the few clients keep
+            # writing the same users' keys.
+            base_workload = DEFAULT_WORKLOAD.with_overrides(
+                sessions_per_client=2, page_loads_per_session=4,
+                zipf_parameter=2.6, page_mix=dict(HOT_KEY_WORKLOAD.page_mix))
     max_clients = max(max(client_counts), table2_clients)
-    workload = (workload or DEFAULT_WORKLOAD).with_overrides(clients=max_clients)
+    base_workload = base_workload.with_overrides(clients=max_clients)
 
     throughput: Dict[str, List[float]] = {}
     latency: Dict[str, List[float]] = {}
     latency_by_page: Dict[str, Dict[str, float]] = {}
     hit_ratio: Dict[str, float] = {}
+    contention: Dict[str, Dict[str, int]] = {}
+    signatures: Dict[str, str] = {}
 
     for name in scenarios:
-        run = run_scenario(_scenario_config(name), workload=workload,
-                           clients=max_clients)
+        run = run_scenario(_scenario_config(name, seed_scale=seed_scale),
+                           workload=base_workload, warmup=warmup,
+                           clients=max_clients,
+                           workers=workers, policy=policy, seed=seed)
         throughput[name] = []
         latency[name] = []
         for count in client_counts:
@@ -158,6 +255,8 @@ def experiment1(
         table2_metrics = simulate_population(run.replay, clients=table2_clients)
         latency_by_page[name] = table2_metrics.latency_by_page()
         hit_ratio[name] = run.cache_hit_ratio
+        contention[name] = dict(run.metrics.contention)
+        signatures[name] = getattr(run.replay, "schedule_signature", "")
 
     return Experiment1Result(
         client_counts=list(client_counts),
@@ -165,6 +264,11 @@ def experiment1(
         latency=latency,
         latency_by_page=latency_by_page,
         cache_hit_ratio=hit_ratio,
+        workers=workers,
+        policy=policy,
+        seed=seed,
+        contention=contention,
+        schedule_signatures=signatures,
     )
 
 
@@ -678,8 +782,11 @@ CONTENTION_SCENARIOS = (UPDATE_SCENARIO, INVALIDATE_SCENARIO, LEASED_SCENARIO)
 #: Worker counts swept (1 = the serial-equivalent baseline).
 CONTENTION_WORKERS = (1, 2, 4)
 
-#: Interleave policies swept at every worker count above 1.
-CONTENTION_POLICIES = ALL_POLICIES
+#: Interleave policies swept at every worker count above 1.  Pinned to the
+#: classic trio — ``key-overlap`` joined ``ALL_POLICIES`` later and can be
+#: selected explicitly (``--policies key-overlap``) without silently
+#: reshaping the committed default sweep.
+CONTENTION_POLICIES = (ROUND_ROBIN, RANDOM, ADVERSARIAL)
 
 #: Scheduler seed of the committed runs (any fixed seed is bit-reproducible).
 CONTENTION_SEED = 0

@@ -88,6 +88,24 @@ def render_experiment1(result: Experiment1Result) -> str:
             for name in result.latency_by_page
         ])
     parts.append(format_table(headers, rows))
+    if result.workers > 1:
+        parts.extend([
+            "",
+            f"Replay engine — {result.workers} workers, {result.policy} "
+            f"policy, seed {result.seed} (closed-loop simulation consumes "
+            f"the schedule)",
+        ])
+        headers = ["Scenario", "CAS mismatch", "Retry rounds",
+                   "Lease contended", "Schedule"]
+        rows = [
+            [name,
+             str(counters.get("cas_multi_mismatch", 0)),
+             str(counters.get("cas_retry_rounds", 0)),
+             str(counters.get("lease_contended", 0)),
+             result.schedule_signatures.get(name, "")]
+            for name, counters in result.contention.items()
+        ]
+        parts.append(format_table(headers, rows))
     return "\n".join(parts)
 
 

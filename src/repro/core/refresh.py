@@ -14,12 +14,23 @@ strategy (so async-refresh envelopes get a new freshness deadline, and a
 leased key's fresh ``set`` clears the server-side stale retention).  Each
 completed refresh credits the object's ``recomputations`` counter — the
 background analogue of a blocking ``db_fallbacks``.
+
+**Worker contexts.**  Under the concurrent replay engine each worker models
+its own refresh thread: :meth:`RefreshQueue.switch_context` parks the live
+pending set and installs the worker's own (mirroring
+:meth:`TriggerOpQueue.switch_context
+<repro.core.trigger_queue.TriggerOpQueue.switch_context>`), so a worker
+drains only the refreshes its own stale reads scheduled and coalescing is
+per worker.  At worker teardown :meth:`merge_context` folds any outstanding
+refreshes back into the shared (default) queue — background work survives
+the replay, it just loses its thread affinity.  The serial pipeline never
+switches contexts: one worker *is* the default refresh thread.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from .cache_classes.base import CacheClass
@@ -52,6 +63,10 @@ class RefreshQueue:
         self.delay_seconds = float(delay_seconds)
         self._pending: "OrderedDict[str, _PendingRefresh]" = OrderedDict()
         self._draining = False
+        #: Parked (pending, draining) state of inactive worker contexts.
+        self._contexts: Dict[Any, Tuple["OrderedDict[str, _PendingRefresh]",
+                                        bool]] = {}
+        self._context_key: Any = None
         # Lifetime statistics, for tests and the ablation report.
         self.scheduled = 0
         self.coalesced = 0
@@ -68,6 +83,55 @@ class RefreshQueue:
 
     def pending_keys(self) -> List[str]:
         return list(self._pending)
+
+    # -- worker contexts --------------------------------------------------------
+
+    @property
+    def context_key(self) -> Any:
+        """The key of the live refresh context (None = the default thread)."""
+        return self._context_key
+
+    def switch_context(self, key: Any) -> None:
+        """Park the live pending-refresh state and make ``key``'s state live.
+
+        Each concurrent worker is its own refresh thread: stale reads it
+        serves schedule into its context, and its drain points complete only
+        its own backlog.  Mirrors :meth:`TriggerOpQueue.switch_context
+        <repro.core.trigger_queue.TriggerOpQueue.switch_context>`.
+        """
+        if key == self._context_key:
+            return
+        self._contexts[self._context_key] = (self._pending, self._draining)
+        self._pending, self._draining = self._contexts.pop(
+            key, (OrderedDict(), False))
+        self._context_key = key
+
+    def merge_context(self, key: Any) -> int:
+        """Fold a parked context's pending refreshes into the live one.
+
+        Worker teardown: a refresh the worker scheduled but never drained is
+        still owed to the cache — it returns to the live (normally default)
+        queue instead of vanishing with its thread.  A key already pending
+        in the live context coalesces.  Returns the number of refreshes
+        adopted.
+        """
+        parked = self._contexts.pop(key, None)
+        if parked is None:
+            return 0
+        adopted = 0
+        for pending_key, entry in parked[0].items():
+            if pending_key in self._pending:
+                self.coalesced += 1
+            else:
+                self._pending[pending_key] = entry
+                adopted += 1
+        return adopted
+
+    def drop_context(self, key: Any) -> int:
+        """Forget a parked context outright, discarding its pending refreshes
+        (scenario teardown — nothing will ever drain them)."""
+        parked = self._contexts.pop(key, None)
+        return len(parked[0]) if parked is not None else 0
 
     # -- scheduling -------------------------------------------------------------
 
@@ -114,9 +178,12 @@ class RefreshQueue:
             self._draining = False
 
     def discard(self) -> int:
-        """Drop every pending refresh (scenario teardown)."""
+        """Drop every pending refresh, parked contexts included (teardown)."""
         dropped = len(self._pending)
         self._pending.clear()
+        for pending, _draining in self._contexts.values():
+            dropped += len(pending)
+        self._contexts.clear()
         return dropped
 
     def discard_for(self, cached_object: "CacheClass") -> int:
@@ -131,7 +198,16 @@ class RefreshQueue:
                    if entry.cached_object is cached_object]
         for key in victims:
             del self._pending[key]
-        return len(victims)
+        dropped = len(victims)
+        # Sweep parked worker contexts too: a removal that races a paused
+        # worker must not leave that worker a refresh of a dead query.
+        for pending, _draining in self._contexts.values():
+            parked_victims = [key for key, entry in pending.items()
+                              if entry.cached_object is cached_object]
+            for key in parked_victims:
+                del pending[key]
+            dropped += len(parked_victims)
+        return dropped
 
     def _run(self, entry: _PendingRefresh) -> None:
         cached_object = entry.cached_object

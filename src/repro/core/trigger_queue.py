@@ -142,6 +142,18 @@ class TriggerOpQueue:
         if parked is not None:
             self.discarded += len(parked[0])
 
+    def pending_keys_for(self, key: Any) -> List[str]:
+        """Pending op keys of one context — live or parked.
+
+        The key-overlap interleave policy asks this for every paused worker:
+        two workers whose unflushed trigger ops target the same cache key
+        are about to race that key at their commits.
+        """
+        if key == self._context_key:
+            return list(self._ops)
+        parked = self._contexts.get(key)
+        return list(parked[0]) if parked is not None else []
+
     def _attribute(self, counter: Dict[Any, int], n: int = 1) -> None:
         counter[self._context_key] = counter.get(self._context_key, 0) + n
 

@@ -6,17 +6,20 @@ from .clock import VirtualClock
 from .concurrent import ConcurrentReplayResult, ConcurrentReplayer
 from .events import EventEngine
 from .interleave import (ADVERSARIAL, ALL_POLICIES, InterleaveScheduler,
-                         RANDOM, ROUND_ROBIN, WorkerStatus)
+                         KEY_OVERLAP, RANDOM, ROUND_ROBIN, WorkerStatus,
+                         interleave_trace)
 from .metrics import PageCompletion, RunMetrics, percentile
 from .mva import MVAResult, asymptotic_bounds, exact_mva
 from .resources import DelayResource, QueueingResource
-from .runner import (ReplayResult, ReplayedPage, SimulationOptions,
-                     WorkloadReplayer, aggregate_resource_demands,
-                     simulate_population)
+from .runner import (STREAM_CLIENT_THRESHOLD, ReplayResult, ReplayedPage,
+                     SimulationOptions, WorkloadReplayer,
+                     aggregate_resource_demands, simulate_population)
 
 __all__ = [
     "ADVERSARIAL",
     "ALL_POLICIES",
+    "KEY_OVERLAP",
+    "STREAM_CLIENT_THRESHOLD",
     "ConcurrentReplayResult",
     "ConcurrentReplayer",
     "DelayResource",
@@ -39,6 +42,7 @@ __all__ = [
     "aggregate_resource_demands",
     "asymptotic_bounds",
     "exact_mva",
+    "interleave_trace",
     "percentile",
     "simulate_population",
 ]

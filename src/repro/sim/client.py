@@ -6,12 +6,19 @@ then the database disk, then incurs the cache/network delay, then the client
 "thinks" briefly and starts its next page.  Clients never overlap their own
 pages (closed loop), but all clients contend for the shared resources — which
 is where queueing, saturation, and the paper's throughput ceilings come from.
+
+The ``pages`` sequence is duck-typed: anything with ``page``, ``user_id``
+and ``demand`` attributes works — a replay's own
+:class:`~repro.sim.runner.ReplayedPage` objects as much as hand-built
+:class:`PageDemand` stubs.  Clients never copy or mutate the sequence, so
+``simulate_population`` hands every client a view into the replay's
+per-client index instead of materializing a demand list per client.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Optional, Sequence
 
 from ..storage.costmodel import Demand
 from .events import EventEngine
@@ -42,7 +49,7 @@ class SimulatedClient:
         db_cpu: QueueingResource,
         db_disk: QueueingResource,
         cache_net: DelayResource,
-        pages: List[PageDemand],
+        pages: Sequence["PageDemand"],
         metrics: RunMetrics,
         think_time_ms: float = 0.0,
         on_finished: Optional[Callable[["SimulatedClient"], None]] = None,

@@ -1,21 +1,29 @@
-"""Concurrent-worker functional replay: interleaved page loads, real races.
+"""The replay engine: N interleaved worker contexts, real races, one pipeline.
 
-The serial :class:`~repro.sim.runner.WorkloadReplayer` executes page loads
-one at a time, so the consistency machinery built for contention — the
-batched-CAS retry loop, lease windows, thundering-herd suppression — is
-never exercised by a workload: every CAS wins, every lease is uncontested.
-This module closes that gap without giving up determinism.
+This is the *only* execution pipeline for workload traces.  The historical
+serial replayer (:class:`~repro.sim.runner.WorkloadReplayer`) is now a thin
+facade that delegates here with ``workers=1``; there is no second replay
+loop to diverge from.  Degree of parallelism is a parameter, not a code
+path.
 
 **Worker model.**  A :class:`ConcurrentReplayer` partitions the trace's
-client streams over N *worker contexts*.  Each worker executes its page
-loads as a cooperative coroutine: the application, the cache client, and
-the transaction manager call a ``checkpoint(label)`` hook at operation
-boundaries (page fragments, multi-key cache round trips, statement/commit
-completion), and the hook suspends the worker until the seeded
+client streams over N *worker contexts* (the canonical ordering comes from
+:func:`~repro.sim.interleave.interleave_trace` — the same function for one
+worker or many).  Each worker executes its page loads as a cooperative
+coroutine: the application, the cache client, and the transaction manager
+call a ``checkpoint(label)`` hook at operation boundaries (page fragments,
+multi-key cache round trips, statement/commit completion), and the hook
+suspends the worker until the seeded
 :class:`~repro.sim.interleave.InterleaveScheduler` resumes it.  Exactly one
 worker runs at any instant — workers are OS threads only so that ordinary
 (non-generator) application code can be suspended mid-page; the strict
 hand-off makes the interleaving bit-identical for a fixed scheduler seed.
+
+With ``workers=1`` no checkpoint could ever switch control, so the engine
+takes an inline fast path: the single worker's pages run on the calling
+thread with no seams installed and no context switching — bit-for-bit the
+historical serial replay, at serial speed — while the scheduler still logs
+one decision per page boundary (the degenerate all-zeros schedule).
 
 **Isolation.**  On every switch the resumed worker installs its own
 execution context: its page's :class:`~repro.storage.costmodel.CostCounters`
@@ -23,19 +31,20 @@ as the recorder scope (events are attributed to the worker that caused
 them), its transaction context on the
 :class:`~repro.storage.transactions.TransactionManager` (interleaved
 commits are legal — one worker can never commit another's transaction),
-and its pending-op context on the
+its pending-op context on the
 :class:`~repro.core.trigger_queue.TriggerOpQueue` (ops flush at their own
-transaction's commit).  The cache servers are deliberately *shared*: that
-is where workers race — two workers really do interleave
-``gets_multi``/``cas_multi`` on the same wall key, making
-``cas_multi_mismatch``/``cas_retry_rounds`` fire, and competing lease
-claimants drive ``lease_contended``/``herd_size_max``.
+transaction's commit), and its refresh context on the
+:class:`~repro.core.refresh.RefreshQueue` (each worker is its own refresh
+thread; outstanding refreshes merge back to the shared queue at teardown).
+The cache servers are deliberately *shared*: that is where workers race —
+two workers really do interleave ``gets_multi``/``cas_multi`` on the same
+wall key, making ``cas_multi_mismatch``/``cas_retry_rounds`` fire, and
+competing lease claimants drive ``lease_contended``/``herd_size_max``.
 
 The replay produces a :class:`ConcurrentReplayResult` — the serial
 :class:`~repro.sim.runner.ReplayResult` shape (``simulate_population``
-consumes it unchanged) plus the schedule log and contention summary.  With
-one worker the engine degenerates to exactly the serial replay: same page
-order, same demands, same counters.
+consumes it unchanged) plus the schedule log, per-worker page stores, and
+the contention summary.
 """
 
 from __future__ import annotations
@@ -48,8 +57,8 @@ from ..errors import SimulationError
 from ..storage.costmodel import CostCounters
 from ..workload.trace import PageLoad, WorkloadTrace
 from .interleave import (InterleaveScheduler, ROUND_ROBIN, WorkerStatus,
-                         build_scheduler)
-from .runner import ReplayResult, ReplayedPage, WorkloadReplayer
+                         build_scheduler, interleave_trace)
+from .runner import ReplayResult, ReplayedPage
 
 #: Give a wedged worker thread this long before declaring the replay stuck
 #: (a scheduling bug, not a slow run: all real work is simulated).
@@ -73,6 +82,10 @@ class ConcurrentReplayResult(ReplayResult):
     schedule_signature: str = ""
     #: Pages completed per worker id.
     pages_by_worker: Dict[int, int] = field(default_factory=dict)
+    #: Per-worker page stores: each worker's completed pages in its own
+    #: completion order (``pages`` is the global completion-order view of
+    #: the same objects).
+    page_stores: Dict[int, List[ReplayedPage]] = field(default_factory=dict)
 
     def contention_summary(self) -> Dict[str, int]:
         """The counters the contention ablation is about."""
@@ -82,6 +95,21 @@ class ConcurrentReplayResult(ReplayResult):
             "cas_retry_rounds": counters.cas_retry_rounds,
             "lease_contended": counters.lease_contended,
         }
+
+    def client_dispatch_order(self) -> List[int]:
+        """Client ids in the order the schedule first completed their pages.
+
+        This is how the closed-loop simulation consumes the decision log:
+        when it simulates a subset of the population, it takes the clients
+        the real interleaving dispatched first, not the lowest ids.  For
+        one worker the round-robin schedule visits clients in sorted-id
+        order, so this degenerates to :meth:`ReplayResult.client_ids`.
+        """
+        seen: Dict[int, None] = {}
+        for page in self.pages:
+            if page.client_id not in seen:
+                seen[page.client_id] = None
+        return list(seen)
 
 
 class _WorkerContext:
@@ -102,14 +130,19 @@ class _WorkerContext:
         self.thread = threading.Thread(
             target=self._main, name=f"replay-worker-{worker_id}", daemon=True)
 
-    # Transaction/op-queue context key; distinct from the default (None).
+    # Transaction/op-queue/refresh context key; distinct from the default
+    # (None).
     @property
     def context_key(self) -> Any:
         return ("worker", self.worker_id)
 
     def status(self) -> WorkerStatus:
+        pending: Any = ()
+        if self._replayer.op_queue is not None:
+            pending = self._replayer.op_queue.pending_keys_for(self.context_key)
         return WorkerStatus(worker_id=self.worker_id, label=self.label,
-                            pages_completed=self.pages_completed)
+                            pages_completed=self.pages_completed,
+                            pending_keys=frozenset(pending))
 
     # -- scheduler side --------------------------------------------------------
 
@@ -152,6 +185,8 @@ class _WorkerContext:
         replayer.transactions.switch_context(self.context_key)
         if replayer.op_queue is not None:
             replayer.op_queue.switch_context(self.context_key)
+        if replayer.refresh_queue is not None:
+            replayer.refresh_queue.switch_context(self.context_key)
         for client in replayer.cache_clients:
             client.current_worker = self.worker_id
 
@@ -216,6 +251,12 @@ class ConcurrentReplayer:
         self.recorder = database.recorder
         self.transactions = database.transactions
         self.op_queue = getattr(genie, "trigger_op_queue", None)
+        # Per-worker refresh contexts only make sense with actual workers:
+        # the inline workers=1 path leaves the default refresh thread alone
+        # (pending refreshes must survive replay boundaries exactly as the
+        # serial replayer left them).
+        self.refresh_queue = (getattr(genie, "refresh_queue", None)
+                              if workers > 1 else None)
         self.cache_clients = []
         if genie is not None:
             self.cache_clients = [genie.app_cache, genie.trigger_cache]
@@ -231,12 +272,12 @@ class ConcurrentReplayer:
         """Deal the trace's client streams over the workers.
 
         Clients are assigned round-robin by sorted id, and each worker
-        replays its clients' page loads in the serial replayer's global
-        round-robin order — so one worker's stream is exactly the serial
-        schedule restricted to its clients (and with one worker the whole
-        replay *is* the serial schedule).
+        replays its clients' page loads in the canonical global round-robin
+        order — so one worker's stream is exactly the serial schedule
+        restricted to its clients (and with one worker the whole replay
+        *is* the serial schedule).
         """
-        ordered = WorkloadReplayer._interleave(trace)
+        ordered = interleave_trace(trace)
         client_ids = sorted({p.client_id for p in ordered})
         worker_of = {cid: index % self.workers
                      for index, cid in enumerate(client_ids)}
@@ -264,13 +305,15 @@ class ConcurrentReplayer:
         if result is None or not self._record:
             return
         demand = self.database.demand_of(counters)
-        result.pages.append(ReplayedPage(
+        page = ReplayedPage(
             client_id=page_load.client_id,
             page=page_load.page,
             user_id=page_load.user_id,
             demand=demand,
             counters=counters,
-        ))
+        )
+        result.pages.append(page)
+        result.page_stores.setdefault(worker.worker_id, []).append(page)
         result.total_counters.add(counters)
 
     # -- the replay ------------------------------------------------------------
@@ -281,7 +324,8 @@ class ConcurrentReplayer:
 
         Deterministic for a fixed (trace, scheduler policy, seed): the
         decision log, the page completion order, and every counter are
-        bit-identical across runs.
+        bit-identical across runs.  With one worker the engine takes the
+        inline fast path — the historical serial replay, exactly.
         """
         self.scheduler.reset()
         self._record = record
@@ -292,6 +336,46 @@ class ConcurrentReplayer:
             _WorkerContext(worker_id=index, replayer=self, page_loads=loads)
             for index, loads in enumerate(self._partition(trace))
         ]
+        try:
+            if self.workers == 1:
+                self._replay_serial(contexts[0])
+            else:
+                self._replay_threaded(contexts)
+        finally:
+            result, self._result = self._result, None
+        result.schedule = list(self.scheduler.decisions)
+        result.schedule_signature = self.scheduler.signature()
+        result.pages_by_worker = {w.worker_id: w.pages_completed
+                                  for w in contexts}
+        return result
+
+    def _replay_serial(self, worker: _WorkerContext) -> None:
+        """The ``workers=1`` fast path: the degenerate schedule, inline.
+
+        A single worker can never be preempted — no checkpoint could switch
+        control to anyone else — so its pages run on the calling thread
+        with no seams installed and no context switching.  The scheduler is
+        still consulted once per page boundary, so the replay carries a
+        real (all-zeros) decision log and a deterministic signature.
+        """
+        status = worker.status()
+        previous_scope = self.recorder.activate_scope(None)
+        try:
+            for page_load in worker.page_loads:
+                self.scheduler.choose([status])
+                self._advance_clock()
+                counters = CostCounters()
+                self.recorder.activate_scope(counters)
+                self.app.render(page_load.page, page_load.user_id)
+                self._complete_page(worker, page_load, counters)
+                worker.pages_completed += 1
+                status.pages_completed = worker.pages_completed
+                status.label = "page:end"
+        finally:
+            self.recorder.activate_scope(previous_scope)
+
+    def _replay_threaded(self, contexts: List[_WorkerContext]) -> None:
+        """The multi-worker path: suspendable threads, strict hand-off."""
         by_id = {w.worker_id: w for w in contexts}
 
         previous_scope = self.recorder.activate_scope(None)
@@ -355,15 +439,15 @@ class ConcurrentReplayer:
             self.transactions.switch_context(None)
             if self.op_queue is not None:
                 self.op_queue.switch_context(None)
+            if self.refresh_queue is not None:
+                self.refresh_queue.switch_context(None)
             for worker in contexts:
                 self.transactions.drop_context(worker.context_key)
                 if self.op_queue is not None:
                     self.op_queue.drop_context(worker.context_key)
-
-        result = self._result
-        result.schedule = list(self.scheduler.decisions)
-        result.schedule_signature = self.scheduler.signature()
-        result.pages_by_worker = {w.worker_id: w.pages_completed
-                                  for w in contexts}
-        self._result = None
-        return result
+                if self.refresh_queue is not None:
+                    # Refreshes a worker scheduled but never drained are
+                    # still owed to the cache: fold them back into the
+                    # shared queue (deterministic: worker-id order) rather
+                    # than dropping background work with its thread.
+                    self.refresh_queue.merge_context(worker.context_key)

@@ -1,7 +1,22 @@
-"""Measurement aggregation: throughput, latency, percentiles, per-page stats."""
+"""Measurement aggregation: throughput, latency, percentiles, per-page stats.
+
+:class:`RunMetrics` has two storage modes with identical numbers:
+
+* **retained** (default) — every :class:`PageCompletion` is kept and the
+  derived metrics filter by the measurement window lazily.  The window may
+  be set (or changed) after recording.
+* **streaming** (``retain_completions=False``) — completions are folded
+  into running aggregates at record time and dropped, so a 10⁴-client
+  population retains O(measured pages) floats instead of objects.  The
+  window must be closed *during* recording, no later than the first
+  completion that falls outside it (``simulate_population`` closes it the
+  moment the first client finishes); moving ``window_end`` afterwards is
+  not supported in this mode.
+"""
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -39,9 +54,46 @@ class RunMetrics:
     #: (the paper averages over the interval during which all clients run).
     window_end: Optional[float] = None
     duration: float = 0.0
+    #: False = streaming mode: aggregate at record time, retain nothing.
+    retain_completions: bool = True
+    #: Contention counters of the replay whose demands this run simulated
+    #: (``cas_retry_rounds``, ``lease_contended``, ...); empty for replays
+    #: without a contention summary.
+    contention: Dict[str, int] = field(default_factory=dict)
+    #: Discrete events the engine processed to produce this run — the
+    #: denominator-independent work measure ``tools/bench_simulator.py``
+    #: turns into events/sec.
+    engine_events: int = 0
+    # Streaming aggregates (unused while retaining completions).
+    _count: int = field(default=0, init=False, repr=False, compare=False)
+    _latency_sum: float = field(default=0.0, init=False, repr=False,
+                                compare=False)
+    _latencies: array = field(default_factory=lambda: array("d"), init=False,
+                              repr=False, compare=False)
+    _page_latency_sums: Dict[str, float] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+    _page_counts: Dict[str, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
 
     def record(self, completion: PageCompletion) -> None:
-        self.completions.append(completion)
+        if self.retain_completions:
+            self.completions.append(completion)
+            return
+        # Streaming: aggregate exactly what the retained mode would later
+        # measure.  Completions recorded before the window closes are all
+        # inside it (simulation time is monotone); afterwards, only ties at
+        # the window edge still count.
+        if (self.window_end is not None
+                and completion.end_time > self.window_end):
+            return
+        latency = completion.latency
+        self._count += 1
+        self._latency_sum += latency
+        self._latencies.append(latency)
+        page = completion.page
+        self._page_latency_sums[page] = (
+            self._page_latency_sums.get(page, 0.0) + latency)
+        self._page_counts[page] = self._page_counts.get(page, 0) + 1
 
     # -- derived metrics -------------------------------------------------------
 
@@ -58,6 +110,8 @@ class RunMetrics:
 
     @property
     def completed_pages(self) -> int:
+        if not self.retain_completions:
+            return self._count
         return len(self._measured())
 
     @property
@@ -70,16 +124,23 @@ class RunMetrics:
 
     @property
     def mean_latency(self) -> float:
+        if not self.retain_completions:
+            return self._latency_sum / self._count if self._count else 0.0
         measured = self._measured()
         if not measured:
             return 0.0
         return sum(c.latency for c in measured) / len(measured)
 
     def latency_percentile(self, fraction: float) -> float:
+        if not self.retain_completions:
+            return percentile(list(self._latencies), fraction)
         return percentile([c.latency for c in self._measured()], fraction)
 
     def latency_by_page(self) -> Dict[str, float]:
         """Average latency per page type (Table 2 of the paper)."""
+        if not self.retain_completions:
+            return {page: self._page_latency_sums[page] / self._page_counts[page]
+                    for page in self._page_latency_sums}
         sums: Dict[str, float] = {}
         counts: Dict[str, int] = {}
         for completion in self._measured():
@@ -91,9 +152,12 @@ class RunMetrics:
         window = self.measured_window
         if window <= 0:
             return {}
-        counts: Dict[str, int] = {}
-        for completion in self._measured():
-            counts[completion.page] = counts.get(completion.page, 0) + 1
+        if not self.retain_completions:
+            counts: Dict[str, int] = self._page_counts
+        else:
+            counts = {}
+            for completion in self._measured():
+                counts[completion.page] = counts.get(completion.page, 0) + 1
         return {page: count / window for page, count in counts.items()}
 
     def summary(self) -> Dict[str, float]:

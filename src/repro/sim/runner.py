@@ -7,12 +7,22 @@ measurements replay query traces:
    for real against the system under test (ORM + CacheGenie + database +
    memcached).  The cache warms up, triggers fire, hit ratios evolve; the
    database's event recorder measures each page load, and the cost model
-   converts the events into per-resource service demands.
+   converts the events into per-resource service demands.  There is exactly
+   one replay pipeline: the concurrent engine
+   (:class:`~repro.sim.concurrent.ConcurrentReplayer`).
+   :class:`WorkloadReplayer` below is its serial facade — ``workers=1``,
+   bit-for-bit the historical serial replay.
 
 2. **Closed-loop simulation** — the measured per-page demands are replayed
    through a discrete-event model of the testbed (N clients contending for
    the database CPU and disk, with cache/network as a delay), yielding the
-   throughput and latency numbers the paper's figures report.
+   throughput and latency numbers the paper's figures report.  When the
+   replay came from the concurrent engine, the simulation consumes its
+   schedule: clients are dispatched in the order the real interleaving
+   first completed their pages, and the replay's contention counters
+   (``cas_retry_rounds``, ``lease_contended``, ...) ride along on the
+   metrics — the cost of every retry round and lease wait is already baked
+   into the measured demands.
 """
 
 from __future__ import annotations
@@ -23,11 +33,15 @@ from typing import Dict, List, Optional
 from ..apps.social.pages import SocialApplication
 from ..storage.costmodel import CostCounters, Demand
 from ..storage.database import Database
-from ..workload.trace import PageLoad, WorkloadTrace
-from .client import PageDemand, SimulatedClient
+from ..workload.trace import WorkloadTrace
+from .client import SimulatedClient
 from .events import EventEngine
 from .metrics import RunMetrics
 from .resources import DelayResource, QueueingResource
+
+#: Populations at or above this many simulated clients stream their metrics
+#: (no retained per-completion objects) unless the caller says otherwise.
+STREAM_CLIENT_THRESHOLD = 1000
 
 
 @dataclass
@@ -69,6 +83,9 @@ class ReplayResult:
         default_factory=dict, init=False, repr=False, compare=False)
     _client_index_size: int = field(
         default=-1, init=False, repr=False, compare=False)
+    #: How many times the index was (re)built — a sweep that calls
+    #: ``simulate_population`` once per client count must build it once.
+    index_builds: int = field(default=0, init=False, repr=False, compare=False)
 
     def _indexed_by_client(self) -> Dict[int, List[ReplayedPage]]:
         if self._client_index_size != len(self.pages):
@@ -77,6 +94,7 @@ class ReplayResult:
                 index.setdefault(page.client_id, []).append(page)
             self._client_index = index
             self._client_index_size = len(self.pages)
+            self.index_builds += 1
         return self._client_index
 
     def pages_for_client(self, client_id: int) -> List[ReplayedPage]:
@@ -104,9 +122,17 @@ class ReplayResult:
 
 
 class WorkloadReplayer:
-    """Executes workload traces against the application, measuring demands.
+    """Serial replay facade: the concurrent engine pinned to ``workers=1``.
 
-    When ``clock`` and ``page_interval_seconds`` are supplied, the replayer
+    This class owns no replay loop.  It delegates to
+    :class:`~repro.sim.concurrent.ConcurrentReplayer`, whose single-worker
+    inline path executes the canonical
+    :func:`~repro.sim.interleave.interleave_trace` order on the calling
+    thread with no checkpoint seams — bit-for-bit the historical serial
+    replay — while still producing the engine's result shape (decision log,
+    schedule signature, per-worker store).
+
+    When ``clock`` and ``page_interval_seconds`` are supplied, the engine
     advances the shared virtual clock between page loads, so time-based
     consistency mechanisms (TTL expiry, lease windows, async-refresh
     freshness deadlines) actually elapse during a replay.  The default is no
@@ -115,96 +141,93 @@ class WorkloadReplayer:
 
     def __init__(self, app: SocialApplication, database: Database,
                  clock: Optional[object] = None,
-                 page_interval_seconds: float = 0.0) -> None:
+                 page_interval_seconds: float = 0.0,
+                 genie: Optional[object] = None) -> None:
         self.app = app
         self.database = database
         self.clock = clock
         self.page_interval_seconds = page_interval_seconds
+        self.genie = genie
 
     def replay(self, trace: WorkloadTrace, record: bool = True) -> ReplayResult:
-        """Replay ``trace`` page by page, interleaving clients round-robin.
+        """Replay ``trace`` serially (one worker) through the engine.
 
         ``record=False`` runs the pages without keeping per-page results
         (used for warm-up, like the paper's 40-client warm-up phase).
         """
-        result = ReplayResult()
-        advance = (self.clock is not None and self.page_interval_seconds > 0)
-        for page_load in self._interleave(trace):
-            if advance:
-                self.clock.advance(self.page_interval_seconds)
-            with self.database.measure() as counters:
-                self.app.render(page_load.page, page_load.user_id)
-            if not record:
-                continue
-            demand = self.database.demand_of(counters)
-            result.pages.append(ReplayedPage(
-                client_id=page_load.client_id,
-                page=page_load.page,
-                user_id=page_load.user_id,
-                demand=demand,
-                counters=counters,
-            ))
-            result.total_counters.add(counters)
-        return result
-
-    @staticmethod
-    def _interleave(trace: WorkloadTrace) -> List[PageLoad]:
-        """Round-robin page loads across clients to approximate concurrency."""
-        per_client: Dict[int, List[PageLoad]] = {}
-        for page_load in trace.page_loads():
-            per_client.setdefault(page_load.client_id, []).append(page_load)
-        ordered: List[PageLoad] = []
-        client_order = sorted(per_client)  # sorted once, not once per round
-        cursors = {client: 0 for client in per_client}
-        remaining = sum(len(v) for v in per_client.values())
-        while remaining:
-            for client_id in client_order:
-                cursor = cursors[client_id]
-                loads = per_client[client_id]
-                if cursor < len(loads):
-                    ordered.append(loads[cursor])
-                    cursors[client_id] = cursor + 1
-                    remaining -= 1
-        return ordered
+        # Imported here, not at module scope: concurrent.py imports the
+        # result types from this module.
+        from .concurrent import ConcurrentReplayer
+        engine = ConcurrentReplayer(
+            self.app, self.database, genie=self.genie, workers=1,
+            clock=self.clock,
+            page_interval_seconds=self.page_interval_seconds)
+        return engine.replay(trace, record=record)
 
 
 def simulate_population(
     replay: ReplayResult,
     clients: Optional[int] = None,
     options: Optional[SimulationOptions] = None,
+    retain_completions: Optional[bool] = None,
 ) -> RunMetrics:
     """Simulate ``clients`` closed-loop clients replaying their measured pages.
 
-    When ``clients`` is smaller than the number of clients in the replay, only
-    the first ``clients`` demand streams are simulated (the paper likewise
-    varies the number of parallel clients over the same workload).
+    When ``clients`` is smaller than the number of clients in the replay,
+    only the first ``clients`` demand streams are simulated (the paper
+    likewise varies the number of parallel clients over the same workload).
+    "First" follows the replay's real schedule when there is one — a
+    concurrent replay contributes the clients its interleaving dispatched
+    first (``client_dispatch_order``); a plain result falls back to sorted
+    client ids.
+
+    ``retain_completions=False`` streams the metrics: per-completion objects
+    are aggregated on the fly and dropped, so a 10⁴-client population holds
+    O(pages-measured) floats instead of a global completion list.  The
+    default keeps completions for small populations and streams at
+    ``STREAM_CLIENT_THRESHOLD`` and above; either mode computes identical
+    numbers.
     """
     options = options or SimulationOptions()
-    client_ids = replay.client_ids()
+    order_fn = getattr(replay, "client_dispatch_order", None)
+    client_ids = order_fn() if callable(order_fn) else replay.client_ids()
     if clients is not None:
         client_ids = client_ids[:clients]
+    contention: Dict[str, int] = {}
+    summary_fn = getattr(replay, "contention_summary", None)
+    if callable(summary_fn):
+        contention = dict(summary_fn())
     if not client_ids:
-        return RunMetrics()
+        return RunMetrics(contention=contention)
+    if retain_completions is None:
+        retain_completions = len(client_ids) < STREAM_CLIENT_THRESHOLD
 
     engine = EventEngine()
     db_cpu = QueueingResource(engine, "db_cpu", servers=options.db_cpu_servers)
     db_disk = QueueingResource(engine, "db_disk", servers=options.db_disk_servers)
     cache_net = DelayResource(engine, "cache_net")
-    metrics = RunMetrics()
-
-    finish_times: List[float] = []
+    metrics = RunMetrics(retain_completions=retain_completions,
+                         contention=contention)
 
     def on_finished(client: SimulatedClient) -> None:
-        finish_times.append(client.finish_time or engine.now)
+        # The measurement window ends when the first client runs out of
+        # work; setting it the moment that happens (finishes arrive in
+        # nondecreasing time order) lets streaming mode aggregate exactly
+        # the completions the retained mode would have kept.
+        finish = (client.finish_time if client.finish_time is not None
+                  else engine.now) / 1000.0
+        if metrics.window_end is None or finish < metrics.window_end:
+            metrics.window_end = finish
 
+    by_client = replay._indexed_by_client()
     simulated: List[SimulatedClient] = []
     for client_id in client_ids:
-        pages = [PageDemand(page=p.page, user_id=p.user_id, demand=p.demand)
-                 for p in replay.pages_for_client(client_id)]
         client = SimulatedClient(
             client_id=client_id, engine=engine,
             db_cpu=db_cpu, db_disk=db_disk, cache_net=cache_net,
-            pages=pages, metrics=metrics,
+            # The index's own list: read-only here, and not copying it is
+            # what keeps a huge population from duplicating every page.
+            pages=by_client.get(client_id, []), metrics=metrics,
             think_time_ms=options.think_time_ms,
             on_finished=on_finished,
         )
@@ -215,9 +238,7 @@ def simulate_population(
     end_time = engine.run()
 
     metrics.duration = end_time / 1000.0
-    if finish_times:
-        # Measure only the interval during which every client was still running.
-        metrics.window_end = min(finish_times) / 1000.0
+    metrics.engine_events = engine.processed_events
     return metrics
 
 

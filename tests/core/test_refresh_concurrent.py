@@ -81,6 +81,79 @@ class TestOneRecomputePerContendedWindow:
             genie.deactivate()
 
 
+class _StubObject:
+    """Just enough of a CacheClass for RefreshQueue bookkeeping tests."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+def make_queue():
+    from repro.core.refresh import RefreshQueue
+    return RefreshQueue(clock=lambda: 0.0)
+
+
+class TestWorkerContexts:
+    def test_switch_context_isolates_pending_refreshes(self):
+        queue = make_queue()
+        queue.schedule(_StubObject("a"), "k:shared", {})
+        assert queue.context_key is None
+        queue.switch_context(("worker", 0))
+        assert queue.context_key == ("worker", 0)
+        assert queue.pending_keys() == []       # fresh per-worker backlog
+        queue.schedule(_StubObject("b"), "k:worker0", {})
+        queue.switch_context(None)
+        assert queue.pending_keys() == ["k:shared"]
+        queue.switch_context(("worker", 0))     # parked state comes back
+        assert queue.pending_keys() == ["k:worker0"]
+
+    def test_merge_context_folds_back_and_coalesces(self):
+        queue = make_queue()
+        queue.schedule(_StubObject("a"), "k:shared", {})
+        queue.switch_context(("worker", 1))
+        queue.schedule(_StubObject("b"), "k:shared", {})   # duplicate
+        queue.schedule(_StubObject("b"), "k:worker1", {})
+        queue.switch_context(None)
+        coalesced_before = queue.coalesced
+        assert queue.merge_context(("worker", 1)) == 1     # one adopted
+        assert queue.coalesced == coalesced_before + 1     # one coalesced
+        assert queue.pending_keys() == ["k:shared", "k:worker1"]
+        # The context is gone: merging again adopts nothing.
+        assert queue.merge_context(("worker", 1)) == 0
+
+    def test_drop_context_discards_parked_refreshes(self):
+        queue = make_queue()
+        queue.switch_context(("worker", 2))
+        queue.schedule(_StubObject("b"), "k:doomed", {})
+        queue.switch_context(None)
+        assert queue.drop_context(("worker", 2)) == 1
+        queue.switch_context(("worker", 2))
+        assert queue.pending_keys() == []
+
+    def test_discard_clears_parked_contexts_too(self):
+        queue = make_queue()
+        queue.schedule(_StubObject("a"), "k:live", {})
+        queue.switch_context(("worker", 0))
+        queue.schedule(_StubObject("b"), "k:parked", {})
+        queue.switch_context(None)
+        assert queue.discard() == 2
+        queue.switch_context(("worker", 0))
+        assert queue.pending_keys() == []
+
+    def test_discard_for_sweeps_parked_contexts(self):
+        queue = make_queue()
+        doomed, kept = _StubObject("doomed"), _StubObject("kept")
+        queue.schedule(doomed, "k:live-doomed", {})
+        queue.switch_context(("worker", 0))
+        queue.schedule(doomed, "k:parked-doomed", {})
+        queue.schedule(kept, "k:parked-kept", {})
+        queue.switch_context(None)
+        assert queue.discard_for(doomed) == 2
+        assert queue.pending_keys() == []
+        queue.switch_context(("worker", 0))
+        assert queue.pending_keys() == ["k:parked-kept"]
+
+
 class TestDeterministicDrainOrder:
     def _replay_completed_log(self, seed: int):
         workload = HOT_KEY_WORKLOAD.with_overrides(

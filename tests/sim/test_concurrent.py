@@ -6,15 +6,20 @@ import contextlib
 
 import pytest
 
+import hashlib
+
 from repro.apps.social import SeedScale
-from repro.bench.experiments import (HOT_KEY_WORKLOAD, STRATEGY_PAGE_INTERVAL,
+from repro.bench.experiments import (HOT_KEY_WORKLOAD,
+                                     STRATEGY_ABLATION_SCENARIOS,
+                                     STRATEGY_PAGE_INTERVAL,
                                      _ablation_strategy)
 from repro.bench.scenarios import (LEASED_SCENARIO, NO_CACHE, Scenario,
                                    ScenarioConfig, UPDATE_SCENARIO)
 from repro.errors import SimulationError
 from repro.sim import (ADVERSARIAL, ConcurrentReplayResult, ConcurrentReplayer,
-                       RANDOM, ReplayResult, WorkloadReplayer,
-                       simulate_population)
+                       KEY_OVERLAP, RANDOM, ReplayResult, WorkloadReplayer,
+                       interleave_trace, simulate_population)
+from repro.storage.costmodel import CostCounters
 from repro.workload import WorkloadGenerator
 
 #: The quick contention workload: short hot-key trace, heavy write share.
@@ -92,6 +97,77 @@ class TestSerialEquivalence:
                 page_interval_seconds=config.page_interval_seconds)
             follow_up = serial.replay(make_trace(config))
             assert follow_up.pages
+
+
+def reference_serial_replay(scenario: Scenario, config: ScenarioConfig):
+    """The historical serial loop, written out longhand: render each page of
+    the canonical interleave order under its own recorder scope."""
+    trace = make_trace(config)
+    recorder = scenario.database.recorder
+    fingerprints, total = [], CostCounters()
+    previous = recorder.activate_scope(None)
+    try:
+        for page_load in interleave_trace(trace):
+            if config.page_interval_seconds > 0:
+                scenario.clock.advance(config.page_interval_seconds)
+            counters = CostCounters()
+            recorder.activate_scope(counters)
+            scenario.app.render(page_load.page, page_load.user_id)
+            fingerprints.append((page_load.client_id, page_load.page,
+                                 page_load.user_id, counters.as_dict()))
+            total.add(counters)
+    finally:
+        recorder.activate_scope(previous)
+    return fingerprints, total
+
+
+class TestFacadeIsTheReferenceSerialReplay:
+    """The workers=1 facade must be bit-for-bit the historical serial loop —
+    for every one of the five ConsistencyStrategies."""
+
+    @pytest.mark.parametrize("name", STRATEGY_ABLATION_SCENARIOS)
+    def test_workers1_matches_reference_loop(self, name):
+        with contention_scenario(name) as (scenario, config):
+            facade = WorkloadReplayer(
+                scenario.app, scenario.database, genie=scenario.genie,
+                clock=scenario.clock,
+                page_interval_seconds=config.page_interval_seconds)
+            result = facade.replay(make_trace(config))
+        with contention_scenario(name) as (scenario, config):
+            reference, reference_total = reference_serial_replay(scenario,
+                                                                 config)
+        assert page_fingerprint(result) == reference
+        assert result.total_counters.as_dict() == reference_total.as_dict()
+
+    def test_workers1_schedule_is_the_degenerate_log(self):
+        with contention_scenario() as (scenario, config):
+            facade = WorkloadReplayer(
+                scenario.app, scenario.database, genie=scenario.genie,
+                clock=scenario.clock,
+                page_interval_seconds=config.page_interval_seconds)
+            result = facade.replay(make_trace(config))
+        assert result.schedule == [0] * len(result.pages)
+        payload = ",".join("0" for _ in result.pages).encode("ascii")
+        assert (result.schedule_signature
+                == hashlib.sha256(payload).hexdigest()[:16])
+        assert result.pages_by_worker == {0: len(result.pages)}
+        assert result.page_stores[0] == result.pages
+
+
+class TestKeyOverlapIntegration:
+    def test_key_overlap_contends_on_leased_invalidation(self):
+        with contention_scenario(LEASED_SCENARIO) as (scenario, config):
+            result = concurrent_replay(scenario, config, workers=2,
+                                       policy=KEY_OVERLAP)
+        assert result.contention_summary()["lease_contended"] > 0
+
+    def test_key_overlap_still_parks_cas_holders(self):
+        with contention_scenario(UPDATE_SCENARIO) as (scenario, config):
+            result = concurrent_replay(scenario, config, workers=2,
+                                       policy=KEY_OVERLAP)
+        summary = result.contention_summary()
+        assert summary["cas_multi_mismatch"] > 0
+        assert summary["cas_retry_rounds"] > 0
 
 
 class TestDeterminism:

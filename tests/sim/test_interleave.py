@@ -3,8 +3,8 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import (ADVERSARIAL, ALL_POLICIES, InterleaveScheduler, RANDOM,
-                       ROUND_ROBIN, WorkerStatus)
+from repro.sim import (ADVERSARIAL, ALL_POLICIES, InterleaveScheduler,
+                       KEY_OVERLAP, RANDOM, ROUND_ROBIN, WorkerStatus)
 
 
 def statuses(*labels):
@@ -85,6 +85,44 @@ class TestAdversarial:
     def test_write_intent_flag(self):
         assert WorkerStatus(0, label="cache:gets_multi").holds_write_intent
         assert not WorkerStatus(0, label="cache:get_multi").holds_write_intent
+
+
+class TestKeyOverlap:
+    def overlapping(self, *key_sets, labels=None):
+        labels = labels or ["page:end"] * len(key_sets)
+        return [WorkerStatus(worker_id=i, label=label,
+                             pending_keys=frozenset(keys))
+                for i, (keys, label) in enumerate(zip(key_sets, labels))]
+
+    def test_overlaps_predicate(self):
+        a, b, c = self.overlapping({"wall:1"}, {"wall:1", "cnt:2"}, set())
+        run = [a, b, c]
+        assert a.overlaps(run)
+        assert b.overlaps(run)
+        assert not c.overlaps(run)          # nothing pending
+        assert not a.overlaps([a])          # never overlaps itself
+
+    def test_parks_workers_with_intersecting_flush_keys(self):
+        scheduler = InterleaveScheduler(KEY_OVERLAP)
+        # Workers 0 and 1 both hold pending ops on wall:1; worker 2's
+        # transaction targets a disjoint key and worker 3 has none.
+        run = self.overlapping({"wall:1"}, {"wall:1"}, {"cnt:9"}, set())
+        picks = [scheduler.choose(run) for _ in range(6)]
+        assert set(picks) == {2, 3}
+
+    def test_parks_cas_token_holders_too(self):
+        scheduler = InterleaveScheduler(KEY_OVERLAP)
+        run = self.overlapping(set(), set(), labels=["cache:gets_multi",
+                                                     "page:end"])
+        picks = [scheduler.choose(run) for _ in range(4)]
+        assert 0 not in picks
+
+    def test_releases_when_everyone_is_parked(self):
+        scheduler = InterleaveScheduler(KEY_OVERLAP)
+        run = self.overlapping({"wall:1"}, {"wall:1"})
+        picks = {scheduler.choose(run) for _ in range(4)}
+        # Both parked: the fallback rotation still releases them in order.
+        assert picks == {0, 1}
 
 
 class TestSignature:

@@ -2,9 +2,27 @@
 
 import pytest
 
-from repro.sim import (SimulationOptions, WorkloadReplayer, exact_mva,
+from repro.sim import (STREAM_CLIENT_THRESHOLD, SimulationOptions,
+                       WorkloadReplayer, exact_mva,
                        aggregate_resource_demands, simulate_population)
+from repro.sim.runner import ReplayResult, ReplayedPage
+from repro.storage.costmodel import CostCounters, Demand
 from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+def synthetic_replay(clients: int, pages_per_client: int = 2) -> ReplayResult:
+    """A hand-built replay: heterogeneous demands, no functional execution."""
+    result = ReplayResult()
+    for client_id in range(clients):
+        for index in range(pages_per_client):
+            result.pages.append(ReplayedPage(
+                client_id=client_id,
+                page="LookupBM" if index % 2 else "CreateBM",
+                user_id=client_id + 1,
+                demand=Demand(db_cpu_ms=1.0 + (client_id % 7) * 0.25,
+                              db_disk_ms=0.5, cache_net_ms=0.25),
+                counters=CostCounters()))
+    return result
 
 
 @pytest.fixture
@@ -107,3 +125,58 @@ class TestSimulation:
         # The replayed pages are heterogeneous while MVA assumes homogeneous
         # demands, so agreement within ~40% is the expected envelope.
         assert metrics.throughput == pytest.approx(mva.throughput_per_s, rel=0.4)
+
+
+class TestClientIndexReuse:
+    def test_sweep_builds_the_index_once(self, replayed):
+        """A client sweep simulates the same replay many times; the lazy
+        per-client index must be built exactly once, not once per cell."""
+        replay, _ = replayed
+        for count in (1, 2, 3, 4, 4, 1):
+            simulate_population(replay, clients=count)
+        assert replay.index_builds == 1
+
+    def test_index_rebuilds_only_when_pages_change(self):
+        replay = synthetic_replay(clients=3)
+        simulate_population(replay)
+        simulate_population(replay)
+        assert replay.index_builds == 1
+        replay.pages.append(replay.pages[0])
+        simulate_population(replay)
+        assert replay.index_builds == 2
+
+
+class TestStreamingMetrics:
+    def test_streaming_equals_retained_numbers(self):
+        """Both metric modes accumulate in the same order, so every derived
+        number is identical — not approximately, exactly."""
+        replay = synthetic_replay(clients=40)
+        retained = simulate_population(replay, retain_completions=True)
+        streamed = simulate_population(replay, retain_completions=False)
+        assert retained.retain_completions and not streamed.retain_completions
+        assert streamed.summary() == retained.summary()
+        assert streamed.latency_by_page() == retained.latency_by_page()
+        assert (streamed.throughput_by_page()
+                == retained.throughput_by_page())
+        for fraction in (0.5, 0.9, 0.99):
+            assert (streamed.latency_percentile(fraction)
+                    == retained.latency_percentile(fraction))
+
+    def test_streaming_engages_at_the_client_threshold(self):
+        below = simulate_population(synthetic_replay(clients=4))
+        at = simulate_population(
+            synthetic_replay(STREAM_CLIENT_THRESHOLD, pages_per_client=1))
+        assert below.retain_completions is True
+        assert at.retain_completions is False
+
+    def test_large_population_retains_no_completion_objects(self):
+        """10⁴ clients: the memory guard — the metrics hold no per-page
+        completion objects, only the streamed aggregates."""
+        replay = synthetic_replay(clients=10_000, pages_per_client=2)
+        metrics = simulate_population(
+            replay, options=SimulationOptions(think_time_ms=0.0))
+        assert metrics.retain_completions is False
+        assert metrics.completions == []
+        assert metrics.completed_pages > 0
+        assert metrics.throughput > 0
+        assert metrics.mean_latency > 0

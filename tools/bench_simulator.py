@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Benchmark the unified replay pipeline and the closed-loop simulator.
+
+Seeds the performance trajectory (ROADMAP item 3): for a fixed hot-key
+scenario this measures
+
+* **replayed pages/sec** — functional replay through ``ConcurrentReplayer``
+  at ``workers=1`` (the serial facade path) and at ``workers=2`` under the
+  adversarial interleave policy, and
+* **simulated events/sec** — discrete events the ``EventEngine`` processes
+  while ``simulate_population`` runs, both on the replay's own clients and
+  on a large synthetic streaming population.
+
+Results land in ``BENCH_simulator.json`` (or ``--output``).  Numbers are
+wall-clock and therefore machine-dependent; the committed file records the
+shape of the trajectory, CI only checks the tool keeps running end-to-end
+(``--quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.social import SeedScale  # noqa: E402
+from repro.bench.experiments import (HOT_KEY_WORKLOAD,  # noqa: E402
+                                     STRATEGY_PAGE_INTERVAL,
+                                     _ablation_strategy)
+from repro.bench.scenarios import (Scenario, ScenarioConfig,  # noqa: E402
+                                   UPDATE_SCENARIO)
+from repro.sim import (ADVERSARIAL, ROUND_ROBIN,  # noqa: E402
+                       ConcurrentReplayer, simulate_population)
+from repro.sim.runner import (ReplayResult, ReplayedPage,  # noqa: E402
+                              SimulationOptions)
+from repro.storage.costmodel import CostCounters, Demand  # noqa: E402
+from repro.workload import WorkloadGenerator  # noqa: E402
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+
+def bench_replay(workers: int, policy: str, workload, seed_scale: SeedScale):
+    """Replay the fixed scenario once; return pages/sec plus contention."""
+    config = ScenarioConfig(
+        name=UPDATE_SCENARIO, strategy=_ablation_strategy(UPDATE_SCENARIO),
+        seed_scale=seed_scale, page_interval_seconds=STRATEGY_PAGE_INTERVAL)
+    scenario = Scenario(config).setup()
+    try:
+        user_ids = list(range(1, config.seed_scale.users + 1))
+        trace = WorkloadGenerator(workload, user_ids).generate()
+        replayer = ConcurrentReplayer(
+            scenario.app, scenario.database, genie=scenario.genie,
+            workers=workers, policy=policy, seed=0, clock=scenario.clock,
+            page_interval_seconds=config.page_interval_seconds)
+        started = time.perf_counter()
+        result = replayer.replay(trace)
+        elapsed = time.perf_counter() - started
+    finally:
+        scenario.teardown()
+    return result, {
+        "pages": len(result.pages),
+        "seconds": round(elapsed, 4),
+        "pages_per_s": round(len(result.pages) / elapsed, 1),
+        "contention": dict(result.contention_summary()),
+        "schedule": result.schedule_signature,
+    }
+
+
+def bench_simulate(replay, label: str, **kwargs):
+    """Run the closed-loop simulation once; return events/sec."""
+    started = time.perf_counter()
+    metrics = simulate_population(replay, **kwargs)
+    elapsed = time.perf_counter() - started
+    return {
+        "label": label,
+        "events": metrics.engine_events,
+        "seconds": round(elapsed, 4),
+        "events_per_s": round(metrics.engine_events / elapsed, 1),
+        "completed_pages": metrics.completed_pages,
+        "streaming": not metrics.retain_completions,
+    }
+
+
+def synthetic_population(clients: int, pages_per_client: int = 2) -> ReplayResult:
+    """A large hand-built replay for the streaming-aggregation benchmark."""
+    result = ReplayResult()
+    for client_id in range(clients):
+        for index in range(pages_per_client):
+            result.pages.append(ReplayedPage(
+                client_id=client_id,
+                page="LookupBM" if index % 2 else "CreateBM",
+                user_id=client_id + 1,
+                demand=Demand(db_cpu_ms=1.0 + (client_id % 7) * 0.25,
+                              db_disk_ms=0.5, cache_net_ms=0.25),
+                counters=CostCounters()))
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small trace + population (the CI smoke mode)")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+                        help=f"result file (default: {DEFAULT_OUTPUT.name})")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        workload = HOT_KEY_WORKLOAD.with_overrides(
+            clients=6, sessions_per_client=2, page_loads_per_session=4)
+        population = 1_000
+    else:
+        workload = HOT_KEY_WORKLOAD.with_overrides(
+            clients=12, sessions_per_client=4, page_loads_per_session=8)
+        population = 10_000
+
+    cells = {}
+    serial_replay, cells["replay_workers1"] = bench_replay(
+        workers=1, policy=ROUND_ROBIN, workload=workload,
+        seed_scale=SeedScale.tiny())
+    _, cells["replay_workers2_adversarial"] = bench_replay(
+        workers=2, policy=ADVERSARIAL, workload=workload,
+        seed_scale=SeedScale.tiny())
+    cells["simulate_replay_clients"] = bench_simulate(
+        serial_replay, "closed loop over the replay's own clients",
+        clients=workload.clients)
+    cells["simulate_streaming_population"] = bench_simulate(
+        synthetic_population(population),
+        f"streaming aggregation over {population} synthetic clients",
+        options=SimulationOptions(think_time_ms=0.0))
+
+    payload = {
+        "schema": 1,
+        "mode": "quick" if args.quick else "full",
+        "generated_unix": int(time.time()),
+        "workload": {"clients": workload.clients,
+                     "sessions_per_client": workload.sessions_per_client,
+                     "page_loads_per_session": workload.page_loads_per_session},
+        "cells": cells,
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    for name, cell in cells.items():
+        rate = cell.get("pages_per_s") or cell.get("events_per_s")
+        unit = "pages/s" if "pages_per_s" in cell else "events/s"
+        print(f"{name:34s} {rate:>12,.1f} {unit}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
