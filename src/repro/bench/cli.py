@@ -16,6 +16,7 @@ code::
     python -m repro.bench exp-cas-batch --cas-batch both
     python -m repro.bench exp-strategies [--quick]
     python -m repro.bench exp-contention [--quick] [--check]
+    python -m repro.bench exp-cluster [--quick] [--check]
 
 Each command prints the same rendered rows/series the corresponding
 ``benchmarks/`` target saves under ``benchmarks/_results/``.
@@ -124,6 +125,26 @@ def _cmd_exp_contention(args: argparse.Namespace) -> str:
             raise SystemExit(rendered + "\n\nCONTENTION CHECK FAILED:\n  "
                              + "\n  ".join(problems))
         rendered += "\nContention check passed: all contention counters fire at >= 2 workers."
+    return rendered
+
+
+def _cmd_exp_cluster(args: argparse.Namespace) -> str:
+    # None falls through to the experiment's defaults (which --quick
+    # shrinks); explicit selections are honored even in quick mode.
+    result = experiments.experiment_cluster(
+        scenarios=args.strategies,
+        fault_cases=args.fault_cases,
+        quick=args.quick,
+    )
+    rendered = reporting.render_experiment_cluster(result)
+    if args.check:
+        problems = result.check_cluster()
+        if problems:
+            raise SystemExit(rendered + "\n\nCLUSTER CHECK FAILED:\n  "
+                             + "\n  ".join(problems))
+        rendered += ("\nCluster check passed: gutter hits fired, every kill "
+                     "dipped the degraded segment, and the run is "
+                     "deterministic under the fixed seed.")
     return rendered
 
 
@@ -269,6 +290,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero unless every contention counter fires at >= 2 "
              "workers (guards against the subsystem regressing to serial)")
     exp_contention.set_defaults(func=_cmd_exp_contention)
+
+    exp_cluster = sub.add_parser(
+        "exp-cluster",
+        help="Cluster-dynamics ablation: mid-replay node kill/revive/join on "
+             "the simulated clock, with and without the gutter-pool "
+             "fallback — hit-ratio/throughput trajectory per strategy")
+    exp_cluster.add_argument(
+        "--strategies", nargs="+", default=None,
+        choices=list(experiments.CLUSTER_SCENARIOS),
+        help="subset of strategy scenarios to sweep (default: both)")
+    exp_cluster.add_argument(
+        "--fault-cases", nargs="+", default=None,
+        choices=list(experiments.CLUSTER_FAULT_CASES),
+        help="subset of fault cases to run (default: scale-out node-kill "
+             "node-kill-nogutter; --quick keeps the two kill cases)")
+    exp_cluster.add_argument(
+        "--quick", action="store_true",
+        help="tiny seed, short trace, kill cases only — the CI smoke "
+             "configuration")
+    exp_cluster.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero unless the gutter pool absorbed hits, every "
+             "node-kill produced a degraded-segment dip, and two seeded "
+             "runs agree bit for bit")
+    exp_cluster.set_defaults(func=_cmd_exp_cluster)
     return parser
 
 

@@ -23,6 +23,7 @@ from ..sim import (ADVERSARIAL, ALL_POLICIES, ConcurrentReplayer, RANDOM,
                    VirtualClock, WorkloadReplayer, simulate_population)
 from ..storage import (ColumnDef, CostModel, Database, IndexDef, Recorder,
                        TableSchema)
+from ..storage.costmodel import CostCounters
 from ..workload import WorkloadConfig, WorkloadGenerator
 from .scenarios import (ALL_SCENARIOS, ASYNC_REFRESH_SCENARIO, EXPIRY_SCENARIO,
                         INVALIDATE_SCENARIO, LEASED_SCENARIO, NO_CACHE,
@@ -960,6 +961,348 @@ def experiment_contention(
         workers=list(workers),
         policies=list(policies),
         runs=runs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cluster-dynamics ablation (`exp-cluster`) — faults, membership, gutter pool
+# ---------------------------------------------------------------------------
+
+#: Strategies the cluster ablation sweeps: the CAS-propagating headline
+#: strategy (whose tokens die with a node) and leased invalidation (whose
+#: lease holders can die mid-claim).
+CLUSTER_SCENARIOS = (UPDATE_SCENARIO, LEASED_SCENARIO)
+
+#: Fault cases swept per strategy.
+CLUSTER_SCALE_OUT = "scale-out"            # a cold node joins mid-replay
+CLUSTER_NODE_KILL = "node-kill"            # one node dies, gutter pool on
+CLUSTER_NODE_KILL_NOGUTTER = "node-kill-nogutter"  # same death, no fallback
+CLUSTER_FAULT_CASES = (CLUSTER_SCALE_OUT, CLUSTER_NODE_KILL,
+                       CLUSTER_NODE_KILL_NOGUTTER)
+
+#: When faults land, as fractions of the measured replay's virtual duration.
+CLUSTER_KILL_AT = 0.30
+CLUSTER_REVIVE_AT = 0.65
+CLUSTER_JOIN_AT = 0.50
+
+#: The node the kill cases crash (scenarios build ``cache0``/``cache1``).
+CLUSTER_VICTIM = "cache1"
+
+#: Gutter entry TTL in virtual seconds — a handful of page loads at
+#: :data:`STRATEGY_PAGE_INTERVAL`, and the staleness bound of gutter serves.
+CLUSTER_GUTTER_TTL = 2.0
+
+
+@dataclass
+class ClusterSegment:
+    """One steady or degraded phase of a cluster run's trajectory."""
+
+    label: str                    # "pre-fault" | "degraded" | "recovered" ...
+    pages: int
+    hit_ratio: float              # client-side, within this segment only
+    throughput: float             # pages/s of this segment's slice
+    gutter_hits: int
+    gutter_misses: int
+    node_down_errors: int
+    stale_served: float           # per-object counter delta in the segment
+
+
+@dataclass
+class ClusterRun:
+    """One (strategy, fault case) cell of the cluster ablation."""
+
+    scenario: str
+    fault_case: str
+    gutter_enabled: bool
+    serves_stale: bool
+    schedule_signature: str
+    segments: List[ClusterSegment]
+    events: List[Dict[str, object]]   # controller log: action/node/at/details
+    counters: Dict[str, int]          # controller + gutter counters
+    hit_ratio: float                  # whole-run, client-side
+    throughput: float                 # whole-run closed-loop throughput
+    stale_served: float
+    orphaned_claims_dropped: int
+
+    def segment(self, label: str) -> Optional[ClusterSegment]:
+        for seg in self.segments:
+            if seg.label == label:
+                return seg
+        return None
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of the cluster-dynamics sweep."""
+
+    scenarios: List[str]
+    fault_cases: List[str]
+    runs: List[ClusterRun]
+    #: Fingerprints of the two determinism reruns (Update / node-kill):
+    #: (schedule signature, hits, misses, gutter hits) per run.
+    determinism: List[Dict[str, object]] = field(default_factory=list)
+
+    def run_for(self, scenario: str, fault_case: str) -> Optional[ClusterRun]:
+        for run in self.runs:
+            if run.scenario == scenario and run.fault_case == fault_case:
+                return run
+        return None
+
+    def check_cluster(self) -> List[str]:
+        """Assertions of the CI smoke job.  Returns failures (empty = pass)."""
+        problems: List[str] = []
+        gutter_hits = max((run.counters.get("gutter_hits", 0)
+                           for run in self.runs if run.gutter_enabled),
+                          default=0)
+        if gutter_hits <= 0:
+            problems.append(
+                "gutter_hits stayed 0 across every gutter-enabled run — "
+                "dead-node reads are not reaching the fallback pool")
+        for run in self.runs:
+            if run.fault_case == CLUSTER_SCALE_OUT:
+                continue
+            pre = run.segment("pre-fault")
+            degraded = run.segment("degraded")
+            if pre is None or degraded is None:
+                problems.append(
+                    f"{run.scenario}/{run.fault_case}: missing trajectory "
+                    f"segments")
+                continue
+            if degraded.hit_ratio >= pre.hit_ratio:
+                problems.append(
+                    f"{run.scenario}/{run.fault_case}: hit ratio did not dip "
+                    f"after the kill ({pre.hit_ratio:.3f} -> "
+                    f"{degraded.hit_ratio:.3f})")
+            if not run.serves_stale and run.stale_served > 0:
+                problems.append(
+                    f"{run.scenario}/{run.fault_case}: {run.stale_served:g} "
+                    f"stale serves under a strategy that promises none")
+        if len(self.determinism) == 2 and \
+                self.determinism[0] != self.determinism[1]:
+            problems.append(
+                f"fault replay is not deterministic under a fixed seed: "
+                f"{self.determinism[0]} != {self.determinism[1]}")
+        return problems
+
+
+def _cluster_snapshot(scenario: Scenario) -> Dict[str, float]:
+    """Cumulative client-side counters at one instant of the replay."""
+    assert scenario.genie is not None
+    out = {"hits": 0.0, "misses": 0.0, "gutter_hits": 0.0,
+           "gutter_misses": 0.0, "node_down_errors": 0.0}
+    for client in (scenario.genie.app_cache, scenario.genie.trigger_cache):
+        out["hits"] += client.stats.hits
+        out["misses"] += client.stats.misses
+        out["gutter_hits"] += client.stats.gutter_hits
+        out["gutter_misses"] += client.stats.gutter_misses
+        out["node_down_errors"] += client.stats.node_down_errors
+    out["stale_served"] = scenario.genie.stats.totals().as_dict().get(
+        "stale_served", 0.0)
+    return out
+
+
+def _run_cluster_cell(scenario_name: str, fault_case: str,
+                      workload: WorkloadConfig, seed_scale: SeedScale,
+                      warmup: Optional[WorkloadConfig]) -> ClusterRun:
+    """Replay one (strategy, fault case) cell with a live fault schedule."""
+    from ..cluster import (ClusterController, FaultEvent, FaultInjector,
+                           FaultSchedule, GutterPool)
+    strategy = _ablation_strategy(scenario_name)
+    config = ScenarioConfig(
+        name=scenario_name, strategy=strategy, seed_scale=seed_scale,
+        page_interval_seconds=STRATEGY_PAGE_INTERVAL)
+    scenario = Scenario(config).setup()
+    try:
+        assert scenario.genie is not None
+        user_ids = list(range(1, config.seed_scale.users + 1))
+        if warmup is not None:
+            serial = WorkloadReplayer(
+                scenario.app, scenario.database, clock=scenario.clock,
+                page_interval_seconds=config.page_interval_seconds)
+            serial.replay(WorkloadGenerator(warmup, user_ids).generate(),
+                          record=False)
+
+        gutter: Optional[GutterPool] = None
+        if fault_case != CLUSTER_NODE_KILL_NOGUTTER:
+            per_server = max(1, config.cache_size_bytes
+                             // config.cache_server_count)
+            gutter = GutterPool(
+                [CacheServer("gutter0", capacity_bytes=per_server,
+                             clock=scenario.clock)],
+                ttl_seconds=CLUSTER_GUTTER_TTL)
+        controller = ClusterController(
+            clients=[scenario.genie.app_cache, scenario.genie.trigger_cache],
+            servers=scenario.cache_servers,
+            clock=scenario.clock, gutter=gutter, genie=scenario.genie)
+
+        trace = WorkloadGenerator(workload, user_ids).generate()
+        pages = trace.total_page_loads
+        t0 = scenario.clock.now()
+        duration = pages * config.page_interval_seconds
+
+        # Segment boundaries land at fault times; page i completes once the
+        # clock has advanced (i+1) intervals past t0, so a boundary at
+        # fraction f covers the first floor(f * pages) pages.
+        if fault_case == CLUSTER_SCALE_OUT:
+            joiner = CacheServer(
+                f"cache{config.cache_server_count}",
+                capacity_bytes=max(1, config.cache_size_bytes
+                                   // config.cache_server_count),
+                clock=scenario.clock)
+            boundaries = [("pre-fault", CLUSTER_JOIN_AT)]
+            schedule = FaultSchedule([
+                FaultEvent(at=t0 + CLUSTER_JOIN_AT * duration,
+                           action="join", server=joiner)])
+            tail_label = "scaled-out"
+        else:
+            boundaries = [("pre-fault", CLUSTER_KILL_AT),
+                          ("degraded", CLUSTER_REVIVE_AT)]
+            schedule = FaultSchedule([
+                FaultEvent(at=t0 + CLUSTER_KILL_AT * duration,
+                           action="kill", node=CLUSTER_VICTIM),
+                FaultEvent(at=t0 + CLUSTER_REVIVE_AT * duration,
+                           action="revive", node=CLUSTER_VICTIM)])
+            tail_label = "recovered"
+        injector = FaultInjector(controller, schedule)
+
+        samples: List[Dict[str, float]] = []
+
+        def _probe() -> None:
+            samples.append(_cluster_snapshot(scenario))
+
+        start_snapshot = _cluster_snapshot(scenario)
+        for _label, fraction in boundaries:
+            injector.schedule_probe(t0 + fraction * duration, _probe)
+
+        replayer = ConcurrentReplayer(
+            scenario.app, scenario.database, genie=scenario.genie,
+            workers=1, clock=scenario.clock,
+            page_interval_seconds=config.page_interval_seconds,
+            fault_injector=injector)
+        replay = replayer.replay(trace)
+        samples.append(_cluster_snapshot(scenario))
+
+        metrics = simulate_population(replay, clients=workload.clients)
+
+        # Build the per-segment trajectory from consecutive snapshots.
+        cut_indices = [int(fraction * pages) for _, fraction in boundaries]
+        labels = [label for label, _ in boundaries] + [tail_label]
+        starts = [0] + cut_indices
+        ends = cut_indices + [pages]
+        segments: List[ClusterSegment] = []
+        previous = start_snapshot
+        for label, start, end, sample in zip(labels, starts, ends, samples):
+            slice_pages = replay.pages[start:end]
+            slice_counters = CostCounters()
+            for page in slice_pages:
+                slice_counters.add(page.counters)
+            slice_result = ReplayResult(pages=list(slice_pages),
+                                        total_counters=slice_counters)
+            slice_metrics = simulate_population(slice_result,
+                                                clients=workload.clients)
+            hits = sample["hits"] - previous["hits"]
+            misses = sample["misses"] - previous["misses"]
+            segments.append(ClusterSegment(
+                label=label,
+                pages=len(slice_pages),
+                hit_ratio=hits / (hits + misses) if hits + misses else 0.0,
+                throughput=slice_metrics.throughput,
+                gutter_hits=int(sample["gutter_hits"]
+                                - previous["gutter_hits"]),
+                gutter_misses=int(sample["gutter_misses"]
+                                  - previous["gutter_misses"]),
+                node_down_errors=int(sample["node_down_errors"]
+                                     - previous["node_down_errors"]),
+                stale_served=sample["stale_served"]
+                - previous["stale_served"],
+            ))
+            previous = sample
+
+        final = samples[-1]
+        run_hits = final["hits"] - start_snapshot["hits"]
+        run_misses = final["misses"] - start_snapshot["misses"]
+        return ClusterRun(
+            scenario=scenario_name,
+            fault_case=fault_case,
+            gutter_enabled=gutter is not None,
+            serves_stale=strategy.serves_stale if strategy else False,
+            schedule_signature=replay.schedule_signature,
+            segments=segments,
+            events=[{"at": round(e.at, 3), "action": e.action,
+                     "node": e.node, "details": dict(e.details)}
+                    for e in controller.events],
+            counters=controller.counters(),
+            hit_ratio=(run_hits / (run_hits + run_misses)
+                       if run_hits + run_misses else 0.0),
+            throughput=metrics.throughput,
+            stale_served=final["stale_served"] - start_snapshot["stale_served"],
+            orphaned_claims_dropped=controller.orphaned_claims_dropped,
+        )
+    finally:
+        scenario.teardown()
+
+
+def experiment_cluster(
+    scenarios: Optional[Sequence[str]] = None,
+    fault_cases: Optional[Sequence[str]] = None,
+    workload: Optional[WorkloadConfig] = None,
+    quick: bool = False,
+) -> ClusterResult:
+    """Sweep strategy x fault case with mid-replay cluster dynamics.
+
+    Every cell replays the identical trace with a declarative
+    :class:`~repro.cluster.FaultSchedule` firing on the virtual clock:
+    ``scale-out`` joins a cold node halfway through, the two kill cases
+    crash ``cache1`` 30% in and revive it (empty) at 65%, with and without
+    the gutter pool.  The report is a per-segment trajectory — hit ratio,
+    throughput, gutter traffic, stale serves — plus the fleet-level costs
+    (keys remapped, orphaned refresh claims dropped, post-revival
+    invalidations).  The Update/node-kill cell runs twice and both
+    fingerprints are kept: fault replays must be bit-deterministic for a
+    fixed seed.  ``quick=True`` shrinks the seed/trace and drops the
+    scale-out case for the CI smoke job.
+    """
+    base_workload = workload or HOT_KEY_WORKLOAD
+    seed_scale = DEFAULT_SEED_SCALE
+    warmup: Optional[WorkloadConfig] = DEFAULT_WARMUP
+    if quick:
+        seed_scale = SeedScale.tiny()
+        base_workload = base_workload.with_overrides(
+            clients=6, sessions_per_client=2, page_loads_per_session=4)
+        warmup = DEFAULT_WARMUP.with_overrides(
+            clients=4, page_loads_per_session=4)
+        default_cases: Sequence[str] = (CLUSTER_NODE_KILL,
+                                        CLUSTER_NODE_KILL_NOGUTTER)
+    else:
+        default_cases = CLUSTER_FAULT_CASES
+    scenarios = tuple(scenarios) if scenarios else CLUSTER_SCENARIOS
+    fault_cases = tuple(fault_cases) if fault_cases else tuple(default_cases)
+
+    runs: List[ClusterRun] = []
+    for scenario_name in scenarios:
+        for fault_case in fault_cases:
+            runs.append(_run_cluster_cell(
+                scenario_name, fault_case, base_workload, seed_scale, warmup))
+
+    # Determinism probe: the same cell replayed twice must fingerprint
+    # identically (schedule signature and every trajectory number).
+    determinism: List[Dict[str, object]] = []
+    for _ in range(2):
+        rerun = _run_cluster_cell(UPDATE_SCENARIO, CLUSTER_NODE_KILL,
+                                  base_workload, seed_scale, warmup)
+        determinism.append({
+            "schedule_signature": rerun.schedule_signature,
+            "hit_ratio": round(rerun.hit_ratio, 12),
+            "gutter_hits": rerun.counters.get("gutter_hits", 0),
+            "node_down_errors": [seg.node_down_errors
+                                 for seg in rerun.segments],
+        })
+
+    return ClusterResult(
+        scenarios=list(scenarios),
+        fault_cases=list(fault_cases),
+        runs=runs,
+        determinism=determinism,
     )
 
 

@@ -4,13 +4,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
-from .experiments import (BATCHED_CAS, CONTENTION_COUNTERS, EAGER_CAS,
-                          PIPELINED_CAS, BatchingResult, CasBatchingResult,
-                          ContentionResult, EffortResult, Experiment1Result,
-                          Experiment2Result, Experiment3Result,
-                          Experiment4Result, Experiment5Result,
-                          MicroLookupResult, MicroTriggerResult,
-                          StrategiesResult)
+from .experiments import (BATCHED_CAS, CLUSTER_SCALE_OUT, CONTENTION_COUNTERS,
+                          EAGER_CAS, PIPELINED_CAS, BatchingResult,
+                          CasBatchingResult, ClusterResult, ContentionResult,
+                          EffortResult, Experiment1Result, Experiment2Result,
+                          Experiment3Result, Experiment4Result,
+                          Experiment5Result, MicroLookupResult,
+                          MicroTriggerResult, StrategiesResult)
 from .scenarios import INVALIDATE_SCENARIO, LEASED_SCENARIO, UPDATE_SCENARIO
 
 #: Table 1 of the paper: qualitative comparison with representative systems.
@@ -337,6 +337,58 @@ def render_experiment_contention(result: ContentionResult) -> str:
         lines.append(
             "WARNING: no Update-strategy run contended — the replay is "
             "degenerating to serial behavior.")
+    return "\n".join(lines)
+
+
+def render_experiment_cluster(result: ClusterResult) -> str:
+    """Render the cluster-dynamics ablation: a trajectory row per segment."""
+    headers = ["Strategy", "Fault case", "Segment", "Pages", "Hit ratio",
+               "Tput (pages/s)", "Gutter h/m", "Node-down", "Stale served"]
+    rows = []
+    for run in result.runs:
+        for seg in run.segments:
+            rows.append([
+                run.scenario, run.fault_case, seg.label, seg.pages,
+                f"{seg.hit_ratio:.3f}", f"{seg.throughput:.1f}",
+                f"{seg.gutter_hits}/{seg.gutter_misses}",
+                seg.node_down_errors,
+                int(seg.stale_served),
+            ])
+    lines = [
+        "Cluster-dynamics ablation — faults fired mid-replay on the virtual "
+        "clock",
+        format_table(headers, rows),
+        "",
+        "Fleet-level costs per run:",
+    ]
+    for run in result.runs:
+        parts = []
+        counters = run.counters
+        if run.fault_case == CLUSTER_SCALE_OUT:
+            parts.append(f"{counters.get('keys_remapped', 0)} keys remapped "
+                         f"to the cold joiner")
+        else:
+            parts.append(
+                f"{counters.get('post_revival_invalidations', 0)} entries "
+                f"lost to the restart")
+            parts.append(f"{run.orphaned_claims_dropped} orphaned refresh "
+                         f"claims dropped")
+        if run.gutter_enabled:
+            parts.append(f"gutter {counters.get('gutter_hits', 0)} hits / "
+                         f"{counters.get('gutter_misses', 0)} misses / "
+                         f"{counters.get('gutter_deletes', 0)} forwarded "
+                         f"deletes")
+        else:
+            parts.append("no gutter pool")
+        lines.append(f"  {run.scenario}/{run.fault_case}: " + ", ".join(parts))
+    if len(result.determinism) == 2:
+        same = result.determinism[0] == result.determinism[1]
+        signature = result.determinism[0].get("schedule_signature", "-")
+        lines.append("")
+        lines.append(
+            f"Determinism: two Update/node-kill replays fingerprint "
+            f"{'identically' if same else 'DIFFERENTLY'} "
+            f"(schedule {signature}).")
     return "\n".join(lines)
 
 

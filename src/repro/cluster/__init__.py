@@ -1,0 +1,30 @@
+"""Cluster dynamics: node lifecycle, fault injection, and the gutter pool.
+
+The paper's evaluation runs a *static* memcached fleet; real deployments do
+not get that luxury — nodes join, drain, die, and come back cold.  This
+package makes the simulated fleet dynamic on the virtual clock:
+
+* :class:`ClusterController` owns the live hash ring shared by every cache
+  client and drives node lifecycle (``join`` / ``drain`` / ``kill`` /
+  ``revive``), tracking remapped key ranges and post-revival invalidation
+  cost.
+* :class:`FaultSchedule` / :class:`FaultInjector` turn a declarative list of
+  timed fault events into deterministic mid-replay membership changes.
+* :class:`GutterPool` is the small fallback server set clients route to when
+  a key's primary is dead (short-TTL, no CAS, no leases) — after the gutter
+  machines of Nishtala et al., *Scaling Memcache at Facebook*.
+"""
+
+from .controller import ClusterController, ClusterEvent
+from .faults import (FAULT_ACTIONS, FaultEvent, FaultInjector, FaultSchedule)
+from .gutter import GutterPool
+
+__all__ = [
+    "ClusterController",
+    "ClusterEvent",
+    "FAULT_ACTIONS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "GutterPool",
+]

@@ -71,6 +71,9 @@ class RefreshQueue:
         self.scheduled = 0
         self.coalesced = 0
         self.completed = 0
+        #: Refreshes dropped because their key's cache node died while the
+        #: claim was outstanding (see :meth:`drop_orphaned`).
+        self.orphaned_dropped = 0
         #: Keys in completion order — lets tests pin that a fixed scheduler
         #: seed drains contended refreshes in a deterministic order.
         self.completed_log: List[str] = []
@@ -207,6 +210,31 @@ class RefreshQueue:
             for key in parked_victims:
                 del pending[key]
             dropped += len(parked_victims)
+        return dropped
+
+    def drop_orphaned(self, is_orphaned: Callable[[str], bool]) -> int:
+        """Drop pending refreshes whose keys satisfy ``is_orphaned``.
+
+        Cluster fault handling: when a cache node dies, any refresh claim a
+        worker held for one of its keys is orphaned — completing it would
+        write through to a dead node (a fail-fast no-op) while the claim's
+        existence keeps other readers from re-claiming the key.  The cluster
+        controller calls this with "routes to the dead node" as the
+        predicate so surviving workers can win a fresh claim within one
+        refresh cycle.  Sweeps the live context *and* every parked worker
+        context (a dead lease holder is usually a parked worker).  Returns
+        the number of claims dropped.
+        """
+        victims = [key for key in self._pending if is_orphaned(key)]
+        for key in victims:
+            del self._pending[key]
+        dropped = len(victims)
+        for pending, _draining in self._contexts.values():
+            parked_victims = [key for key in pending if is_orphaned(key)]
+            for key in parked_victims:
+                del pending[key]
+            dropped += len(parked_victims)
+        self.orphaned_dropped += dropped
         return dropped
 
     def _run(self, entry: _PendingRefresh) -> None:

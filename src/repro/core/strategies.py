@@ -142,6 +142,10 @@ class ConsistencyStrategy:
     serves_stale: bool = False
     #: Statistics counters this strategy moves (documentation/introspection).
     counters_moved: Tuple[str, ...] = ()
+    #: One-line description of how the strategy degrades when a cache node
+    #: dies (cluster dynamics; see docs/CLUSTER.md's failover table).
+    failover: str = ("reads miss through to the database; writes are "
+                     "fail-fast no-ops against the dead node")
 
     # -- storage ---------------------------------------------------------------
 
@@ -249,6 +253,7 @@ class ConsistencyStrategy:
             "needs_triggers": self.needs_triggers,
             "serves_stale": self.serves_stale,
             "counters_moved": list(self.counters_moved),
+            "failover": self.failover,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -267,6 +272,9 @@ class UpdateInPlaceStrategy(ConsistencyStrategy):
     serves_stale = False
     counters_moved = ("updates_applied", "recomputations", "cas_retries",
                       "invalidations")
+    failover = ("CAS tokens die with the node: flush-time cas_multi reports "
+                "'missing' and falls back to invalidation (forwarded to the "
+                "gutter), so no stale fallback copy survives a mutation")
 
     def on_write(self, cached_object: "CacheClass", table: str, event: str,
                  new: Optional[Dict[str, Any]],
@@ -304,6 +312,8 @@ class InvalidateStrategy(ConsistencyStrategy):
     needs_triggers = True
     serves_stale = False
     counters_moved = ("invalidations", "cache_misses", "db_fallbacks")
+    failover = ("deletes are forwarded to the gutter pool so fallback reads "
+                "never outlive an invalidation; reads miss through otherwise")
 
     def on_write(self, cached_object: "CacheClass", table: str, event: str,
                  new: Optional[Dict[str, Any]],
@@ -333,6 +343,9 @@ class ExpiryStrategy(ConsistencyStrategy):
     needs_triggers = False
     serves_stale = True
     counters_moved = ("cache_misses", "db_fallbacks")
+    failover = ("gutter entries carry the gutter TTL (shorter than the "
+                "strategy TTL), so staleness stays bounded by the smaller of "
+                "the two windows")
 
     def __init__(self, default_ttl: float = DEFAULT_TTL) -> None:
         self.default_ttl = float(default_ttl)
@@ -368,6 +381,10 @@ class LeasedInvalidateStrategy(InvalidateStrategy):
     serves_stale = True
     counters_moved = ("invalidations", "stale_served", "recomputations",
                       "db_fallbacks")
+    failover = ("a gutter hit is served LEASE_STALE *without* a token (its "
+                "bound is the gutter TTL, no refresh is claimed); a dead "
+                "lease holder's claim is dropped by the refresh queue so a "
+                "new claimant wins within one cycle")
 
     def __init__(self, lease_seconds: float = 2.0,
                  stale_seconds: Optional[float] = None) -> None:
@@ -472,6 +489,9 @@ class AsyncRefreshStrategy(ConsistencyStrategy):
     serves_stale = True
     counters_moved = ("stale_served", "recomputations", "cache_misses",
                       "db_fallbacks")
+    failover = ("envelopes stored to the gutter keep their freshness "
+                "deadline but expire on the gutter TTL; orphaned refresh "
+                "claims are dropped like leased-invalidate's")
 
     def __init__(self, refresh_seconds: float = 30.0,
                  stale_grace_seconds: Optional[float] = None) -> None:

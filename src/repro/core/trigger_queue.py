@@ -296,8 +296,15 @@ class TriggerOpQueue:
                         # Re-reading cannot shrink an oversized value, so
                         # skip the retry rounds and invalidate immediately.
                         unstorable[key] = staged_ops[key]
-                    # "missing": the entry vanished mid-flush — nothing left
-                    # to maintain, so the key quits like an uncached one.
+                    else:
+                        # "missing": the entry vanished between the read and
+                        # the write.  On a live node the invalidation is a
+                        # cheap no-op (the key is already gone), but when the
+                        # verdict comes from a *dead* node — CAS tokens die
+                        # with their node — the fallback forwards the delete
+                        # to the gutter pool, so no fallback copy of the key
+                        # outlives the mutation that just failed to land.
+                        unstorable[key] = staged_ops[key]
             if unstorable:
                 self._invalidate_fallback(unstorable)
             if not losers:

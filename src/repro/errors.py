@@ -77,6 +77,14 @@ class CacheServerError(CacheError):
     """A cache server is unreachable or misconfigured."""
 
 
+class NodeDownError(CacheServerError):
+    """A cache node is marked dead: operations fail fast instead of hanging.
+
+    The client surfaces this as a miss (recording a ``cache_node_down`` cost
+    event) so application reads fall back to the database — or to the gutter
+    pool when one is configured — rather than propagating the exception."""
+
+
 class CASConflict(CacheError):
     """A compare-and-swap operation lost the race and must be retried."""
 

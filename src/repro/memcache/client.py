@@ -19,8 +19,8 @@ from ..errors import CacheServerError
 from ..storage.costmodel import Recorder
 from .hashring import HashRing
 from .item import sizeof_value
-from .server import (CAS_MISMATCH, CAS_STORED, CAS_TOO_LARGE, LEASE_ACQUIRED,
-                     LEASE_HIT, LEASE_STALE, CacheServer)
+from .server import (CAS_MISMATCH, CAS_MISSING, CAS_STORED, CAS_TOO_LARGE,
+                     LEASE_ACQUIRED, LEASE_HIT, LEASE_STALE, CacheServer)
 from .stats import CacheStats
 
 
@@ -49,6 +49,12 @@ class CacheClient:
         if len(self._servers) != len(servers):
             raise CacheServerError("cache server names must be unique")
         self.ring = HashRing(list(self._servers))
+        #: Optional gutter pool (set by the cluster controller): a small
+        #: fallback server set this client routes to when a key's primary
+        #: node is dead.  Gutter entries are short-TTL, and the pool speaks
+        #: no CAS and no leases — reads either hit a recently re-set value
+        #: or miss through to the database.
+        self.gutter: Optional[Any] = None
         self.recorder = recorder or Recorder()
         self.from_trigger = from_trigger
         self.reuse_connections = reuse_connections
@@ -116,6 +122,18 @@ class CacheClient:
             batches.setdefault(self.ring.server_for(key), []).append(key)
         return batches
 
+    def _node_down(self, server: CacheServer, n: int = 1) -> None:
+        """Account ``n`` fail-fast refusals against a dead node.
+
+        Counted on the client *and* on the dead server's stats, and recorded
+        as ``cache_node_down`` cost events — free in the cost model, because
+        a refused connection is not a round trip.  The caller then surfaces
+        the operation as a miss (or routes it to the gutter pool).
+        """
+        self.stats.node_down_errors += n
+        server.stats.node_down_errors += n
+        self.recorder.record("cache_node_down", n)
+
     def _attribute_round_trip(self) -> None:
         """Tally one round trip against the active worker context (if any)."""
         worker = self.current_worker
@@ -165,9 +183,32 @@ class CacheClient:
     # -- reads ----------------------------------------------------------------
 
     def get(self, key: str) -> Optional[Any]:
-        """Fetch a value; returns None on a miss."""
+        """Fetch a value; returns None on a miss.
+
+        A dead primary fails fast (``cache_node_down``, no round trip) and
+        the read falls through to the gutter pool when one is attached.
+        """
         self._charge_connection()
         server = self._server_for(key)
+        if not server.alive:
+            self._node_down(server)
+            self.stats.gets += 1
+            if self.gutter is None:
+                self.stats.misses += 1
+                self.recorder.record("cache_misses")
+                return None
+            value = self.gutter.get(key)
+            self._charge_single("cache_gets")
+            if value is None:
+                self.stats.misses += 1
+                self.stats.gutter_misses += 1
+                self.recorder.record("cache_misses")
+            else:
+                self.stats.hits += 1
+                self.stats.gutter_hits += 1
+                self.recorder.record("cache_hits")
+                self.recorder.record("cache_bytes_moved", sizeof_value(value))
+            return value
         value = server.get(key)
         self.stats.gets += 1
         self._charge_single("cache_gets")
@@ -181,9 +222,19 @@ class CacheClient:
         return value
 
     def gets(self, key: str) -> Tuple[Optional[Any], Optional[int]]:
-        """Fetch a value together with its CAS token."""
+        """Fetch a value together with its CAS token.
+
+        A dead primary is a plain miss: the gutter pool speaks no CAS, so
+        there is no token to hand out and no swap to attempt later.
+        """
         self._charge_connection()
         server = self._server_for(key)
+        if not server.alive:
+            self._node_down(server)
+            self.stats.gets += 1
+            self.stats.misses += 1
+            self.recorder.record("cache_misses")
+            return None, None
         value, token = server.gets(key)
         self.stats.gets += 1
         self._charge_single("cache_gets")
@@ -211,6 +262,31 @@ class CacheClient:
         out: Dict[str, Any] = {}
         for index, (server_name, batch) in enumerate(self._group_by_server(keys).items()):
             server = self._servers[server_name]
+            if not server.alive:
+                # One refused connection per dead batch; the gutter lookup
+                # (when attached) is a real round trip of its own.
+                self._node_down(server)
+                found = {}
+                if self.gutter is not None:
+                    self._charge_batch("cache_multi_gets", index)
+                    found = self.gutter.get_multi(batch)
+                for key in batch:
+                    self.stats.gets += 1
+                    self._charge_batch_item()
+                    value = found.get(key)
+                    if value is None:
+                        self.stats.misses += 1
+                        if self.gutter is not None:
+                            self.stats.gutter_misses += 1
+                        self.recorder.record("cache_misses")
+                    else:
+                        self.stats.hits += 1
+                        self.stats.gutter_hits += 1
+                        self.recorder.record("cache_hits")
+                        self.recorder.record("cache_bytes_moved",
+                                             sizeof_value(value))
+                        out[key] = value
+                continue
             self._charge_batch("cache_multi_gets", index)
             found = server.get_multi(batch)
             for key in batch:
@@ -243,6 +319,16 @@ class CacheClient:
         out: Dict[str, Tuple[Any, int]] = {}
         for index, (server_name, batch) in enumerate(self._group_by_server(keys).items()):
             server = self._servers[server_name]
+            if not server.alive:
+                # No CAS tokens from the gutter: every key is a plain miss,
+                # so the flush path treats them like uncached entries.
+                self._node_down(server)
+                for key in batch:
+                    self.stats.gets += 1
+                    self._charge_batch_item()
+                    self.stats.misses += 1
+                    self.recorder.record("cache_misses")
+                continue
             self._charge_batch("cache_multi_gets", index)
             found = server.gets_multi(batch)
             for key in batch:
@@ -266,9 +352,23 @@ class CacheClient:
     # -- writes ---------------------------------------------------------------
 
     def set(self, key: str, value: Any, expire: Optional[float] = None) -> bool:
-        """Store a value unconditionally."""
+        """Store a value unconditionally.
+
+        A dead primary routes the store to the gutter pool (short gutter
+        TTL, whatever ``expire`` says) or reports failure without one.
+        """
         self._charge_connection()
-        result = self._server_for(key).set(key, value, expire)
+        server = self._server_for(key)
+        if not server.alive:
+            self._node_down(server)
+            if self.gutter is None:
+                return False
+            self.gutter.set(key, value)
+            self.stats.sets += 1
+            self._charge_single("cache_sets")
+            self.recorder.record("cache_bytes_moved", sizeof_value(value))
+            return True
+        result = server.set(key, value, expire)
         self.stats.sets += 1
         self._charge_single("cache_sets")
         self.recorder.record("cache_bytes_moved", sizeof_value(value))
@@ -288,6 +388,19 @@ class CacheClient:
         for index, (server_name, batch) in enumerate(
                 self._group_by_server(list(mapping)).items()):
             server = self._servers[server_name]
+            if not server.alive:
+                self._node_down(server)
+                if self.gutter is None:
+                    failed.extend(batch)
+                    continue
+                self._charge_batch("cache_multi_sets", index)
+                self.gutter.set_multi({k: mapping[k] for k in batch})
+                for key in batch:
+                    self._charge_batch_item()
+                    self.stats.sets += 1
+                    self.recorder.record("cache_bytes_moved",
+                                         sizeof_value(mapping[key]))
+                continue
             self._charge_batch("cache_multi_sets", index)
             rejected = set(server.set_multi({k: mapping[k] for k in batch}, expire))
             failed.extend(k for k in batch if k in rejected)
@@ -305,7 +418,17 @@ class CacheClient:
     def add(self, key: str, value: Any, expire: Optional[float] = None) -> bool:
         """Store a value only if the key is absent."""
         self._charge_connection()
-        result = self._server_for(key).add(key, value, expire)
+        server = self._server_for(key)
+        if not server.alive:
+            self._node_down(server)
+            self.stats.adds += 1
+            if self.gutter is None:
+                return False
+            result = self.gutter.add(key, value)
+            self._charge_single("cache_sets")
+            self.recorder.record("cache_bytes_moved", sizeof_value(value))
+            return result
+        result = server.add(key, value, expire)
         self.stats.adds += 1
         self._charge_single("cache_sets")
         # The value travels to the server whether or not the add wins.
@@ -314,9 +437,19 @@ class CacheClient:
 
     def cas(self, key: str, value: Any, cas_token: int,
             expire: Optional[float] = None) -> bool:
-        """Compare-and-swap a value previously read with :meth:`gets`."""
+        """Compare-and-swap a value previously read with :meth:`gets`.
+
+        Against a dead primary the token has vanished with the node: the
+        swap fails like a :data:`~repro.memcache.server.CAS_MISSING` (the
+        caller's fallback is to invalidate, not retry), with no round trip.
+        """
         self._charge_connection()
-        result = self._server_for(key).cas(key, value, cas_token, expire)
+        server = self._server_for(key)
+        if not server.alive:
+            self._node_down(server)
+            self.stats.cas_miss += 1
+            return False
+        result = server.cas(key, value, cas_token, expire)
         if result:
             self.stats.cas_ok += 1
         else:
@@ -348,6 +481,14 @@ class CacheClient:
         for index, (server_name, batch) in enumerate(
                 self._group_by_server(list(items)).items()):
             server = self._servers[server_name]
+            if not server.alive:
+                # The tokens died with the node: every key reports
+                # "missing", which callers resolve by invalidating.
+                self._node_down(server)
+                for key in batch:
+                    verdicts[key] = CAS_MISSING
+                    self.stats.cas_miss += 1
+                continue
             self._charge_batch("cache_multi_cas", index)
             outcome = server.cas_multi({k: items[k] for k in batch}, expire)
             for key in batch:
@@ -371,10 +512,23 @@ class CacheClient:
         return verdicts
 
     def delete(self, key: str) -> bool:
-        """Invalidate a key."""
+        """Invalidate a key.
+
+        Even with the primary dead, the invalidation still reaches the
+        gutter pool — a stale gutter copy outliving the write would break
+        the bound the short gutter TTL promises.
+        """
         self._charge_connection()
-        result = self._server_for(key).delete(key)
+        server = self._server_for(key)
         self.stats.deletes += 1
+        if not server.alive:
+            self._node_down(server)
+            if self.gutter is None:
+                return False
+            result = self.gutter.delete(key)
+            self._charge_single("cache_deletes")
+            return result
+        result = server.delete(key)
         self._charge_single("cache_deletes")
         return result
 
@@ -389,6 +543,17 @@ class CacheClient:
         deleted: List[str] = []
         for index, (server_name, batch) in enumerate(self._group_by_server(keys).items()):
             server = self._servers[server_name]
+            if not server.alive:
+                # Invalidations still reach the gutter (coherence: a stale
+                # gutter copy must not outlive the write that doomed it).
+                self._node_down(server)
+                if self.gutter is not None:
+                    self._charge_batch("cache_multi_deletes", index)
+                    deleted.extend(self.gutter.delete_multi(batch))
+                for _key in batch:
+                    self.stats.deletes += 1
+                    self._charge_batch_item()
+                continue
             self._charge_batch("cache_multi_deletes", index)
             deleted.extend(server.delete_multi(batch))
             for _key in batch:
@@ -404,9 +569,19 @@ class CacheClient:
         :meth:`delete` (it is a delete variant on the wire).
         """
         self._charge_connection()
-        result = self._server_for(key).lease_delete(key, stale_seconds)
+        server = self._server_for(key)
         self.stats.deletes += 1
         self.stats.lease_deletes += 1
+        if not server.alive:
+            # The gutter keeps no stale-retention buffer (no leases), so the
+            # lease variant degrades to a plain gutter delete.
+            self._node_down(server)
+            if self.gutter is None:
+                return False
+            result = self.gutter.delete(key)
+            self._charge_single("cache_deletes")
+            return result
+        result = server.lease_delete(key, stale_seconds)
         self._charge_single("cache_deletes")
         return result
 
@@ -425,6 +600,18 @@ class CacheClient:
         existed: List[str] = []
         for index, (server_name, batch) in enumerate(self._group_by_server(keys).items()):
             server = self._servers[server_name]
+            if not server.alive:
+                # No stale retention in the gutter: degrade to plain deletes
+                # so no gutter copy outlives the invalidation.
+                self._node_down(server)
+                if self.gutter is not None:
+                    self._charge_batch("cache_multi_deletes", index)
+                    existed.extend(self.gutter.delete_multi(batch))
+                for _key in batch:
+                    self.stats.deletes += 1
+                    self.stats.lease_deletes += 1
+                    self._charge_batch_item()
+                continue
             self._charge_batch("cache_multi_deletes", index)
             existed.extend(server.lease_delete_multi(batch, stale_seconds))
             for _key in batch:
@@ -461,9 +648,35 @@ class CacheClient:
 
         One round trip, like :meth:`get`; a served value (fresh or stale)
         counts as a hit and moves its bytes, a true miss as a miss.
+
+        A dead primary degrades per the gutter contract: a gutter hit is
+        served as :data:`LEASE_STALE` *without a token* (its freshness bound
+        is the gutter TTL, and no token means no refresh is scheduled), a
+        gutter miss — or no gutter — comes back :data:`LEASE_ACQUIRED` with
+        no token, which callers resolve by recomputing synchronously.
         """
         self._charge_connection()
-        state, value, token = self._server_for(key).lease(
+        server = self._server_for(key)
+        if not server.alive:
+            self._node_down(server)
+            self.stats.gets += 1
+            value = None
+            if self.gutter is not None:
+                value = self.gutter.get(key)
+                self._charge_single("cache_leases")
+            if value is not None:
+                self.stats.hits += 1
+                self.stats.stale_hits += 1
+                self.stats.gutter_hits += 1
+                self.recorder.record("cache_hits")
+                self.recorder.record("cache_bytes_moved", sizeof_value(value))
+                return LEASE_STALE, value, None
+            if self.gutter is not None:
+                self.stats.gutter_misses += 1
+            self.stats.misses += 1
+            self.recorder.record("cache_misses")
+            return LEASE_ACQUIRED, None, None
+        state, value, token = server.lease(
             key, lease_seconds, claimant=self.current_worker)
         self.stats.gets += 1
         self._charge_single("cache_leases")
@@ -494,6 +707,33 @@ class CacheClient:
         out: Dict[str, Tuple[str, Optional[Any], Optional[int]]] = {}
         for index, (server_name, batch) in enumerate(self._group_by_server(keys).items()):
             server = self._servers[server_name]
+            if not server.alive:
+                # Same degradation as single-key lease(): gutter hits serve
+                # stale with no token, everything else recomputes inline.
+                self._node_down(server)
+                found = {}
+                if self.gutter is not None:
+                    self._charge_batch("cache_multi_leases", index)
+                    found = self.gutter.get_multi(batch)
+                for key in batch:
+                    self.stats.gets += 1
+                    self._charge_batch_item()
+                    value = found.get(key)
+                    if value is not None:
+                        self.stats.hits += 1
+                        self.stats.stale_hits += 1
+                        self.stats.gutter_hits += 1
+                        self.recorder.record("cache_hits")
+                        self.recorder.record("cache_bytes_moved",
+                                             sizeof_value(value))
+                        out[key] = (LEASE_STALE, value, None)
+                    else:
+                        if self.gutter is not None:
+                            self.stats.gutter_misses += 1
+                        self.stats.misses += 1
+                        self.recorder.record("cache_misses")
+                        out[key] = (LEASE_ACQUIRED, None, None)
+                continue
             self._charge_batch("cache_multi_leases", index)
             states = server.lease_multi(batch, lease_seconds,
                                         claimant=self.current_worker)
@@ -518,9 +758,19 @@ class CacheClient:
         return out
 
     def incr(self, key: str, delta: int = 1) -> Optional[int]:
-        """Increment an integer value."""
+        """Increment an integer value.
+
+        Dead primary → a miss (None): the gutter speaks no counter protocol
+        (a counter resurrected at zero would silently corrupt the count), so
+        callers fall back to invalidate-and-recompute like any incr miss.
+        """
         self._charge_connection()
-        result = self._server_for(key).incr(key, delta)
+        server = self._server_for(key)
+        if not server.alive:
+            self._node_down(server)
+            self.stats.incr_miss += 1
+            return None
+        result = server.incr(key, delta)
         self._charge_single("cache_sets")
         if result is None:
             self.stats.incr_miss += 1
@@ -529,9 +779,17 @@ class CacheClient:
         return result
 
     def decr(self, key: str, delta: int = 1) -> Optional[int]:
-        """Decrement an integer value (floored at zero)."""
+        """Decrement an integer value (floored at zero).
+
+        Dead primary → a miss (None), like :meth:`incr`.
+        """
         self._charge_connection()
-        result = self._server_for(key).decr(key, delta)
+        server = self._server_for(key)
+        if not server.alive:
+            self._node_down(server)
+            self.stats.decr_miss += 1
+            return None
+        result = server.decr(key, delta)
         self._charge_single("cache_sets")
         if result is None:
             self.stats.decr_miss += 1
@@ -554,6 +812,17 @@ class CacheClient:
         for index, (server_name, batch) in enumerate(
                 self._group_by_server(list(deltas)).items()):
             server = self._servers[server_name]
+            if not server.alive:
+                # No counter protocol in the gutter (see incr): every key in
+                # the dead batch reports a sign-appropriate miss.
+                self._node_down(server)
+                for key in batch:
+                    out[key] = None
+                    if deltas[key] >= 0:
+                        self.stats.incr_miss += 1
+                    else:
+                        self.stats.decr_miss += 1
+                continue
             self._charge_batch("cache_multi_counters", index)
             results = server.incr_multi({k: deltas[k] for k in batch})
             for key in batch:
@@ -577,9 +846,12 @@ class CacheClient:
         return self.incr_multi({key: -delta for key, delta in deltas.items()})
 
     def flush_all(self) -> None:
-        """Drop every item on every server."""
+        """Drop every item on every server (dead nodes included) and in the
+        gutter pool, so a full flush leaves no fallback copies behind."""
         for server in self._servers.values():
             server.flush_all()
+        if self.gutter is not None:
+            self.gutter.flush_all()
         self._lease_winners.clear()
 
     # -- introspection --------------------------------------------------------

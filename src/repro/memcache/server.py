@@ -14,7 +14,7 @@ import itertools
 import time as _time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..errors import CacheKeyError, CacheValueError
+from ..errors import CacheKeyError, CacheValueError, NodeDownError
 from .item import Item, sizeof_value
 from .lru import LRUStore
 from .stats import CacheStats
@@ -64,6 +64,12 @@ class CacheServer:
         self.store = LRUStore(capacity_bytes)
         self.max_item_bytes = max_item_bytes
         self.clock = clock or _time.monotonic
+        #: Liveness flag driven by the cluster controller's kill/revive: a
+        #: dead node rejects every operation with :class:`NodeDownError`
+        #: (the client checks this first and fails fast without a round
+        #: trip).  ``flush_all`` stays allowed — reviving flushes the node,
+        #: because a real restart comes back empty.
+        self.alive = True
         self.stats = CacheStats()
         self._cas_counter = itertools.count(1)
         #: Recently lease-deleted values, servable as stale during their
@@ -84,7 +90,13 @@ class CacheServer:
 
     # -- validation -----------------------------------------------------------
 
+    def _check_alive(self) -> None:
+        if not self.alive:
+            self.stats.node_down_errors += 1
+            raise NodeDownError(f"cache node {self.name!r} is down")
+
     def _check_key(self, key: str) -> None:
+        self._check_alive()
         if not isinstance(key, str) or not key:
             raise CacheKeyError(f"invalid cache key {key!r}")
         if len(key) > MAX_KEY_LENGTH:
@@ -474,6 +486,8 @@ class CacheServer:
 
     def stats_dict(self) -> Dict[str, float]:
         out = self.stats.as_dict()
+        # Summed across a fleet this is the live-node count.
+        out["alive"] = 1.0 if self.alive else 0.0
         out["curr_items"] = self.item_count
         out["bytes"] = self.used_bytes
         out["limit_maxbytes"] = self.store.capacity_bytes

@@ -36,6 +36,11 @@ class CacheStats:
     # lease window (the token winner plus every stale-served reader).
     lease_contended: int = 0
     herd_size_max: int = 0
+    # Cluster dynamics: operations that failed fast against a dead node and
+    # the gutter-pool fallback's hit/miss split for those keys.
+    node_down_errors: int = 0
+    gutter_hits: int = 0
+    gutter_misses: int = 0
 
     #: Fields that aggregate by ``max`` instead of summing: a high-water
     #: mark summed across servers (or across stat snapshots) is meaningless.

@@ -238,6 +238,7 @@ class ConcurrentReplayer:
         scheduler: Optional[InterleaveScheduler] = None,
         clock: Optional[Any] = None,
         page_interval_seconds: float = 0.0,
+        fault_injector: Optional[Any] = None,
     ) -> None:
         if workers < 1:
             raise SimulationError("ConcurrentReplayer needs at least 1 worker")
@@ -248,6 +249,11 @@ class ConcurrentReplayer:
         self.scheduler = build_scheduler(policy, seed, scheduler)
         self.clock = clock
         self.page_interval_seconds = page_interval_seconds
+        #: Optional :class:`~repro.cluster.faults.FaultInjector`: scheduled
+        #: node faults fire at the clock-advance points (the same points in
+        #: the serial and threaded paths), so a fixed fault schedule lands
+        #: at identical simulated instants in every run.
+        self.fault_injector = fault_injector
         self.recorder = database.recorder
         self.transactions = database.transactions
         self.op_queue = getattr(genie, "trigger_op_queue", None)
@@ -297,6 +303,8 @@ class ConcurrentReplayer:
     def _advance_clock(self) -> None:
         if self.clock is not None and self.page_interval_seconds > 0:
             self.clock.advance(self.page_interval_seconds)
+        if self.fault_injector is not None and self.clock is not None:
+            self.fault_injector.fire_due(self.clock())
 
     def _complete_page(self, worker: _WorkerContext, page_load: PageLoad,
                        counters: CostCounters) -> None:

@@ -142,12 +142,16 @@ class WorkloadReplayer:
     def __init__(self, app: SocialApplication, database: Database,
                  clock: Optional[object] = None,
                  page_interval_seconds: float = 0.0,
-                 genie: Optional[object] = None) -> None:
+                 genie: Optional[object] = None,
+                 fault_injector: Optional[object] = None) -> None:
         self.app = app
         self.database = database
         self.clock = clock
         self.page_interval_seconds = page_interval_seconds
         self.genie = genie
+        #: Optional :class:`~repro.cluster.faults.FaultInjector` (cluster
+        #: dynamics): node faults fire at the clock-advance points.
+        self.fault_injector = fault_injector
 
     def replay(self, trace: WorkloadTrace, record: bool = True) -> ReplayResult:
         """Replay ``trace`` serially (one worker) through the engine.
@@ -161,7 +165,8 @@ class WorkloadReplayer:
         engine = ConcurrentReplayer(
             self.app, self.database, genie=self.genie, workers=1,
             clock=self.clock,
-            page_interval_seconds=self.page_interval_seconds)
+            page_interval_seconds=self.page_interval_seconds,
+            fault_injector=self.fault_injector)
         return engine.replay(trace, record=record)
 
 

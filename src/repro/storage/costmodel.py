@@ -93,6 +93,10 @@ class CostCounters:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_bytes_moved: int = 0
+    #: Operations that failed fast against a dead cache node (cluster faults).
+    #: Not a round trip and free in the cost model: the liveness check is a
+    #: client-side connection refusal, not a server exchange.
+    cache_node_down: int = 0
 
     @property
     def cache_round_trips(self) -> int:

@@ -17,6 +17,19 @@ class TestParser:
         args = build_parser().parse_args(["exp1", "--clients", "1", "8"])
         assert args.clients == [1, 8]
 
+    def test_exp_cluster_registered_with_flags(self):
+        args = build_parser().parse_args(
+            ["exp-cluster", "--quick", "--check",
+             "--fault-cases", "node-kill", "--strategies", "Update"])
+        assert callable(args.func)
+        assert args.quick and args.check
+        assert args.fault_cases == ["node-kill"]
+        assert args.strategies == ["Update"]
+
+    def test_exp_cluster_rejects_unknown_fault_case(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exp-cluster", "--fault-cases", "nope"])
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -413,7 +413,7 @@ class TestFlushCasRetries:
         assert client.get("k") is None
         assert owner.stats.invalidations == 1
 
-    def test_key_vanishing_mid_flush_quits_like_the_eager_path(self, cache):
+    def test_key_vanishing_mid_flush_falls_back_to_invalidation(self, cache):
         client, _server = cache
         client.set("gone", 1)
         queue = TriggerOpQueue(client)
@@ -425,11 +425,17 @@ class TestFlushCasRetries:
 
         queue.enqueue_mutate(owner, "gone", deletes_underneath)
         queue.flush()
-        # CAS_MISSING: nothing left to maintain — no retry, no fallback.
+        # CAS_MISSING: the entry vanished mid-flush.  No retry (a fresh
+        # read cannot resurrect the token), but the safety-net invalidation
+        # fires — on a live node it is a no-op delete, and when the verdict
+        # comes from a *dead* node it forwards the delete to the gutter so
+        # no fallback copy outlives the mutation.
         assert client.get("gone") is None
         assert owner.stats.updates_applied == 0
         assert queue.cas_retries == 0
-        assert queue.cas_fallbacks == 0
+        assert queue.cas_fallbacks == 1
+        # The key was already gone, so the fallback credits no invalidation.
+        assert owner.stats.invalidations == 0
 
 
 class TestWorkerContexts:

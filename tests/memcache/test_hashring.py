@@ -67,3 +67,41 @@ class TestHashRing:
     def test_every_key_maps_to_a_registered_server(self, key):
         ring = HashRing(["a", "b", "c"])
         assert ring.server_for(key) in {"a", "b", "c"}
+
+
+class TestSnapshotRestore:
+    KEYS = [f"key:{i}" for i in range(500)]
+
+    def test_snapshot_answers_like_the_ring_did(self):
+        ring = HashRing(["s1", "s2", "s3"])
+        snap = ring.snapshot()
+        before = {k: ring.server_for(k) for k in self.KEYS}
+        ring.add_server("s4")
+        ring.remove_server("s1")
+        # The live ring moved on; the snapshot still answers for the past.
+        assert {k: snap.server_for(k) for k in self.KEYS} == before
+        assert snap.servers == ["s1", "s2", "s3"]
+
+    def test_restore_reinstates_the_membership(self):
+        ring = HashRing(["s1", "s2", "s3"])
+        before = {k: ring.server_for(k) for k in self.KEYS}
+        snap = ring.snapshot()
+        ring.add_server("s4")
+        ring.remove_server("s2")
+        ring.restore(snap)
+        assert sorted(ring.servers) == ["s1", "s2", "s3"]
+        assert {k: ring.server_for(k) for k in self.KEYS} == before
+
+    def test_snapshot_is_isolated_from_later_restores(self):
+        ring = HashRing(["s1", "s2"])
+        snap = ring.snapshot()
+        ring.add_server("s3")
+        ring.restore(snap)
+        ring.add_server("s4")
+        # Mutating the restored ring never leaks back into the snapshot.
+        assert snap.servers == ["s1", "s2"]
+
+    def test_restore_rejects_replica_mismatch(self):
+        snap = HashRing(["s1"], replicas=50).snapshot()
+        with pytest.raises(CacheServerError):
+            HashRing(["s1"], replicas=100).restore(snap)

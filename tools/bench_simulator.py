@@ -28,11 +28,16 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.apps.social import SeedScale  # noqa: E402
-from repro.bench.experiments import (HOT_KEY_WORKLOAD,  # noqa: E402
+from repro.bench.experiments import (CLUSTER_GUTTER_TTL,  # noqa: E402
+                                     CLUSTER_KILL_AT, CLUSTER_REVIVE_AT,
+                                     CLUSTER_VICTIM, HOT_KEY_WORKLOAD,
                                      STRATEGY_PAGE_INTERVAL,
                                      _ablation_strategy)
 from repro.bench.scenarios import (Scenario, ScenarioConfig,  # noqa: E402
                                    UPDATE_SCENARIO)
+from repro.cluster import (ClusterController, FaultEvent,  # noqa: E402
+                           FaultInjector, FaultSchedule, GutterPool)
+from repro.memcache import CacheServer  # noqa: E402
 from repro.sim import (ADVERSARIAL, ROUND_ROBIN,  # noqa: E402
                        ConcurrentReplayer, simulate_population)
 from repro.sim.runner import (ReplayResult, ReplayedPage,  # noqa: E402
@@ -66,6 +71,51 @@ def bench_replay(workers: int, policy: str, workload, seed_scale: SeedScale):
         "seconds": round(elapsed, 4),
         "pages_per_s": round(len(result.pages) / elapsed, 1),
         "contention": dict(result.contention_summary()),
+        "schedule": result.schedule_signature,
+    }
+
+
+def bench_cluster(workload, seed_scale: SeedScale):
+    """Replay with cluster dynamics in the loop: a node-kill/revive fault
+    schedule plus the gutter-pool fallback, fired on the virtual clock."""
+    config = ScenarioConfig(
+        name=UPDATE_SCENARIO, strategy=_ablation_strategy(UPDATE_SCENARIO),
+        seed_scale=seed_scale, page_interval_seconds=STRATEGY_PAGE_INTERVAL)
+    scenario = Scenario(config).setup()
+    try:
+        user_ids = list(range(1, config.seed_scale.users + 1))
+        trace = WorkloadGenerator(workload, user_ids).generate()
+        gutter = GutterPool([CacheServer("gutter0", clock=scenario.clock)],
+                            ttl_seconds=CLUSTER_GUTTER_TTL)
+        controller = ClusterController(
+            clients=[scenario.genie.app_cache, scenario.genie.trigger_cache],
+            servers=scenario.cache_servers, clock=scenario.clock,
+            gutter=gutter, genie=scenario.genie)
+        duration = trace.total_page_loads * config.page_interval_seconds
+        t0 = scenario.clock.now()
+        injector = FaultInjector(controller, FaultSchedule([
+            FaultEvent(at=t0 + CLUSTER_KILL_AT * duration,
+                       action="kill", node=CLUSTER_VICTIM),
+            FaultEvent(at=t0 + CLUSTER_REVIVE_AT * duration,
+                       action="revive", node=CLUSTER_VICTIM)]))
+        replayer = ConcurrentReplayer(
+            scenario.app, scenario.database, genie=scenario.genie,
+            workers=1, clock=scenario.clock,
+            page_interval_seconds=config.page_interval_seconds,
+            fault_injector=injector)
+        started = time.perf_counter()
+        result = replayer.replay(trace)
+        elapsed = time.perf_counter() - started
+        counters = controller.counters()
+    finally:
+        scenario.teardown()
+    return {
+        "pages": len(result.pages),
+        "seconds": round(elapsed, 4),
+        "pages_per_s": round(len(result.pages) / elapsed, 1),
+        "faults_fired": len(injector.fired),
+        "gutter_hits": counters["gutter_hits"],
+        "post_revival_invalidations": counters["post_revival_invalidations"],
         "schedule": result.schedule_signature,
     }
 
@@ -124,6 +174,8 @@ def main(argv=None) -> int:
     _, cells["replay_workers2_adversarial"] = bench_replay(
         workers=2, policy=ADVERSARIAL, workload=workload,
         seed_scale=SeedScale.tiny())
+    cells["cluster"] = bench_cluster(workload=workload,
+                                     seed_scale=SeedScale.tiny())
     cells["simulate_replay_clients"] = bench_simulate(
         serial_replay, "closed loop over the replay's own clients",
         clients=workload.clients)
