@@ -1,0 +1,64 @@
+"""Unrolled method generation for slot-based counter classes.
+
+:class:`~repro.storage.costmodel.CostCounters` and
+:class:`~repro.memcache.stats.CacheStats` are pure counter bags that the
+replay hot loop constructs, accumulates, and snapshots hundreds of thousands
+of times per run.  As dataclasses their ``add``/``as_dict`` walked
+``dataclasses.fields()`` on every call — a reflective loop over ~40 field
+descriptors per event.  This module compiles the same methods *once*, fully
+unrolled over the field-name tuple, for ``__slots__`` classes:
+
+* ``__init__`` — keyword (or positional) construction with 0 defaults,
+  exactly the dataclass signature the tests pin;
+* ``add`` — straight-line ``self.f += other.f`` statements (``max``
+  aggregation for high-water-mark fields);
+* ``as_dict`` — a single dict display;
+* ``reset`` — straight-line zeroing.
+
+The generated code is deterministic (a pure function of the field tuple), so
+counter arithmetic is bit-identical to the reflective version it replaces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Sequence
+
+#: The empty default for ``max_fields``.
+_NO_MAX_FIELDS: FrozenSet[str] = frozenset()
+
+
+def compile_counter_methods(
+    field_names: Sequence[str],
+    max_fields: FrozenSet[str] = _NO_MAX_FIELDS,
+) -> Dict[str, Callable]:
+    """Generate unrolled ``__init__``/``add``/``as_dict``/``reset``.
+
+    ``max_fields`` names the fields that aggregate by ``max`` instead of
+    summing in ``add`` (high-water marks).  Returns the method namespace;
+    callers attach the entries to their ``__slots__`` class.
+    """
+    unknown = set(max_fields) - set(field_names)
+    if unknown:
+        raise ValueError(f"max_fields not in field_names: {sorted(unknown)}")
+    args = ", ".join(f"{name}=0" for name in field_names)
+    init_body = "\n".join(f"    self.{name} = {name}" for name in field_names)
+    add_lines = []
+    for name in field_names:
+        if name in max_fields:
+            add_lines.append(
+                f"    if other.{name} > self.{name}:\n"
+                f"        self.{name} = other.{name}")
+        else:
+            add_lines.append(f"    self.{name} += other.{name}")
+    add_body = "\n".join(add_lines)
+    dict_items = ", ".join(f"{name!r}: self.{name}" for name in field_names)
+    reset_body = "\n".join(f"    self.{name} = 0" for name in field_names)
+    source = (
+        f"def __init__(self, {args}):\n{init_body}\n"
+        f"def add(self, other):\n{add_body}\n"
+        f"def as_dict(self):\n    return {{{dict_items}}}\n"
+        f"def reset(self):\n{reset_body}\n"
+    )
+    namespace: Dict[str, Callable] = {}
+    exec(source, {}, namespace)  # noqa: S102 - static, deterministic source
+    return namespace

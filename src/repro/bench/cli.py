@@ -58,6 +58,7 @@ def _cmd_exp1(args: argparse.Namespace) -> str:
         policy=args.policy,
         seed=args.seed,
         quick=args.quick,
+        jobs=args.jobs,
     )
     rendered = reporting.render_experiment1(result)
     if args.check:
@@ -117,6 +118,7 @@ def _cmd_exp_contention(args: argparse.Namespace) -> str:
         policies=args.policies,
         seed=args.seed,
         quick=args.quick,
+        jobs=args.jobs,
     )
     rendered = reporting.render_experiment_contention(result)
     if args.check:
@@ -135,6 +137,7 @@ def _cmd_exp_cluster(args: argparse.Namespace) -> str:
         scenarios=args.strategies,
         fault_cases=args.fault_cases,
         quick=args.quick,
+        jobs=args.jobs,
     )
     rendered = reporting.render_experiment_cluster(result)
     if args.check:
@@ -156,6 +159,14 @@ def _cmd_exp_cas_batch(args: argparse.Namespace) -> str:
     }[args.cas_batch]
     result = experiments.experiment_cas_batching(modes=modes)
     return reporting.render_experiment_cas_batching(result)
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the independent sweep cells (default: 1 "
+             "= the in-process serial loop; any N merges deterministically "
+             "and is byte-identical to --jobs 1)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -199,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="exit nonzero unless the contention counters fire in the "
              "closed-loop metrics (needs --workers >= 2)")
+    _add_jobs_argument(exp1)
     exp1.set_defaults(func=_cmd_exp1)
 
     exp2 = sub.add_parser("exp2", help="Figure 3a (read/write mix sweep)")
@@ -289,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="exit nonzero unless every contention counter fires at >= 2 "
              "workers (guards against the subsystem regressing to serial)")
+    _add_jobs_argument(exp_contention)
     exp_contention.set_defaults(func=_cmd_exp_contention)
 
     exp_cluster = sub.add_parser(
@@ -314,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero unless the gutter pool absorbed hits, every "
              "node-kill produced a degraded-segment dip, and two seeded "
              "runs agree bit for bit")
+    _add_jobs_argument(exp_cluster)
     exp_cluster.set_defaults(func=_cmd_exp_cluster)
     return parser
 

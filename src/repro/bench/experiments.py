@@ -21,6 +21,7 @@ from ..memcache import CacheServer
 from ..sim import (ADVERSARIAL, ALL_POLICIES, ConcurrentReplayer, RANDOM,
                    ROUND_ROBIN, ReplayResult, RunMetrics, SimulationOptions,
                    VirtualClock, WorkloadReplayer, simulate_population)
+from ..sim.parallel import run_cells
 from ..storage import (ColumnDef, CostModel, Database, IndexDef, Recorder,
                        TableSchema)
 from ..storage.costmodel import CostCounters
@@ -191,6 +192,35 @@ class Experiment1Result:
         return problems
 
 
+def _run_exp1_cell(name: str, seed_scale, base_workload, warmup,
+                   max_clients: int, workers: int, policy: str, seed: int,
+                   client_counts: Sequence[int], table2_clients: int):
+    """One exp1 scenario: replay once, simulate the client sweep.
+
+    Top level (and returning only plain data) so :func:`repro.sim.parallel
+    .run_cells` can ship it to a worker process under ``--jobs N``.
+    """
+    run = run_scenario(_scenario_config(name, seed_scale=seed_scale),
+                       workload=base_workload, warmup=warmup,
+                       clients=max_clients,
+                       workers=workers, policy=policy, seed=seed)
+    throughput: List[float] = []
+    latency: List[float] = []
+    for count in client_counts:
+        metrics = simulate_population(run.replay, clients=count)
+        throughput.append(metrics.throughput)
+        latency.append(metrics.mean_latency)
+    table2_metrics = simulate_population(run.replay, clients=table2_clients)
+    return {
+        "throughput": throughput,
+        "latency": latency,
+        "latency_by_page": table2_metrics.latency_by_page(),
+        "hit_ratio": run.cache_hit_ratio,
+        "contention": dict(run.metrics.contention),
+        "signature": getattr(run.replay, "schedule_signature", ""),
+    }
+
+
 def experiment1(
     client_counts: Optional[Sequence[int]] = None,
     workload: Optional[WorkloadConfig] = None,
@@ -200,6 +230,7 @@ def experiment1(
     policy: str = ROUND_ROBIN,
     seed: int = 0,
     quick: bool = False,
+    jobs: int = 1,
 ) -> Experiment1Result:
     """Reproduce Experiment 1: sweep the number of parallel clients.
 
@@ -210,7 +241,10 @@ def experiment1(
     contender), and the closed-loop simulation consumes the schedule —
     clients dispatch in first-completion order and the contention counters
     ride along on the metrics.  ``quick=True`` shrinks the seed and trace
-    for CI smoke runs; explicit arguments are always honored.
+    for CI smoke runs; explicit arguments are always honored.  ``jobs``
+    fans the per-scenario cells out over processes (results merged in
+    submission order, byte-identical to ``jobs=1`` — the deterministic
+    merge contract of :mod:`repro.sim.parallel`).
     """
     if scenarios is None:
         scenarios = ALL_SCENARIOS if workers <= 1 else EXP1_CONCURRENT_SCENARIOS
@@ -242,22 +276,19 @@ def experiment1(
     contention: Dict[str, Dict[str, int]] = {}
     signatures: Dict[str, str] = {}
 
-    for name in scenarios:
-        run = run_scenario(_scenario_config(name, seed_scale=seed_scale),
-                           workload=base_workload, warmup=warmup,
-                           clients=max_clients,
-                           workers=workers, policy=policy, seed=seed)
-        throughput[name] = []
-        latency[name] = []
-        for count in client_counts:
-            metrics = simulate_population(run.replay, clients=count)
-            throughput[name].append(metrics.throughput)
-            latency[name].append(metrics.mean_latency)
-        table2_metrics = simulate_population(run.replay, clients=table2_clients)
-        latency_by_page[name] = table2_metrics.latency_by_page()
-        hit_ratio[name] = run.cache_hit_ratio
-        contention[name] = dict(run.metrics.contention)
-        signatures[name] = getattr(run.replay, "schedule_signature", "")
+    cells = run_cells(
+        _run_exp1_cell,
+        [(name, seed_scale, base_workload, warmup, max_clients,
+          workers, policy, seed, tuple(client_counts), table2_clients)
+         for name in scenarios],
+        jobs=jobs)
+    for name, cell in zip(scenarios, cells):
+        throughput[name] = cell["throughput"]
+        latency[name] = cell["latency"]
+        latency_by_page[name] = cell["latency_by_page"]
+        hit_ratio[name] = cell["hit_ratio"]
+        contention[name] = cell["contention"]
+        signatures[name] = cell["signature"]
 
     return Experiment1Result(
         client_counts=list(client_counts),
@@ -914,6 +945,7 @@ def experiment_contention(
     workload: Optional[WorkloadConfig] = None,
     seed: int = CONTENTION_SEED,
     quick: bool = False,
+    jobs: int = 1,
 ) -> ContentionResult:
     """Sweep worker count x interleave policy x strategy on the hot-key
     workload.
@@ -928,6 +960,9 @@ def experiment_contention(
     holders while other workers rewrite their keys.  ``quick=True`` shrinks
     the seed/trace and the *default* sweep for the CI smoke job; explicit
     ``scenarios``/``workers``/``policies`` selections are always honored.
+    ``jobs`` fans the independent cells out over processes; the merge is
+    deterministic (submission order), so the result is byte-identical to
+    ``jobs=1``.
     """
     base_workload = workload or HOT_KEY_WORKLOAD
     seed_scale = DEFAULT_SEED_SCALE
@@ -948,14 +983,15 @@ def experiment_contention(
     workers = tuple(workers) if workers else tuple(default_workers)
     policies = tuple(policies) if policies else tuple(default_policies)
 
-    runs: List[ContentionRun] = []
+    argument_sets = []
     for scenario_name in scenarios:
         for worker_count in workers:
             cell_policies = list(policies) if worker_count > 1 else [ROUND_ROBIN]
             for policy in cell_policies:
-                runs.append(_run_contention_cell(
-                    scenario_name, worker_count, policy,
-                    base_workload, seed_scale, warmup, seed))
+                argument_sets.append((scenario_name, worker_count, policy,
+                                      base_workload, seed_scale, warmup, seed))
+    runs: List[ContentionRun] = run_cells(_run_contention_cell, argument_sets,
+                                          jobs=jobs)
     return ContentionResult(
         scenarios=list(scenarios),
         workers=list(workers),
@@ -1247,6 +1283,7 @@ def experiment_cluster(
     fault_cases: Optional[Sequence[str]] = None,
     workload: Optional[WorkloadConfig] = None,
     quick: bool = False,
+    jobs: int = 1,
 ) -> ClusterResult:
     """Sweep strategy x fault case with mid-replay cluster dynamics.
 
@@ -1260,7 +1297,9 @@ def experiment_cluster(
     invalidations).  The Update/node-kill cell runs twice and both
     fingerprints are kept: fault replays must be bit-deterministic for a
     fixed seed.  ``quick=True`` shrinks the seed/trace and drops the
-    scale-out case for the CI smoke job.
+    scale-out case for the CI smoke job.  ``jobs`` fans the independent
+    cells (including the two determinism probes) out over processes with a
+    deterministic submission-order merge — byte-identical to ``jobs=1``.
     """
     base_workload = workload or HOT_KEY_WORKLOAD
     seed_scale = DEFAULT_SEED_SCALE
@@ -1278,18 +1317,19 @@ def experiment_cluster(
     scenarios = tuple(scenarios) if scenarios else CLUSTER_SCENARIOS
     fault_cases = tuple(fault_cases) if fault_cases else tuple(default_cases)
 
-    runs: List[ClusterRun] = []
-    for scenario_name in scenarios:
-        for fault_case in fault_cases:
-            runs.append(_run_cluster_cell(
-                scenario_name, fault_case, base_workload, seed_scale, warmup))
-
-    # Determinism probe: the same cell replayed twice must fingerprint
-    # identically (schedule signature and every trajectory number).
+    argument_sets = [(scenario_name, fault_case, base_workload, seed_scale,
+                      warmup)
+                     for scenario_name in scenarios
+                     for fault_case in fault_cases]
+    # Determinism probes ride the same cell list: the same cell replayed
+    # twice must fingerprint identically (schedule signature and every
+    # trajectory number).
+    probes = [(UPDATE_SCENARIO, CLUSTER_NODE_KILL, base_workload, seed_scale,
+               warmup)] * 2
+    cells = run_cells(_run_cluster_cell, argument_sets + probes, jobs=jobs)
+    runs: List[ClusterRun] = cells[:len(argument_sets)]
     determinism: List[Dict[str, object]] = []
-    for _ in range(2):
-        rerun = _run_cluster_cell(UPDATE_SCENARIO, CLUSTER_NODE_KILL,
-                                  base_workload, seed_scale, warmup)
+    for rerun in cells[len(argument_sets):]:
         determinism.append({
             "schedule_signature": rerun.schedule_signature,
             "hit_ratio": round(rerun.hit_ratio, 12),

@@ -1,0 +1,76 @@
+"""Opt-in memo fast paths for compiled-trace replays.
+
+Replaying a :class:`~repro.workload.trace.CompiledTrace` enables a set of
+memos that are *pure* with respect to replay semantics — each caches the
+result of a deterministic function (key validation, template shape matching,
+hash-ring placement, key-scheme encoding) whose inputs cannot change without
+the memo being invalidated or cleared:
+
+* the interceptor's per-shape template-match memo
+  (:meth:`~repro.core.interception.CacheGenieInterceptor.enable_match_cache`),
+* every cached object's :class:`~repro.core.keys.KeyScheme` value-tuple memo,
+* every cache server's validated-key set
+  (:meth:`~repro.memcache.server.CacheServer.enable_key_cache`),
+* every hash ring's key→server placement memo (cleared automatically on
+  membership changes, so cluster kill/revive faults stay exact),
+* the serializer's scalar-row fast copy (a shallow ``dict()`` where every
+  value is an immutable scalar — exactly what ``deepcopy`` would return).
+
+The memos default to **off**: a plain :class:`WorkloadTrace` replay runs the
+historical code paths untouched, which is what lets the differential suite
+(and the benchmark) compare compiled against uncompiled byte for byte.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator, List
+
+from . import serializer
+
+
+def _rings_and_servers(client: Any) -> Iterator[Any]:
+    """Yield the rings and servers reachable from one cache client."""
+    yield client.ring
+    yield from client._servers.values()
+    gutter = getattr(client, "gutter", None)
+    if gutter is not None:
+        yield gutter.ring
+        yield from gutter._servers.values()
+
+
+def _fastpath_targets(genie: Any) -> List[Any]:
+    """Every memo-capable object reachable from a CacheGenie manager."""
+    targets: List[Any] = [genie.interceptor]
+    targets.extend(obj.keys for obj in genie.cached_objects.values())
+    for client in (genie.app_cache, genie.trigger_cache):
+        targets.extend(_rings_and_servers(client))
+    return targets
+
+
+def _toggle(target: Any, enable: bool) -> None:
+    for method in ("enable_match_cache", "enable_memo", "enable_key_cache",
+                   "enable_placement_cache"):
+        fn = getattr(target, method if enable else method.replace("enable", "disable"),
+                     None)
+        if fn is not None:
+            fn()
+
+
+@contextlib.contextmanager
+def compiled_fastpath(genie: Any) -> Iterator[None]:
+    """Enable every memo fast path for the duration of a compiled replay.
+
+    The memo state is torn down on exit (including on error), so nothing
+    leaks into a subsequent uncompiled replay against the same scenario.
+    """
+    targets = _fastpath_targets(genie)
+    for target in targets:
+        _toggle(target, True)
+    serializer.enable_fast_copy()
+    try:
+        yield
+    finally:
+        serializer.disable_fast_copy()
+        for target in targets:
+            _toggle(target, False)

@@ -31,9 +31,33 @@ class KeyScheme:
     def __init__(self, object_name: str, definition_fingerprint: str) -> None:
         digest = hashlib.md5(definition_fingerprint.encode("utf-8")).hexdigest()[:8]
         self.prefix = f"cg:{_encode_component(object_name)}:{digest}"
+        #: value-tuple -> built key memo; None = disabled (the default —
+        #: compiled-trace replays switch it on).  Key building is a pure
+        #: function of the values, so memoizing cannot change any key.
+        self._memo: "Dict[tuple, str] | None" = None
+
+    def enable_memo(self) -> None:
+        self._memo = {}
+
+    def disable_memo(self) -> None:
+        self._memo = None
 
     def key_for(self, values: Sequence[Any]) -> str:
         """Build the cache key for one combination of where-field values."""
+        memo = self._memo
+        if memo is not None:
+            try:
+                cache_key = tuple(values)
+                built = memo.get(cache_key)
+                if built is None:
+                    built = self._build(values)
+                    memo[cache_key] = built
+                return built
+            except TypeError:
+                return self._build(values)  # unhashable value: skip the memo
+        return self._build(values)
+
+    def _build(self, values: Sequence[Any]) -> str:
         parts = [self.prefix]
         parts.extend(_encode_component(v) for v in values)
         return ":".join(parts)

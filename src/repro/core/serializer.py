@@ -15,17 +15,48 @@ from __future__ import annotations
 import copy
 from typing import Any, Dict, List, Sequence
 
+#: Immutable scalar types for which a shallow dict copy *is* a deep copy.
+_ATOMIC_TYPES = (str, int, float, bool, bytes, type(None))
+
+#: Compiled-trace fast path (see :mod:`repro.core.fastpath`): when enabled,
+#: rows whose values are all immutable scalars are copied with a shallow
+#: ``dict()`` instead of ``copy.deepcopy`` — byte-identical output (deep
+#: copying an immutable scalar returns the scalar), the defensive-copy
+#: guarantee intact (the dict itself is still fresh), only faster.  Rows
+#: holding any container value fall back to the deep copy.
+_fast_copy = False
+
+
+def enable_fast_copy() -> None:
+    global _fast_copy
+    _fast_copy = True
+
+
+def disable_fast_copy() -> None:
+    global _fast_copy
+    _fast_copy = False
+
+
+def _copy_row(row: Dict[str, Any]) -> Dict[str, Any]:
+    out = dict(row)
+    if _fast_copy:
+        for value in out.values():
+            if not isinstance(value, _ATOMIC_TYPES):
+                return copy.deepcopy(out)
+        return out
+    return copy.deepcopy(out)
+
 
 def freeze_rows(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
     """Deep-copy a list of row dicts for storage in the cache."""
-    return [copy.deepcopy(dict(row)) for row in rows]
+    return [_copy_row(row) for row in rows]
 
 
 def thaw_rows(value: Any) -> List[Dict[str, Any]]:
     """Deep-copy a cached list of row dicts for return to the application."""
     if value is None:
         return []
-    return [copy.deepcopy(dict(row)) for row in value]
+    return [_copy_row(row) for row in value]
 
 
 def freeze_value(value: Any) -> Any:

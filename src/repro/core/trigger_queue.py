@@ -40,7 +40,8 @@ the cache at the cost of the occasional retry round.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Dict, List, Optional, Tuple  # noqa: F401
+from typing import (Any, Callable, Dict, FrozenSet, List,  # noqa: F401
+                    Optional, Tuple)
 
 from ..memcache.server import CAS_MISMATCH, CAS_STORED, CAS_TOO_LARGE
 
@@ -87,6 +88,11 @@ class TriggerOpQueue:
         #: stays "flushing" only for its own context.
         self._contexts: Dict[Any, Tuple["OrderedDict[str, _PendingOp]", bool]] = {}
         self._context_key: Any = None
+        #: Cached ``pending_keys_for`` frozensets per context key.  The
+        #: key-overlap policy asks for every paused worker's pending keys at
+        #: every scheduling step; a parked context cannot change, and the
+        #: live one invalidates its entry whenever its key set changes.
+        self._pending_frozen: Dict[Any, FrozenSet[str]] = {}
         # Lifetime statistics, for tests and the benchmark reports.
         self.enqueued = 0
         self.coalesced = 0
@@ -139,20 +145,28 @@ class TriggerOpQueue:
         """Forget a parked context (a finished worker); pending ops of an
         interrupted transaction are discarded, like an abort."""
         parked = self._contexts.pop(key, None)
+        self._pending_frozen.pop(key, None)
         if parked is not None:
             self.discarded += len(parked[0])
 
-    def pending_keys_for(self, key: Any) -> List[str]:
+    def pending_keys_for(self, key: Any) -> FrozenSet[str]:
         """Pending op keys of one context — live or parked.
 
         The key-overlap interleave policy asks this for every paused worker:
         two workers whose unflushed trigger ops target the same cache key
-        are about to race that key at their commits.
+        are about to race that key at their commits.  Returns a cached
+        frozenset (do not mutate): it stays valid until the context's key
+        set changes, which for a parked context is never.
         """
-        if key == self._context_key:
-            return list(self._ops)
-        parked = self._contexts.get(key)
-        return list(parked[0]) if parked is not None else []
+        frozen = self._pending_frozen.get(key)
+        if frozen is None:
+            if key == self._context_key:
+                frozen = frozenset(self._ops)
+            else:
+                parked = self._contexts.get(key)
+                frozen = frozenset(parked[0]) if parked is not None else frozenset()
+            self._pending_frozen[key] = frozen
+        return frozen
 
     def _attribute(self, counter: Dict[Any, int], n: int = 1) -> None:
         counter[self._context_key] = counter.get(self._context_key, 0) + n
@@ -165,6 +179,8 @@ class TriggerOpQueue:
         self._attribute(self.enqueued_by_context)
         if key in self._ops:
             self.coalesced += 1
+        else:
+            self._pending_frozen.pop(self._context_key, None)
         self._ops[key] = _PendingOp("delete", owner)
 
     def enqueue_mutate(self, owner: Any, key: str, mutate: MutateFn,
@@ -189,6 +205,7 @@ class TriggerOpQueue:
             return
         op = _PendingOp("mutate", owner, counter=counter, expire=expire)
         op.mutations.append(mutate)
+        self._pending_frozen.pop(self._context_key, None)
         self._ops[key] = op
 
     # -- flush / discard ---------------------------------------------------------
@@ -203,6 +220,7 @@ class TriggerOpQueue:
         if self._flushing or not self._ops:
             return 0
         self._flushing = True
+        self._pending_frozen.pop(self._context_key, None)
         ops, self._ops = self._ops, OrderedDict()
         try:
             deletes = [(k, op) for k, op in ops.items() if op.kind == "delete"]
@@ -334,6 +352,7 @@ class TriggerOpQueue:
         """Drop every queued operation without touching the cache (abort)."""
         dropped = len(self._ops)
         self._ops.clear()
+        self._pending_frozen.pop(self._context_key, None)
         self.discarded += dropped
         return dropped
 

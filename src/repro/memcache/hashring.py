@@ -66,6 +66,11 @@ class HashRing:
         self._ring: Dict[int, str] = {}
         self._sorted_points: List[int] = []
         self._servers: List[str] = []
+        #: key -> owning server memo; None = disabled (the default — only
+        #: compiled-trace replays switch it on).  Placement is pure given
+        #: fixed membership, so the memo is cleared on every membership
+        #: change (add/remove/restore) and cannot change any lookup.
+        self._placement: "Dict[str, str] | None" = None
         for server in servers:
             self.add_server(server)
 
@@ -73,10 +78,19 @@ class HashRing:
     def servers(self) -> List[str]:
         return list(self._servers)
 
+    def enable_placement_cache(self) -> None:
+        if self._placement is None:
+            self._placement = {}
+
+    def disable_placement_cache(self) -> None:
+        self._placement = None
+
     def add_server(self, server: str) -> None:
         """Add a server and its virtual nodes to the ring."""
         if server in self._servers:
             raise CacheServerError(f"server {server!r} already on the ring")
+        if self._placement:
+            self._placement.clear()
         self._servers.append(server)
         for i in range(self.replicas):
             point = _hash(f"{server}#{i}")
@@ -91,6 +105,8 @@ class HashRing:
         """Remove a server and its virtual nodes from the ring."""
         if server not in self._servers:
             raise CacheServerError(f"server {server!r} not on the ring")
+        if self._placement:
+            self._placement.clear()
         self._servers.remove(server)
         points = [p for p, s in self._ring.items() if s == server]
         for point in points:
@@ -108,19 +124,29 @@ class HashRing:
             raise CacheServerError(
                 f"snapshot was taken with replicas={snapshot.replicas}, "
                 f"this ring uses replicas={self.replicas}")
+        if self._placement:
+            self._placement.clear()
         self._ring = dict(snapshot._ring)
         self._sorted_points = list(snapshot._sorted_points)
         self._servers = list(snapshot._servers)
 
     def server_for(self, key: str) -> str:
         """Return the server responsible for ``key``."""
+        placement = self._placement
+        if placement is not None:
+            server = placement.get(key)
+            if server is not None:
+                return server
         if not self._sorted_points:
             raise CacheServerError("hash ring is empty")
         point = _hash(key)
         idx = bisect.bisect_right(self._sorted_points, point)
         if idx == len(self._sorted_points):
             idx = 0
-        return self._ring[self._sorted_points[idx]]
+        server = self._ring[self._sorted_points[idx]]
+        if placement is not None:
+            placement[key] = server
+        return server
 
     def distribution(self, keys: Sequence[str]) -> Dict[str, int]:
         """Count how many of ``keys`` map to each server (for tests/metrics)."""

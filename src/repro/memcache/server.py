@@ -87,8 +87,20 @@ class CacheServer:
         #: intended, a different claimant is a real race.
         self._lease_herd: Dict[str, set] = {}
         self._lease_winner: Dict[str, Any] = {}
+        #: Keys that already passed :meth:`_check_key` validation; None =
+        #: disabled (the default — compiled-trace replays switch it on).
+        #: Validation is a pure predicate of the key string, so remembering
+        #: a pass cannot change any verdict, only skip the re-scan.
+        self._validated_keys: Optional[set] = None
 
     # -- validation -----------------------------------------------------------
+
+    def enable_key_cache(self) -> None:
+        if self._validated_keys is None:
+            self._validated_keys = set()
+
+    def disable_key_cache(self) -> None:
+        self._validated_keys = None
 
     def _check_alive(self) -> None:
         if not self.alive:
@@ -97,12 +109,17 @@ class CacheServer:
 
     def _check_key(self, key: str) -> None:
         self._check_alive()
+        validated = self._validated_keys
+        if validated is not None and isinstance(key, str) and key in validated:
+            return
         if not isinstance(key, str) or not key:
             raise CacheKeyError(f"invalid cache key {key!r}")
         if len(key) > MAX_KEY_LENGTH:
             raise CacheKeyError(f"cache key longer than {MAX_KEY_LENGTH} bytes: {key[:40]}...")
         if any(ch.isspace() or ord(ch) < 33 for ch in key):
             raise CacheKeyError(f"cache key contains whitespace/control chars: {key!r}")
+        if validated is not None:
+            validated.add(key)
 
     def _expiry(self, expire: Optional[float]) -> Optional[float]:
         if expire is None or expire == 0:

@@ -2,45 +2,44 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
-from typing import Dict
+from typing import Dict, Tuple
 
+from .._counters import compile_counter_methods
 
-@dataclass
-class CacheStats:
-    """Operation counters in the spirit of memcached's ``stats`` command."""
-
-    gets: int = 0
-    hits: int = 0
-    misses: int = 0
-    sets: int = 0
-    adds: int = 0
-    deletes: int = 0
-    cas_ok: int = 0
-    cas_mismatch: int = 0
-    cas_miss: int = 0
-    incr_ok: int = 0
-    incr_miss: int = 0
-    decr_ok: int = 0
-    decr_miss: int = 0
-    evictions: int = 0
-    expirations: int = 0
+#: Field names of :class:`CacheStats`, in declaration order (the slots
+#: equivalent of ``dataclasses.fields()``; the unrolled hot methods are
+#: compiled from this tuple — see :mod:`repro._counters`).
+CACHE_STAT_FIELDS: Tuple[str, ...] = (
+    "gets", "hits", "misses", "sets", "adds", "deletes",
+    "cas_ok", "cas_mismatch", "cas_miss",
+    "incr_ok", "incr_miss", "decr_ok", "decr_miss",
+    "evictions", "expirations",
     # Lease protocol (leased invalidation): tokens granted, stale values
     # served from the recently-deleted buffer, and stale-retaining deletes.
-    leases_granted: int = 0
-    stale_hits: int = 0
-    lease_deletes: int = 0
+    "leases_granted", "stale_hits", "lease_deletes",
     # Lease contention (the concurrent-worker replay makes these nonzero):
     # readers that wanted the recompute token while the per-key window was
     # already claimed, and the largest herd — claimants racing one key's
     # lease window (the token winner plus every stale-served reader).
-    lease_contended: int = 0
-    herd_size_max: int = 0
+    "lease_contended", "herd_size_max",
     # Cluster dynamics: operations that failed fast against a dead node and
     # the gutter-pool fallback's hit/miss split for those keys.
-    node_down_errors: int = 0
-    gutter_hits: int = 0
-    gutter_misses: int = 0
+    "node_down_errors", "gutter_hits", "gutter_misses",
+)
+
+
+class CacheStats:
+    """Operation counters in the spirit of memcached's ``stats`` command.
+
+    A ``__slots__`` counter bag (historically a dataclass; the keyword
+    constructor with 0 defaults is unchanged) whose hot methods are
+    unrolled over :data:`CACHE_STAT_FIELDS`.
+    """
+
+    __slots__ = CACHE_STAT_FIELDS
+
+    #: Field-name tuple, the slots equivalent of ``dataclasses.fields()``.
+    FIELDS = CACHE_STAT_FIELDS
 
     #: Fields that aggregate by ``max`` instead of summing: a high-water
     #: mark summed across servers (or across stat snapshots) is meaningless.
@@ -52,18 +51,27 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
     def as_dict(self) -> Dict[str, float]:
-        out: Dict[str, float] = {f.name: getattr(self, f.name) for f in fields(self)}
+        out: Dict[str, float] = self._counters_as_dict()
         out["hit_ratio"] = self.hit_ratio
         return out
 
-    def add(self, other: "CacheStats") -> None:
-        for f in fields(self):
-            if f.name in self._MAX_FIELDS:
-                setattr(self, f.name, max(getattr(self, f.name),
-                                          getattr(other, f.name)))
-            else:
-                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name)
+                   for name in CACHE_STAT_FIELDS)
 
-    def reset(self) -> None:
-        for f in fields(self):
-            setattr(self, f.name, 0)
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nonzero = ", ".join(f"{name}={getattr(self, name)}"
+                            for name in CACHE_STAT_FIELDS
+                            if getattr(self, name))
+        return f"CacheStats({nonzero})"
+
+
+for _name, _method in compile_counter_methods(
+        CACHE_STAT_FIELDS, max_fields=CacheStats._MAX_FIELDS).items():
+    # The generated as_dict is the raw field mapping; the public as_dict
+    # above adds the derived hit_ratio key on top of it.
+    setattr(CacheStats, "_counters_as_dict" if _name == "as_dict" else _name,
+            _method)
+del _name, _method

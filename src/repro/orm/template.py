@@ -281,34 +281,53 @@ class QueryTemplate:
         This is the single matching predicate used by transparent
         interception; because the declaration built the same template, the
         two can never disagree on which queries the cached object serves.
+        Split into :meth:`match_shape` (value-independent checks, safe to
+        memoize per description shape) and :meth:`bind` (const-value checks
+        plus parameter extraction, run per call).
+        """
+        if not self.match_shape(description):
+            return None
+        return self.bind(description)
+
+    def match_shape(self, description: "QueryDescription") -> bool:
+        """Value-independent half of :meth:`match`.
+
+        Depends only on the description's *shape* — table, kind, filter-key
+        set, ordering, limit, offset — never on filter values, so the
+        interceptor's match memo can cache the verdict for every description
+        sharing the shape.
         """
         if self.chain:
             # Single-table querysets cannot express joins, so chain-shaped
             # objects are only reachable through explicit evaluate() calls.
-            return None
+            return False
         if description.kind != self.kind:
-            return None
+            return False
         if description.table != self.table:
-            return None
+            return False
         if description.offset:
-            return None
+            return False
         if self.kind == "select":
             if self.limit is not None:
                 # Top-K shape: the query must want the same ordering and no
                 # more rows than the declared K.
                 if description.limit is None or description.limit > self.limit:
-                    return None
+                    return False
                 if list(description.order_by) != list(self.order_by):
-                    return None
+                    return False
             # Feature shape (limit is None): any ordering/limit is acceptable;
             # the cached object re-sorts and trims when presenting results.
         expected = set(self.param_fields) | {c for c, _ in self.const_filters}
-        if set(description.filters) != expected:
-            return None
+        return set(description.filters) == expected
+
+    def bind(self, description: "QueryDescription") -> Optional[Dict[str, Any]]:
+        """Value-dependent half of :meth:`match`: const equality, then the
+        evaluate() parameter dict.  Only valid after :meth:`match_shape`."""
+        filters = description.filters
         for column, value in self.const_filters:
-            if description.filters[column] != value:
+            if filters[column] != value:
                 return None
-        return {column: description.filters[column] for column in self.param_fields}
+        return {column: filters[column] for column in self.param_fields}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         bits = [f"{self.model.__name__}", self.kind,

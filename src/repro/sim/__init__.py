@@ -7,7 +7,7 @@ from .concurrent import ConcurrentReplayResult, ConcurrentReplayer
 from .events import EventEngine
 from .interleave import (ADVERSARIAL, ALL_POLICIES, InterleaveScheduler,
                          KEY_OVERLAP, RANDOM, ROUND_ROBIN, WorkerStatus,
-                         interleave_trace)
+                         compile_trace, interleave_trace)
 from .metrics import PageCompletion, RunMetrics, percentile
 from .mva import MVAResult, asymptotic_bounds, exact_mva
 from .resources import DelayResource, QueueingResource
@@ -41,6 +41,7 @@ __all__ = [
     "WorkloadReplayer",
     "aggregate_resource_demands",
     "asymptotic_bounds",
+    "compile_trace",
     "exact_mva",
     "interleave_trace",
     "percentile",

@@ -49,13 +49,15 @@ the contention summary.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from ..core.fastpath import compiled_fastpath
 from ..errors import SimulationError
 from ..storage.costmodel import CostCounters
-from ..workload.trace import PageLoad, WorkloadTrace
+from ..workload.trace import CompiledTrace, PageLoad, WorkloadTrace
 from .interleave import (InterleaveScheduler, ROUND_ROBIN, WorkerStatus,
                          build_scheduler, interleave_trace)
 from .runner import ReplayResult, ReplayedPage
@@ -137,12 +139,13 @@ class _WorkerContext:
         return ("worker", self.worker_id)
 
     def status(self) -> WorkerStatus:
-        pending: Any = ()
+        pending: Any = frozenset()
         if self._replayer.op_queue is not None:
+            # pending_keys_for returns a cached frozenset — use it directly.
             pending = self._replayer.op_queue.pending_keys_for(self.context_key)
         return WorkerStatus(worker_id=self.worker_id, label=self.label,
                             pages_completed=self.pages_completed,
-                            pending_keys=frozenset(pending))
+                            pending_keys=pending)
 
     # -- scheduler side --------------------------------------------------------
 
@@ -334,6 +337,10 @@ class ConcurrentReplayer:
         decision log, the page completion order, and every counter are
         bit-identical across runs.  With one worker the engine takes the
         inline fast path — the historical serial replay, exactly.
+
+        A :class:`~repro.workload.trace.CompiledTrace` additionally enables
+        the memo fast paths (:mod:`repro.core.fastpath`) for the duration of
+        the replay; the outputs are bit-identical to the uncompiled replay.
         """
         self.scheduler.reset()
         self._record = record
@@ -344,11 +351,16 @@ class ConcurrentReplayer:
             _WorkerContext(worker_id=index, replayer=self, page_loads=loads)
             for index, loads in enumerate(self._partition(trace))
         ]
+        if isinstance(trace, CompiledTrace) and self.genie is not None:
+            fastpath = compiled_fastpath(self.genie)
+        else:
+            fastpath = contextlib.nullcontext()
         try:
-            if self.workers == 1:
-                self._replay_serial(contexts[0])
-            else:
-                self._replay_threaded(contexts)
+            with fastpath:
+                if self.workers == 1:
+                    self._replay_serial(contexts[0])
+                else:
+                    self._replay_threaded(contexts)
         finally:
             result, self._result = self._result, None
         result.schedule = list(self.scheduler.decisions)

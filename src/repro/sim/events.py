@@ -55,19 +55,26 @@ class EventEngine:
 
         Returns the final simulation time.
         """
+        # Local bindings keep the hot loop free of attribute and global
+        # lookups; ``processed_events`` is folded back in a finally block so
+        # the count survives callbacks that raise.
+        events = self._events
+        heappop = heapq.heappop
         processed = 0
-        while self._events:
-            timestamp, _seq, callback = self._events[0]
-            if until is not None and timestamp > until:
-                self.now = until
-                break
-            heapq.heappop(self._events)
-            self.now = timestamp
-            callback()
-            processed += 1
-            self.processed_events += 1
-            if processed >= max_events:
-                raise SimulationError(
-                    f"simulation exceeded {max_events} events; likely a scheduling loop"
-                )
+        try:
+            while events:
+                timestamp, _seq, callback = events[0]
+                if until is not None and timestamp > until:
+                    self.now = until
+                    break
+                heappop(events)
+                self.now = timestamp
+                callback()
+                processed += 1
+                if processed >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; likely a scheduling loop"
+                    )
+        finally:
+            self.processed_events += processed
         return self.now

@@ -53,7 +53,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from ..errors import SimulationError
-from ..workload.trace import PageLoad, WorkloadTrace
+from ..workload.trace import CompiledTrace, PageLoad, WorkloadTrace
 
 ROUND_ROBIN = "round-robin"
 RANDOM = "random"
@@ -72,7 +72,12 @@ def interleave_trace(trace: WorkloadTrace) -> List[PageLoad]:
     client's second, and so on until the longest stream is exhausted.  Both
     the serial facade (``workers=1``) and the concurrent engine's partition
     step consume this one function.
+
+    A :class:`~repro.workload.trace.CompiledTrace` carries this ordering
+    precomputed; passing one returns it directly.
     """
+    if isinstance(trace, CompiledTrace):
+        return trace.ordered
     per_client: Dict[int, List[PageLoad]] = {}
     for page_load in trace.page_loads():
         per_client.setdefault(page_load.client_id, []).append(page_load)
@@ -89,6 +94,21 @@ def interleave_trace(trace: WorkloadTrace) -> List[PageLoad]:
                 cursors[client_id] = cursor + 1
                 remaining -= 1
     return ordered
+
+def compile_trace(trace: WorkloadTrace) -> CompiledTrace:
+    """Compile a trace for fast replay (idempotent).
+
+    Precomputes the canonical :func:`interleave_trace` ordering and interns
+    page-type strings; replaying the compiled form through the engine also
+    enables the memoized fast paths (validated cache keys, interceptor
+    template-match memo, hash-ring placement, key-scheme encoding).  The
+    compiled replay is **bit-identical** to the uncompiled one — same pages,
+    counters, and ``schedule_signature`` — it only gets there faster.
+    """
+    if isinstance(trace, CompiledTrace):
+        return trace
+    return CompiledTrace(trace, interleave_trace(trace))
+
 
 #: Checkpoint labels after which a worker holds unwritten CAS tokens — the
 #: window the adversarial policy stretches by scheduling everyone else.

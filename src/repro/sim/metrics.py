@@ -21,19 +21,32 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 
-@dataclass
 class PageCompletion:
-    """One completed page load in the simulation."""
+    """One completed page load in the simulation.
 
-    client_id: int
-    page: str
-    user_id: int
-    start_time: float   # seconds
-    end_time: float     # seconds
+    A ``__slots__`` record (not a dataclass): the closed-loop simulator
+    creates one per completed page, and for retained-mode runs over large
+    populations the per-instance ``__dict__`` dominated memory.
+    """
+
+    __slots__ = ("client_id", "page", "user_id", "start_time", "end_time")
+
+    def __init__(self, client_id: int, page: str, user_id: int,
+                 start_time: float, end_time: float) -> None:
+        self.client_id = client_id
+        self.page = page
+        self.user_id = user_id
+        self.start_time = start_time   # seconds
+        self.end_time = end_time       # seconds
 
     @property
     def latency(self) -> float:
         return self.end_time - self.start_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PageCompletion(client_id={self.client_id}, "
+                f"page={self.page!r}, user_id={self.user_id}, "
+                f"start_time={self.start_time}, end_time={self.end_time})")
 
 
 def percentile(values: List[float], fraction: float) -> float:

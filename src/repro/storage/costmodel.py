@@ -19,84 +19,84 @@ depth and buffer-pool residency, matching the paper's reported range.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
-from typing import Dict, Iterator, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
 import contextlib
 
+from .._counters import compile_counter_methods
 
-@dataclass
-class CostCounters:
-    """Raw event counts accumulated while executing one operation."""
-
+#: Field names of :class:`CostCounters`, in declaration order.  The hot
+#: accumulation methods are compiled from this tuple (see
+#: :mod:`repro._counters`); one page load records thousands of events, so
+#: the per-call ``dataclasses.fields()`` walk the dataclass version paid is
+#: replaced by straight-line code over these names.
+COST_COUNTER_FIELDS: Tuple[str, ...] = (
     # Buffer pool / heap events
-    pages_hit: int = 0
-    pages_missed: int = 0
-    pages_dirtied: int = 0
-    rows_scanned: int = 0
-    rows_returned: int = 0
-    index_node_touches: int = 0
+    "pages_hit", "pages_missed", "pages_dirtied",
+    "rows_scanned", "rows_returned", "index_node_touches",
     # Statement events
-    statements: int = 0
-    inserts: int = 0
-    updates: int = 0
-    deletes: int = 0
-    commits: int = 0
-    sorts: int = 0
-    sorted_rows: int = 0
-    joins: int = 0
-    # Trigger events
-    trigger_launches: int = 0
-    trigger_connections: int = 0
-    trigger_cache_ops: int = 0
-    #: Batched multi-key round trips issued from triggers (one per server batch).
-    trigger_cache_batches: int = 0
-    #: Trigger-side server batches whose latency is hidden behind another
-    #: batch of the same multi-op call (``pipeline_batches``): still a wire
-    #: round trip, but charged no network wait.
-    trigger_cache_overlapped_batches: int = 0
-    #: Keys carried inside trigger-side batches (marshalling CPU, no round trip).
-    trigger_cache_batch_ops: int = 0
-    trigger_rows_examined: int = 0
+    "statements", "inserts", "updates", "deletes", "commits",
+    "sorts", "sorted_rows", "joins",
+    # Trigger events (see the field comments below)
+    "trigger_launches", "trigger_connections", "trigger_cache_ops",
+    "trigger_cache_batches", "trigger_cache_overlapped_batches",
+    "trigger_cache_batch_ops", "trigger_rows_examined",
     # Cache client events (issued by the application, not by triggers)
-    cache_gets: int = 0
-    cache_sets: int = 0
-    cache_deletes: int = 0
-    #: Single compare-and-swap round trips (stored or not — the value
-    #: travels to the server either way).
-    cache_cas: int = 0
-    #: Batched multi-key round trips (one event per server batch, not per key).
-    cache_multi_gets: int = 0
-    cache_multi_sets: int = 0
-    cache_multi_deletes: int = 0
-    #: Batched CAS round trips (one event per server batch, like the others).
-    cache_multi_cas: int = 0
-    #: Per-key CAS losses inside batched CAS (any client context): keys whose
-    #: token went stale between the batched read and the batched write.
-    cas_multi_mismatch: int = 0
-    #: Extra gets_multi/cas_multi rounds a commit-time flush ran because at
-    #: least one key lost its CAS (the rounds' round trips are counted by
-    #: their own events; this tallies how often contention forced a retry).
-    cas_retry_rounds: int = 0
-    #: Lease reads denied the recompute token because another claimant holds
-    #: the per-key window (served stale instead) — the lease-contention
-    #: signal of the concurrent-worker replay.
-    lease_contended: int = 0
-    #: Application-side server batches overlapped by ``pipeline_batches``
-    #: (wire round trips that wait behind a concurrent batch, so zero net ms).
-    cache_overlapped_batches: int = 0
-    #: Lease-protocol reads (single round trips) and their batched form
-    #: (one event per server batch) — the leased-invalidation read path.
-    cache_leases: int = 0
-    cache_multi_leases: int = 0
-    #: Batched counter adjustments (incr_multi/decr_multi, one per server batch).
-    cache_multi_counters: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    cache_bytes_moved: int = 0
-    #: Operations that failed fast against a dead cache node (cluster faults).
-    #: Not a round trip and free in the cost model: the liveness check is a
-    #: client-side connection refusal, not a server exchange.
-    cache_node_down: int = 0
+    "cache_gets", "cache_sets", "cache_deletes", "cache_cas",
+    "cache_multi_gets", "cache_multi_sets", "cache_multi_deletes",
+    "cache_multi_cas", "cas_multi_mismatch", "cas_retry_rounds",
+    "lease_contended", "cache_overlapped_batches",
+    "cache_leases", "cache_multi_leases", "cache_multi_counters",
+    "cache_hits", "cache_misses", "cache_bytes_moved", "cache_node_down",
+)
+
+
+class CostCounters:
+    """Raw event counts accumulated while executing one operation.
+
+    A ``__slots__`` counter bag (historically a dataclass; the constructor
+    signature — every field a keyword with a 0 default — is unchanged).
+    Field semantics, beyond the self-explanatory ones:
+
+    * ``trigger_cache_batches`` — batched multi-key round trips issued from
+      triggers (one per server batch).
+    * ``trigger_cache_overlapped_batches`` — trigger-side server batches
+      whose latency is hidden behind another batch of the same multi-op call
+      (``pipeline_batches``): still a wire round trip, but charged no
+      network wait.
+    * ``trigger_cache_batch_ops`` — keys carried inside trigger-side batches
+      (marshalling CPU, no round trip).
+    * ``cache_cas`` — single compare-and-swap round trips (stored or not —
+      the value travels to the server either way).
+    * ``cache_multi_gets``/``_sets``/``_deletes``/``_cas`` — batched
+      multi-key round trips (one event per server batch, not per key).
+    * ``cas_multi_mismatch`` — per-key CAS losses inside batched CAS (any
+      client context): keys whose token went stale between the batched read
+      and the batched write.
+    * ``cas_retry_rounds`` — extra gets_multi/cas_multi rounds a commit-time
+      flush ran because at least one key lost its CAS (the rounds' round
+      trips are counted by their own events; this tallies how often
+      contention forced a retry).
+    * ``lease_contended`` — lease reads denied the recompute token because
+      another claimant holds the per-key window (served stale instead) —
+      the lease-contention signal of the concurrent-worker replay.
+    * ``cache_overlapped_batches`` — application-side server batches
+      overlapped by ``pipeline_batches`` (wire round trips that wait behind
+      a concurrent batch, so zero net ms).
+    * ``cache_leases``/``cache_multi_leases`` — lease-protocol reads (single
+      round trips) and their batched form (one event per server batch).
+    * ``cache_multi_counters`` — batched counter adjustments
+      (incr_multi/decr_multi, one per server batch).
+    * ``cache_node_down`` — operations that failed fast against a dead cache
+      node (cluster faults).  Not a round trip and free in the cost model:
+      the liveness check is a client-side connection refusal, not a server
+      exchange.
+    """
+
+    __slots__ = COST_COUNTER_FIELDS
+
+    #: Field-name tuple, the slots equivalent of ``dataclasses.fields()``.
+    FIELDS = COST_COUNTER_FIELDS
 
     @property
     def cache_round_trips(self) -> int:
@@ -115,16 +115,27 @@ class CostCounters:
                 + self.trigger_cache_ops + self.trigger_cache_batches
                 + self.trigger_cache_overlapped_batches)
 
-    def add(self, other: "CostCounters") -> None:
-        """Accumulate another counter set into this one."""
-        for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
-
-    def as_dict(self) -> Dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
-
     def copy(self) -> "CostCounters":
         return CostCounters(**self.as_dict())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CostCounters):
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name)
+                   for name in COST_COUNTER_FIELDS)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nonzero = ", ".join(f"{name}={getattr(self, name)}"
+                            for name in COST_COUNTER_FIELDS
+                            if getattr(self, name))
+        return f"CostCounters({nonzero})"
+
+
+for _name, _method in compile_counter_methods(COST_COUNTER_FIELDS).items():
+    setattr(CostCounters, _name, _method)
+CostCounters.add.__doc__ = "Accumulate another counter set into this one."
+CostCounters.as_dict.__doc__ = "Field name -> value mapping, in field order."
+del _name, _method
 
 
 class Recorder:

@@ -2,10 +2,11 @@
 
 from .config import DEFAULT_PAGE_MIX, WorkloadConfig
 from .generator import WorkloadGenerator
-from .trace import PageLoad, Session, WorkloadTrace
+from .trace import CompiledTrace, PageLoad, Session, WorkloadTrace
 from .zipf import SessionCountSampler, ZipfSampler
 
 __all__ = [
+    "CompiledTrace",
     "DEFAULT_PAGE_MIX",
     "PageLoad",
     "Session",

@@ -1,0 +1,141 @@
+"""Differential determinism: every fast path is bit-identical to its slow twin.
+
+The committed EXPERIMENTS.md tables pin exact numbers, so the compiled-trace
+replay (``compile_trace`` + the ``repro.core.fastpath`` memos) and the
+process-parallel sweep runner (``--jobs N``) are only shippable if they
+change *nothing*.  This suite compares:
+
+* each quick ablation (exp1, exp-contention, exp-cluster) at ``jobs=2``
+  against ``jobs=1`` — the serialized result JSON must be byte-identical;
+* compiled-trace replay against uncompiled replay, across all five
+  consistency strategies — identical pages, counters, and
+  ``schedule_signature``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.apps.social import SeedScale
+from repro.bench.experiments import (HOT_KEY_WORKLOAD,
+                                     STRATEGY_ABLATION_SCENARIOS,
+                                     STRATEGY_PAGE_INTERVAL,
+                                     _ablation_strategy, experiment1,
+                                     experiment_cluster, experiment_contention)
+from repro.bench.scenarios import Scenario, ScenarioConfig, UPDATE_SCENARIO
+from repro.sim import (ADVERSARIAL, ROUND_ROBIN, ConcurrentReplayer,
+                       compile_trace)
+from repro.workload import CompiledTrace, WorkloadGenerator
+
+#: The quick contention workload used throughout the concurrent-path tests.
+WORKLOAD = HOT_KEY_WORKLOAD.with_overrides(
+    clients=6, sessions_per_client=2, page_loads_per_session=4)
+
+
+def result_json(result) -> str:
+    """Canonical byte-comparable serialization of an experiment result."""
+    return json.dumps(dataclasses.asdict(result), sort_keys=True, default=repr)
+
+
+class TestJobsDifferential:
+    """``--jobs 2`` output must be byte-identical to ``--jobs 1``."""
+
+    def test_exp1_jobs2_identical(self):
+        serial = experiment1(quick=True, jobs=1)
+        parallel = experiment1(quick=True, jobs=2)
+        assert result_json(parallel) == result_json(serial)
+
+    def test_exp_contention_jobs2_identical(self):
+        serial = experiment_contention(quick=True, jobs=1)
+        parallel = experiment_contention(quick=True, jobs=2)
+        assert result_json(parallel) == result_json(serial)
+
+    def test_exp_cluster_jobs2_identical(self):
+        serial = experiment_cluster(quick=True, jobs=1)
+        parallel = experiment_cluster(quick=True, jobs=2)
+        assert result_json(parallel) == result_json(serial)
+
+
+def replay_once(scenario_name: str, compiled: bool, workers: int = 1,
+                policy: str = ROUND_ROBIN):
+    config = ScenarioConfig(
+        name=scenario_name, strategy=_ablation_strategy(scenario_name),
+        seed_scale=SeedScale.tiny(),
+        page_interval_seconds=STRATEGY_PAGE_INTERVAL)
+    scenario = Scenario(config).setup()
+    try:
+        user_ids = list(range(1, config.seed_scale.users + 1))
+        trace = WorkloadGenerator(WORKLOAD, user_ids).generate()
+        if compiled:
+            trace = compile_trace(trace)
+            assert isinstance(trace, CompiledTrace)
+        replayer = ConcurrentReplayer(
+            scenario.app, scenario.database, genie=scenario.genie,
+            workers=workers, policy=policy, seed=0, clock=scenario.clock,
+            page_interval_seconds=config.page_interval_seconds)
+        return replayer.replay(trace)
+    finally:
+        scenario.teardown()
+
+
+def replay_fingerprint(result):
+    return {
+        "pages": [(p.client_id, p.page, p.user_id, p.counters.as_dict(),
+                   dataclasses.asdict(p.demand))
+                  for p in result.pages],
+        "total": result.total_counters.as_dict(),
+        "schedule": result.schedule,
+        "signature": result.schedule_signature,
+        "pages_by_worker": result.pages_by_worker,
+        "contention": result.contention_summary(),
+    }
+
+
+class TestCompiledTraceDifferential:
+    """Compiled replay == uncompiled replay, for every strategy."""
+
+    @pytest.mark.parametrize("scenario_name", STRATEGY_ABLATION_SCENARIOS)
+    def test_compiled_identical_per_strategy(self, scenario_name):
+        uncompiled = replay_fingerprint(replay_once(scenario_name, False))
+        compiled = replay_fingerprint(replay_once(scenario_name, True))
+        assert compiled == uncompiled
+
+    def test_compiled_identical_under_contention(self):
+        """The memo fast paths must also survive a threaded, genuinely
+        contended schedule (workers=2, adversarial)."""
+        uncompiled = replay_fingerprint(
+            replay_once(UPDATE_SCENARIO, False, workers=2, policy=ADVERSARIAL))
+        compiled = replay_fingerprint(
+            replay_once(UPDATE_SCENARIO, True, workers=2, policy=ADVERSARIAL))
+        assert compiled == uncompiled
+
+    def test_fastpath_state_restored_after_compiled_replay(self):
+        """The memos are scoped to the replay: nothing leaks afterwards."""
+        config = ScenarioConfig(
+            name=UPDATE_SCENARIO, strategy=_ablation_strategy(UPDATE_SCENARIO),
+            seed_scale=SeedScale.tiny(),
+            page_interval_seconds=STRATEGY_PAGE_INTERVAL)
+        scenario = Scenario(config).setup()
+        try:
+            user_ids = list(range(1, config.seed_scale.users + 1))
+            trace = compile_trace(
+                WorkloadGenerator(WORKLOAD, user_ids).generate())
+            replayer = ConcurrentReplayer(
+                scenario.app, scenario.database, genie=scenario.genie,
+                workers=1, clock=scenario.clock,
+                page_interval_seconds=config.page_interval_seconds)
+            replayer.replay(trace)
+            genie = scenario.genie
+            assert genie.interceptor._match_cache is None
+            assert genie.app_cache.ring._placement is None
+            for server in genie.app_cache._servers.values():
+                assert server._validated_keys is None
+            for cached_object in genie.cached_objects.values():
+                assert cached_object.keys._memo is None
+            from repro.core import serializer
+            assert serializer._fast_copy is False
+        finally:
+            scenario.teardown()

@@ -1,0 +1,81 @@
+"""The benchmark harness cannot rot: ``bench_simulator --quick`` in-process.
+
+CI's simulator-smoke job runs the tool as a subprocess; this mirror keeps the
+payload schema honest from inside tier-1 — every cell present, rates positive,
+the compiled/parallel fast paths cross-checked against their slow twins, and
+contention counters actually firing on the workers=2 cell.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import bench_simulator  # noqa: E402
+
+EXPECTED_CELLS = {
+    "replay_workers1",
+    "replay_workers1_compiled",
+    "replay_workers2_adversarial",
+    "cluster",
+    "sweep_jobs1",
+    "sweep_jobs2",
+    "simulate_replay_clients",
+    "simulate_streaming_population",
+}
+
+
+@pytest.fixture(scope="module")
+def payload(tmp_path_factory):
+    """One ``--quick`` run shared by every schema assertion below."""
+    output = tmp_path_factory.mktemp("bench") / "BENCH_simulator.json"
+    assert bench_simulator.main(["--quick", "--output", str(output)]) == 0
+    return json.loads(output.read_text())
+
+
+def test_payload_schema(payload):
+    assert payload["schema"] == 2
+    assert payload["mode"] == "quick"
+    assert payload["cpus"] >= 1
+    assert set(payload["cells"]) == EXPECTED_CELLS
+    assert payload["compiled_replay_speedup"] > 0
+    assert payload["sweep_jobs2_speedup"] > 0
+
+
+def test_every_cell_reports_a_positive_rate(payload):
+    for name, cell in payload["cells"].items():
+        rate = (cell.get("pages_per_s") or cell.get("events_per_s")
+                or cell.get("cells_per_s"))
+        assert rate and rate > 0, f"cell {name} reported no positive rate"
+
+
+def test_compiled_cell_matches_uncompiled_schedule(payload):
+    cells = payload["cells"]
+    assert cells["replay_workers1_compiled"]["compiled"] is True
+    assert cells["replay_workers1"]["compiled"] is False
+    assert (cells["replay_workers1_compiled"]["schedule"]
+            == cells["replay_workers1"]["schedule"])
+    assert (cells["replay_workers1_compiled"]["pages"]
+            == cells["replay_workers1"]["pages"])
+
+
+def test_parallel_sweep_matches_serial_signatures(payload):
+    cells = payload["cells"]
+    assert cells["sweep_jobs1"]["jobs"] == 1
+    assert cells["sweep_jobs2"]["jobs"] == 2
+    assert cells["sweep_jobs1"]["cells"] == cells["sweep_jobs2"]["cells"] > 0
+    assert (cells["sweep_jobs1"]["signatures"]
+            == cells["sweep_jobs2"]["signatures"])
+
+
+def test_contention_counters_fire_at_two_workers(payload):
+    contended = payload["cells"]["replay_workers2_adversarial"]["contention"]
+    assert sum(contended.values()) > 0
+    serial = payload["cells"]["replay_workers1"]["contention"]
+    assert sum(serial.values()) == 0

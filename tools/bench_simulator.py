@@ -5,8 +5,14 @@ Seeds the performance trajectory (ROADMAP item 3): for a fixed hot-key
 scenario this measures
 
 * **replayed pages/sec** — functional replay through ``ConcurrentReplayer``
-  at ``workers=1`` (the serial facade path) and at ``workers=2`` under the
-  adversarial interleave policy, and
+  at ``workers=1`` (the serial facade path), the same replay over a
+  ``CompiledTrace`` (the memo fast paths of ``repro.core.fastpath``; byte-
+  identical output, higher rate), and at ``workers=2`` under the
+  adversarial interleave policy,
+* **swept cells/sec** — the quick contention ablation run end to end at
+  ``--jobs 1`` and ``--jobs 2`` (the process-parallel cell runner; the
+  speedup is bounded by the ``cpus`` recorded in the payload — on a
+  single-core container the fork overhead makes jobs=2 *slower*), and
 * **simulated events/sec** — discrete events the ``EventEngine`` processes
   while ``simulate_population`` runs, both on the replay's own clients and
   on a large synthetic streaming population.
@@ -21,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -38,8 +45,9 @@ from repro.bench.scenarios import (Scenario, ScenarioConfig,  # noqa: E402
 from repro.cluster import (ClusterController, FaultEvent,  # noqa: E402
                            FaultInjector, FaultSchedule, GutterPool)
 from repro.memcache import CacheServer  # noqa: E402
+from repro.bench.experiments import experiment_contention  # noqa: E402
 from repro.sim import (ADVERSARIAL, ROUND_ROBIN,  # noqa: E402
-                       ConcurrentReplayer, simulate_population)
+                       ConcurrentReplayer, compile_trace, simulate_population)
 from repro.sim.runner import (ReplayResult, ReplayedPage,  # noqa: E402
                               SimulationOptions)
 from repro.storage.costmodel import CostCounters, Demand  # noqa: E402
@@ -48,7 +56,8 @@ from repro.workload import WorkloadGenerator  # noqa: E402
 DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 
 
-def bench_replay(workers: int, policy: str, workload, seed_scale: SeedScale):
+def bench_replay(workers: int, policy: str, workload, seed_scale: SeedScale,
+                 compiled: bool = False):
     """Replay the fixed scenario once; return pages/sec plus contention."""
     config = ScenarioConfig(
         name=UPDATE_SCENARIO, strategy=_ablation_strategy(UPDATE_SCENARIO),
@@ -57,6 +66,8 @@ def bench_replay(workers: int, policy: str, workload, seed_scale: SeedScale):
     try:
         user_ids = list(range(1, config.seed_scale.users + 1))
         trace = WorkloadGenerator(workload, user_ids).generate()
+        if compiled:
+            trace = compile_trace(trace)
         replayer = ConcurrentReplayer(
             scenario.app, scenario.database, genie=scenario.genie,
             workers=workers, policy=policy, seed=0, clock=scenario.clock,
@@ -72,6 +83,25 @@ def bench_replay(workers: int, policy: str, workload, seed_scale: SeedScale):
         "pages_per_s": round(len(result.pages) / elapsed, 1),
         "contention": dict(result.contention_summary()),
         "schedule": result.schedule_signature,
+        "compiled": compiled,
+    }
+
+
+def bench_sweep(jobs: int):
+    """Run the quick contention ablation end to end at ``--jobs N``.
+
+    Always the quick (8-cell) sweep, in both bench modes: the point is the
+    jobs=1 vs jobs=2 ratio on identical work, not the sweep's absolute cost.
+    """
+    started = time.perf_counter()
+    result = experiment_contention(quick=True, jobs=jobs)
+    elapsed = time.perf_counter() - started
+    return {
+        "jobs": jobs,
+        "cells": len(result.runs),
+        "seconds": round(elapsed, 4),
+        "cells_per_s": round(len(result.runs) / elapsed, 2),
+        "signatures": sorted({run.schedule_signature for run in result.runs}),
     }
 
 
@@ -171,11 +201,22 @@ def main(argv=None) -> int:
     serial_replay, cells["replay_workers1"] = bench_replay(
         workers=1, policy=ROUND_ROBIN, workload=workload,
         seed_scale=SeedScale.tiny())
+    compiled_replay, cells["replay_workers1_compiled"] = bench_replay(
+        workers=1, policy=ROUND_ROBIN, workload=workload,
+        seed_scale=SeedScale.tiny(), compiled=True)
+    if compiled_replay.schedule_signature != serial_replay.schedule_signature:
+        raise SystemExit("compiled replay diverged from uncompiled: "
+                         f"{compiled_replay.schedule_signature} != "
+                         f"{serial_replay.schedule_signature}")
     _, cells["replay_workers2_adversarial"] = bench_replay(
         workers=2, policy=ADVERSARIAL, workload=workload,
         seed_scale=SeedScale.tiny())
     cells["cluster"] = bench_cluster(workload=workload,
                                      seed_scale=SeedScale.tiny())
+    cells["sweep_jobs1"] = bench_sweep(jobs=1)
+    cells["sweep_jobs2"] = bench_sweep(jobs=2)
+    if cells["sweep_jobs1"]["signatures"] != cells["sweep_jobs2"]["signatures"]:
+        raise SystemExit("parallel sweep diverged from serial sweep")
     cells["simulate_replay_clients"] = bench_simulate(
         serial_replay, "closed loop over the replay's own clients",
         clients=workload.clients)
@@ -185,9 +226,18 @@ def main(argv=None) -> int:
         options=SimulationOptions(think_time_ms=0.0))
 
     payload = {
-        "schema": 1,
+        "schema": 2,
         "mode": "quick" if args.quick else "full",
         "generated_unix": int(time.time()),
+        #: Parallel sweep speedup is bounded by this; on 1 CPU jobs=2 can
+        #: only lose (fork + pickling overhead with zero extra cores).
+        "cpus": os.cpu_count() or 1,
+        "compiled_replay_speedup": round(
+            cells["replay_workers1_compiled"]["pages_per_s"]
+            / cells["replay_workers1"]["pages_per_s"], 3),
+        "sweep_jobs2_speedup": round(
+            cells["sweep_jobs1"]["seconds"]
+            / cells["sweep_jobs2"]["seconds"], 3),
         "workload": {"clients": workload.clients,
                      "sessions_per_client": workload.sessions_per_client,
                      "page_loads_per_session": workload.page_loads_per_session},
@@ -196,9 +246,14 @@ def main(argv=None) -> int:
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     for name, cell in cells.items():
-        rate = cell.get("pages_per_s") or cell.get("events_per_s")
-        unit = "pages/s" if "pages_per_s" in cell else "events/s"
+        rate = (cell.get("pages_per_s") or cell.get("events_per_s")
+                or cell.get("cells_per_s"))
+        unit = ("pages/s" if "pages_per_s" in cell
+                else "events/s" if "events_per_s" in cell else "cells/s")
         print(f"{name:34s} {rate:>12,.1f} {unit}")
+    print(f"compiled replay speedup: {payload['compiled_replay_speedup']}x, "
+          f"jobs=2 sweep speedup: {payload['sweep_jobs2_speedup']}x "
+          f"on {payload['cpus']} cpu(s)")
     print(f"wrote {args.output}")
     return 0
 
