@@ -1,0 +1,42 @@
+"""Adaptive per-key consistency: telemetry-driven strategy selection.
+
+The static strategies (:mod:`repro.core.strategies`) pick one point on the
+freshness/DB-work trade-off for every key of a cached object.  This package
+closes the loop per key:
+
+* :mod:`~repro.adaptive.telemetry` — bounded, deterministic per-key
+  read/write rates and contention tallies, fed from hook points in
+  :class:`~repro.memcache.client.CacheClient`,
+  :class:`~repro.core.trigger_queue.TriggerOpQueue` and
+  :class:`~repro.core.refresh.RefreshQueue`;
+* :mod:`~repro.adaptive.strategy` — :class:`AdaptiveStrategy`, a registered
+  consistency strategy that classifies keys into hotness/contention bands
+  (with min-dwell hysteresis on the simulated clock) and delegates each
+  protocol hook to ``update-in-place``, ``leased-invalidate`` or
+  ``async-refresh``, migrating cached state correctly on a band switch.
+
+Importing the package registers the ``"adaptive"`` strategy singleton, so
+``resolve_strategy("adaptive")`` works anywhere downstream.
+
+See ``docs/ADAPTIVE.md`` for the band model and migration semantics.
+"""
+
+from ..core.strategies import register_strategy
+from .strategy import (ADAPTIVE, ALL_BANDS, AdaptiveStrategy, COLD_BAND,
+                       HERD_BAND, REFRESH_BAND)
+from .telemetry import KeyStats, KeyTelemetry
+
+#: The registered default-configuration singleton.
+ADAPTIVE_STRATEGY = register_strategy(AdaptiveStrategy())
+
+__all__ = [
+    "ADAPTIVE",
+    "ADAPTIVE_STRATEGY",
+    "ALL_BANDS",
+    "AdaptiveStrategy",
+    "COLD_BAND",
+    "HERD_BAND",
+    "REFRESH_BAND",
+    "KeyStats",
+    "KeyTelemetry",
+]

@@ -17,6 +17,8 @@ code::
     python -m repro.bench exp-strategies [--quick]
     python -m repro.bench exp-contention [--quick] [--check]
     python -m repro.bench exp-cluster [--quick] [--check]
+    python -m repro.bench exp-adaptive [--quick] [--check]
+    python -m repro.bench strategies
 
 Each command prints the same rendered rows/series the corresponding
 ``benchmarks/`` target saves under ``benchmarks/_results/``.
@@ -149,6 +151,31 @@ def _cmd_exp_cluster(args: argparse.Namespace) -> str:
                      "dipped the degraded segment, and the run is "
                      "deterministic under the fixed seed.")
     return rendered
+
+
+def _cmd_exp_adaptive(args: argparse.Namespace) -> str:
+    # None falls through to the experiment's defaults (which --quick
+    # shrinks); explicit selections are honored even in quick mode.
+    result = experiments.experiment_adaptive(
+        scenarios=args.strategies,
+        quick=args.quick,
+        jobs=args.jobs,
+    )
+    rendered = reporting.render_experiment_adaptive(result)
+    if args.check:
+        problems = result.check_adaptive()
+        if problems:
+            raise SystemExit(rendered + "\n\nADAPTIVE CHECK FAILED:\n  "
+                             + "\n  ".join(problems))
+        rendered += ("\nAdaptive check passed: bands switched and adaptive "
+                     "sits on the (fallbacks, DB work) Pareto frontier.")
+    return rendered
+
+
+def _cmd_strategies(_args: argparse.Namespace) -> str:
+    from .. import adaptive  # noqa: F401 -- registers the adaptive singleton
+    from ..core.strategies import registered_strategies
+    return reporting.render_strategies_list(registered_strategies())
 
 
 def _cmd_exp_cas_batch(args: argparse.Namespace) -> str:
@@ -329,6 +356,31 @@ def build_parser() -> argparse.ArgumentParser:
              "runs agree bit for bit")
     _add_jobs_argument(exp_cluster)
     exp_cluster.set_defaults(func=_cmd_exp_cluster)
+
+    exp_adaptive = sub.add_parser(
+        "exp-adaptive",
+        help="Adaptive-strategy ablation: telemetry-driven per-key band "
+             "selection vs every static strategy on a mixed hot/cold "
+             "workload under a flash-crowd arrival shape")
+    exp_adaptive.add_argument(
+        "--strategies", nargs="+", default=None,
+        choices=list(experiments.ADAPTIVE_ABLATION_SCENARIOS),
+        help="subset of arms to run (default: all five)")
+    exp_adaptive.add_argument(
+        "--quick", action="store_true",
+        help="tiny seed and short trace — the CI smoke configuration")
+    exp_adaptive.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero unless bands switched and adaptive sits on the "
+             "(blocking fallbacks, total DB work) Pareto frontier")
+    _add_jobs_argument(exp_adaptive)
+    exp_adaptive.set_defaults(func=_cmd_exp_adaptive)
+
+    sub.add_parser(
+        "strategies",
+        help="List every registered consistency strategy (describe() "
+             "summaries, adaptive bands included)") \
+        .set_defaults(func=_cmd_strategies)
     return parser
 
 

@@ -25,8 +25,9 @@ from ..sim.parallel import run_cells
 from ..storage import (ColumnDef, CostModel, Database, IndexDef, Recorder,
                        TableSchema)
 from ..storage.costmodel import CostCounters
-from ..workload import WorkloadConfig, WorkloadGenerator
-from .scenarios import (ALL_SCENARIOS, ASYNC_REFRESH_SCENARIO, EXPIRY_SCENARIO,
+from ..workload import FlashCrowdArrival, WorkloadConfig, WorkloadGenerator
+from .scenarios import (ADAPTIVE_SCENARIO, ALL_SCENARIOS,
+                        ASYNC_REFRESH_SCENARIO, EXPIRY_SCENARIO,
                         INVALIDATE_SCENARIO, LEASED_SCENARIO, NO_CACHE,
                         Scenario, ScenarioConfig, UPDATE_SCENARIO)
 
@@ -800,6 +801,261 @@ def experiment_strategies(
         throughput=throughput,
         cache_hit_ratio=hit_ratio,
     )
+
+
+# ---------------------------------------------------------------------------
+# Adaptive-strategy ablation (`exp-adaptive`) — per-key bands vs static picks
+# ---------------------------------------------------------------------------
+
+#: Arms of the adaptive ablation, in report order: the static strategies a
+#: band can delegate to (plus plain invalidation as the classic baseline),
+#: then the adaptive strategy that picks among them per key.
+ADAPTIVE_ABLATION_SCENARIOS = (UPDATE_SCENARIO, INVALIDATE_SCENARIO,
+                               LEASED_SCENARIO, ASYNC_REFRESH_SCENARIO,
+                               ADAPTIVE_SCENARIO)
+
+#: Mixed hot/cold workload: the hot-key page mix, but with a *moderate* zipf
+#: skew so a handful of hot users coexists with a genuinely cold tail — the
+#: regime where no single static strategy fits every key (update-in-place is
+#: right for the tail, leases/refresh for the heads).
+MIXED_HOT_COLD_WORKLOAD = WorkloadConfig(
+    clients=8, sessions_per_client=3, page_loads_per_session=5,
+    page_mix={"LookupBM": 45.0, "LookupFBM": 15.0,
+              "CreateBM": 25.0, "AcceptFR": 15.0},
+    zipf_parameter=1.8)
+
+#: Adaptive band thresholds for the ablation's virtual-time scale (pages
+#: arrive ~:data:`STRATEGY_PAGE_INTERVAL` apart at baseline, several times
+#: faster during the flash crowd's burst).
+ADAPTIVE_HOT_RATE = 4.0
+ADAPTIVE_DWELL_SECONDS = 2.0
+ADAPTIVE_HALF_LIFE_SECONDS = 4.0
+#: Write share promoting a hot key to the write-heavy (async-refresh) band.
+#: The ablation replays single-worker, so lease contention never fires and
+#: the herd band stays empty by construction — the sweep exercises the
+#: cold <-> write-heavy axis, where the flash crowd moves the needle.
+ADAPTIVE_WRITE_SHARE = 0.3
+
+
+def _adaptive_arrival(total_pages: int,
+                      base_interval_seconds: float = STRATEGY_PAGE_INTERVAL,
+                      ) -> FlashCrowdArrival:
+    """The ablation's time-varying arrival shape, scaled to the trace.
+
+    Baseline arrivals for the first quarter of the trace, then a flash
+    crowd: an 8x arrival-rate burst decaying back to baseline over about a
+    quarter of the trace — hot keys' decayed read rates spike (band
+    promotion) and later settle (demotion + hysteresis).  Every arm replays
+    under the same shape, so the comparison is apples to apples.
+    """
+    quarter = max(1, total_pages // 4)
+    return FlashCrowdArrival(
+        base_interval_seconds=base_interval_seconds,
+        burst_start=quarter, burst_factor=8.0,
+        recovery_pages=max(8, quarter))
+
+
+def _adaptive_ablation_strategy(scenario: str):
+    """Strategy instance per arm: the static arms reuse the strategy
+    ablation's tuning; the adaptive arm gets delegates tuned identically,
+    so any win comes from *selection*, not from different windows."""
+    if scenario == ADAPTIVE_SCENARIO:
+        from ..adaptive import AdaptiveStrategy
+        from ..core import AsyncRefreshStrategy, LeasedInvalidateStrategy
+        return AdaptiveStrategy(
+            hot_rate_threshold=ADAPTIVE_HOT_RATE,
+            write_share_threshold=ADAPTIVE_WRITE_SHARE,
+            min_dwell_seconds=ADAPTIVE_DWELL_SECONDS,
+            half_life_seconds=ADAPTIVE_HALF_LIFE_SECONDS,
+            leased=LeasedInvalidateStrategy(
+                lease_seconds=STRATEGY_LEASE_SECONDS),
+            async_refresh=AsyncRefreshStrategy(
+                refresh_seconds=STRATEGY_WINDOW_SECONDS))
+    return _ablation_strategy(scenario)
+
+
+@dataclass
+class AdaptiveRun:
+    """One arm of the adaptive ablation."""
+
+    scenario: str
+    strategy_name: str
+    schedule_signature: str
+    blocking_fallbacks: float        # reads that stalled on the database
+    recomputations: float            # background/trigger recomputes
+    stale_served: float
+    invalidations: float
+    updates_applied: float
+    #: Cost-model database demand (CPU + disk, simulated ms) the measured
+    #: replay charged — the DB-work axis of the ablation's Pareto frontier.
+    #: Unlike a raw ``fallbacks + recomputes`` count this prices *all*
+    #: database work at the paper-calibrated rates: the fallback queries, the
+    #: background recomputes, and the per-write trigger machinery that
+    #: update-in-place spends keeping values fresh.
+    db_time_ms: float
+    band_switches: int
+    adaptive_migrations: int
+    #: Keys the telemetry tracked at replay end (0 for the static arms).
+    tracked_keys: int
+    round_trips: int
+    throughput: float
+    cache_hit_ratio: float
+
+    @property
+    def total_db_work(self) -> float:
+        """The DB-work frontier axis: cost-model DB milliseconds."""
+        return self.db_time_ms
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of the adaptive-strategy ablation sweep."""
+
+    scenarios: List[str]
+    runs: List[AdaptiveRun]
+
+    def run_for(self, scenario: str) -> Optional[AdaptiveRun]:
+        for run in self.runs:
+            if run.scenario == scenario:
+                return run
+        return None
+
+    def dominating_arms(self) -> List[str]:
+        """Static arms strictly better than adaptive on BOTH axes of the
+        (blocking fallbacks, total DB work) frontier.  Empty = adaptive is
+        on the Pareto frontier (meets or beats every static pick)."""
+        adaptive = self.run_for(ADAPTIVE_SCENARIO)
+        if adaptive is None:
+            return []
+        arms = []
+        for run in self.runs:
+            if run.scenario == ADAPTIVE_SCENARIO:
+                continue
+            if (run.blocking_fallbacks <= adaptive.blocking_fallbacks
+                    and run.total_db_work <= adaptive.total_db_work
+                    and (run.blocking_fallbacks < adaptive.blocking_fallbacks
+                         or run.total_db_work < adaptive.total_db_work)):
+                arms.append(run.scenario)
+        return arms
+
+    def check_adaptive(self) -> List[str]:
+        """Assertions of the CI smoke job.  Returns the failures (empty =
+        the subsystem still adapts and still pays off)."""
+        adaptive = self.run_for(ADAPTIVE_SCENARIO)
+        if adaptive is None:
+            return ["no Adaptive arm in the sweep"]
+        problems = []
+        if adaptive.band_switches <= 0:
+            problems.append(
+                "band_switches stayed 0 — the adaptive strategy never "
+                "reclassified a key on the flash-crowd workload")
+        for arm in self.dominating_arms():
+            problems.append(
+                f"{arm} strictly dominates Adaptive on the (blocking "
+                f"fallbacks, total DB work) frontier — adaptive selection "
+                f"is losing to a static pick")
+        return problems
+
+
+def _run_adaptive_cell(scenario_name: str, workload: WorkloadConfig,
+                       seed_scale: SeedScale,
+                       warmup: Optional[WorkloadConfig],
+                       arrival: FlashCrowdArrival) -> AdaptiveRun:
+    """Replay one arm under the flash-crowd arrival shape and measure it."""
+    strategy = _adaptive_ablation_strategy(scenario_name)
+    config = ScenarioConfig(
+        name=scenario_name, strategy=strategy, seed_scale=seed_scale,
+        page_interval_seconds=STRATEGY_PAGE_INTERVAL)
+    scenario = Scenario(config).setup()
+    try:
+        user_ids = list(range(1, config.seed_scale.users + 1))
+        if warmup is not None:
+            serial = WorkloadReplayer(
+                scenario.app, scenario.database, clock=scenario.clock,
+                page_interval_seconds=config.page_interval_seconds)
+            serial.replay(WorkloadGenerator(warmup, user_ids).generate(),
+                          record=False)
+        engine = ConcurrentReplayer(
+            scenario.app, scenario.database, genie=scenario.genie,
+            workers=1, clock=scenario.clock,
+            page_interval_seconds=config.page_interval_seconds,
+            arrival_model=arrival)
+        trace = WorkloadGenerator(workload, user_ids).generate()
+        replay = engine.replay(trace)
+        metrics = simulate_population(replay, clients=workload.clients)
+        counters = replay.total_counters
+        demand = scenario.database.cost_model.demand(counters)
+        object_totals = (scenario.genie.stats.totals().as_dict()
+                        if scenario.genie else {})
+        return AdaptiveRun(
+            scenario=scenario_name,
+            strategy_name=strategy.name if strategy else "-",
+            schedule_signature=replay.schedule_signature,
+            blocking_fallbacks=object_totals.get("db_fallbacks", 0.0),
+            recomputations=object_totals.get("recomputations", 0.0),
+            stale_served=object_totals.get("stale_served", 0.0),
+            invalidations=object_totals.get("invalidations", 0.0),
+            updates_applied=object_totals.get("updates_applied", 0.0),
+            db_time_ms=demand.db_cpu_ms + demand.db_disk_ms,
+            band_switches=counters.band_switches,
+            adaptive_migrations=counters.adaptive_migrations,
+            tracked_keys=len(replay.key_telemetry),
+            round_trips=counters.cache_round_trips,
+            throughput=metrics.throughput,
+            cache_hit_ratio=scenario.cache_hit_ratio(),
+        )
+    finally:
+        scenario.teardown()
+
+
+def experiment_adaptive(
+    scenarios: Optional[Sequence[str]] = None,
+    workload: Optional[WorkloadConfig] = None,
+    quick: bool = False,
+    jobs: int = 1,
+) -> AdaptiveResult:
+    """Sweep the static strategies and the adaptive strategy on a mixed
+    hot/cold workload under a flash-crowd arrival shape.
+
+    Every arm replays the identical trace under the identical time-varying
+    arrival model (:func:`_adaptive_arrival`); only the consistency
+    strategy differs.  The adaptive arm's delegates use the same window
+    tuning as the static arms, so the comparison isolates per-key
+    *selection*.  ``quick=True`` shrinks the seed and trace for the CI
+    smoke job; ``jobs`` fans the arms out over processes with a
+    deterministic merge.
+    """
+    base_workload = workload or MIXED_HOT_COLD_WORKLOAD
+    seed_scale = DEFAULT_SEED_SCALE
+    warmup: Optional[WorkloadConfig] = DEFAULT_WARMUP
+    if quick:
+        seed_scale = SeedScale.tiny()
+        # Six pages per session (72 total) is the smallest trace whose
+        # flash crowd pushes a key over the write-share band threshold —
+        # below that the adaptive arm never switches and the check is
+        # vacuous.  The warmup stays (shrunk): without it async-refresh
+        # never pays its envelope-expiry fallbacks and the quick frontier
+        # degenerates.
+        base_workload = base_workload.with_overrides(
+            clients=6, sessions_per_client=2, page_loads_per_session=6)
+        warmup = DEFAULT_WARMUP.with_overrides(
+            clients=6, page_loads_per_session=4)
+    scenarios = (tuple(scenarios) if scenarios
+                 else ADAPTIVE_ABLATION_SCENARIOS)
+    total_pages = (base_workload.clients * base_workload.sessions_per_client
+                   * base_workload.page_loads_per_session)
+    # Quick mode stretches the baseline interval 3x so the 72-page trace
+    # still spans several async-refresh hard TTLs — otherwise no envelope
+    # ever expires and the short trace cannot tell the arms apart.
+    arrival = _adaptive_arrival(
+        total_pages,
+        base_interval_seconds=(3.0 * STRATEGY_PAGE_INTERVAL if quick
+                               else STRATEGY_PAGE_INTERVAL))
+    argument_sets = [(name, base_workload, seed_scale, warmup, arrival)
+                     for name in scenarios]
+    runs: List[AdaptiveRun] = run_cells(_run_adaptive_cell, argument_sets,
+                                        jobs=jobs)
+    return AdaptiveResult(scenarios=list(scenarios), runs=runs)
 
 
 # ---------------------------------------------------------------------------

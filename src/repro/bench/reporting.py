@@ -4,10 +4,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
-from .experiments import (BATCHED_CAS, CLUSTER_SCALE_OUT, CONTENTION_COUNTERS,
-                          EAGER_CAS, PIPELINED_CAS, BatchingResult,
-                          CasBatchingResult, ClusterResult, ContentionResult,
-                          EffortResult, Experiment1Result, Experiment2Result,
+from .experiments import (ADAPTIVE_SCENARIO, BATCHED_CAS, CLUSTER_SCALE_OUT,
+                          CONTENTION_COUNTERS, EAGER_CAS, PIPELINED_CAS,
+                          AdaptiveResult, BatchingResult, CasBatchingResult,
+                          ClusterResult, ContentionResult, EffortResult,
+                          Experiment1Result, Experiment2Result,
                           Experiment3Result, Experiment4Result,
                           Experiment5Result, MicroLookupResult,
                           MicroTriggerResult, StrategiesResult)
@@ -296,6 +297,85 @@ def render_experiment_strategies(result: StrategiesResult) -> str:
             f"the lease window)",
         ]
     return "\n".join(lines)
+
+
+def render_experiment_adaptive(result: AdaptiveResult) -> str:
+    """Render the adaptive-strategy ablation: one row per arm, plus the
+    Pareto verdict on the (blocking fallbacks, total DB work) frontier."""
+    headers = ["Scenario", "Strategy", "Fallbacks", "Recomputes", "DB ms",
+               "Stale", "Invalid.", "Updates", "Switches", "Migrations",
+               "Keys", "Round trips", "Tput (req/s)", "Hit ratio", "Schedule"]
+    rows = []
+    for run in result.runs:
+        rows.append([
+            run.scenario, run.strategy_name,
+            int(run.blocking_fallbacks), int(run.recomputations),
+            f"{run.db_time_ms:.1f}",
+            int(run.stale_served), int(run.invalidations),
+            int(run.updates_applied),
+            run.band_switches, run.adaptive_migrations, run.tracked_keys,
+            run.round_trips, f"{run.throughput:.1f}",
+            f"{run.cache_hit_ratio * 100.0:.0f}%",
+            run.schedule_signature or "-",
+        ])
+    lines = [
+        "Adaptive-strategy ablation — mixed hot/cold workload under a "
+        "flash-crowd arrival shape",
+        format_table(headers, rows),
+    ]
+    adaptive = result.run_for(ADAPTIVE_SCENARIO)
+    if adaptive is not None:
+        dominating = result.dominating_arms()
+        lines.append("")
+        if dominating:
+            lines.append(
+                f"Pareto: {', '.join(dominating)} strictly dominate(s) "
+                f"Adaptive on the (blocking fallbacks, total DB work) "
+                f"frontier.")
+        else:
+            lines.append(
+                f"Pareto: Adaptive ({adaptive.blocking_fallbacks:.0f} "
+                f"fallbacks, {adaptive.total_db_work:.1f} DB ms) is on the "
+                f"(blocking fallbacks, total DB work) frontier — no static "
+                f"strategy beats it on both axes "
+                f"({adaptive.band_switches} band switches, "
+                f"{adaptive.adaptive_migrations} migrations).")
+    return "\n".join(lines)
+
+
+def render_strategies_list(strategies: Dict[str, object]) -> str:
+    """Render every registered consistency strategy via its ``describe()``.
+
+    ``strategies`` is a name -> strategy mapping (normally
+    ``registered_strategies()``, with ``repro.adaptive`` imported so the
+    adaptive singleton is registered).
+    """
+    lines = ["Registered consistency strategies", ""]
+    for name in sorted(strategies):
+        info = strategies[name].describe()
+        lines.append(f"{name}:")
+        lines.append(f"  triggers:     "
+                     f"{'required' if info['needs_triggers'] else 'none'}")
+        lines.append(f"  serves stale: "
+                     f"{'yes' if info['serves_stale'] else 'no'}")
+        lines.append(f"  counters:     {', '.join(info['counters_moved'])}")
+        lines.append(f"  failover:     {info['failover']}")
+        for key in sorted(info):
+            if key in ("name", "needs_triggers", "serves_stale",
+                       "counters_moved", "failover", "bands"):
+                continue
+            lines.append(f"  {key}: {info[key]}")
+        bands = info.get("bands")
+        if bands:
+            lines.append("  bands:")
+            for band, spec in bands.items():
+                detail = ", ".join(f"{k}={v}" for k, v in spec.items()
+                                   if k not in ("delegate", "when"))
+                suffix = f" ({detail})" if detail else ""
+                lines.append(f"    {band} -> {spec['delegate']}: "
+                             f"{spec['when']}{suffix}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
 
 
 def render_experiment_contention(result: ContentionResult) -> str:

@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Union
 
+from ..adaptive import ADAPTIVE  # noqa: F401 — import registers the strategy
 from ..apps.social import (SeedScale, SeedSummary, SocialApplication,
                            install_cached_objects, seed_database,
                            social_registry)
@@ -37,6 +38,7 @@ UPDATE_SCENARIO = "Update"
 EXPIRY_SCENARIO = "Expiry"
 LEASED_SCENARIO = "LeasedInvalidate"
 ASYNC_REFRESH_SCENARIO = "AsyncRefresh"
+ADAPTIVE_SCENARIO = "Adaptive"
 
 #: The paper's three evaluated configurations (experiments 1-5 sweep these).
 ALL_SCENARIOS = (NO_CACHE, INVALIDATE_SCENARIO, UPDATE_SCENARIO)
@@ -51,6 +53,7 @@ SCENARIO_STRATEGIES: Dict[str, Optional[str]] = {
     EXPIRY_SCENARIO: EXPIRY,
     LEASED_SCENARIO: LEASED_INVALIDATE,
     ASYNC_REFRESH_SCENARIO: ASYNC_REFRESH,
+    ADAPTIVE_SCENARIO: ADAPTIVE,
 }
 
 #: Every buildable scenario name (the strategy ablation sweeps the cached ones).

@@ -29,7 +29,8 @@ from ...orm.template import QueryTemplate
 from ..keys import KeyScheme, fingerprint
 from ..serializer import freeze_rows, freeze_value, thaw_rows
 from ..stats import CachedObjectStats
-from ..strategies import ConsistencyStrategy, UPDATE_IN_PLACE, resolve_strategy
+from ..strategies import (ConsistencyStrategy, UPDATE_IN_PLACE,
+                          _FRESH_UNTIL_KEY, resolve_strategy)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ...orm.queryset import QueryDescription
@@ -133,8 +134,8 @@ class CacheClass:
         """The genie's commit-time trigger-op queue, or None when eager."""
         return getattr(self.genie, "trigger_op_queue", None)
 
-    def _expire(self) -> Optional[float]:
-        return self.strategy.expiry_for(self)
+    def _expire(self, key: Optional[str] = None) -> Optional[float]:
+        return self.strategy.expiry_for(self, key=key)
 
     def _query_filters(self, params: Dict[str, Any]) -> Dict[str, Any]:
         """Parameter values merged with the declared constant filters."""
@@ -397,6 +398,13 @@ class CacheClass:
         (applied to a single batched read at flush); the queue's single-writer
         flush needs no CAS loop.  Returns True, meaning "accepted".
         """
+        telemetry = getattr(self.trigger_cache, "telemetry", None)
+        if telemetry is not None:
+            # Adaptive runs only: attribute the write to the patch's target
+            # key here, where the trigger already knows it — the adaptive
+            # strategy's all-cold write path relies on this so it never has
+            # to recompute the affected-key set just for telemetry.
+            telemetry.note_write(key)
         queue = self._op_queue()
         if queue is not None:
             queue.enqueue_mutate(self, key, mutate)
@@ -404,6 +412,14 @@ class CacheClass:
         for attempt in range(CAS_MAX_RETRIES):
             value, token = self.trigger_cache.gets(key)
             if value is None:
+                return False
+            if isinstance(value, dict) and _FRESH_UNTIL_KEY in value:
+                # An adaptive band migration left an async-refresh envelope
+                # under this key; the incremental patch cannot apply to the
+                # foreign representation, so invalidate instead — the next
+                # read recomputes under the key's current band.
+                self.trigger_cache.delete(key)
+                self.stats.invalidations += 1
                 return False
             new_value = mutate(value)
             if new_value is None:
@@ -427,14 +443,14 @@ class CacheClass:
             queue.enqueue_mutate(
                 self, key,
                 lambda _current: self._freeze(self.compute_from_db(params)),
-                counter="recomputations", expire=self._expire())
+                counter="recomputations", expire=self._expire(key))
             return
         current, _token = self.trigger_cache.gets(key)
         if current is None:
             # Paper semantics: triggers only maintain entries already cached.
             return
         value = self.compute_from_db(params)
-        self.trigger_cache.set(key, self._freeze(value), expire=self._expire())
+        self.trigger_cache.set(key, self._freeze(value), expire=self._expire(key))
         self.stats.recomputations += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -509,8 +525,9 @@ def evaluate_many(
             value = cached_object.compute_from_db(normalized)
             frozen = cached_object._freeze(value)
             computed[key] = frozen
-            writes.setdefault(cached_object._expire(), {})[key] = \
-                cached_object.strategy.wrap_for_store(cached_object, frozen)
+            writes.setdefault(cached_object._expire(key), {})[key] = \
+                cached_object.strategy.wrap_for_store(cached_object, frozen,
+                                                      key=key)
         results.append(cached_object._present(cached_object._thaw(frozen)))
     for expire, mapping in writes.items():
         client.set_multi(mapping, expire=expire)

@@ -90,6 +90,12 @@ class CountQuery(CacheClass):
         group-moving UPDATE's ``-1``/``+1`` pair rides one wire batch and
         single bumps no longer need their own ``incr``/``decr`` code path.
         """
+        telemetry = getattr(self.trigger_cache, "telemetry", None)
+        if telemetry is not None:
+            # Adaptive runs only: counter bumps bypass ``_cas_update``, so
+            # they attribute their write telemetry here (same convention).
+            for key in deltas:
+                telemetry.note_write(key)
         queue = self._op_queue()
         if queue is not None:
             for key, delta in deltas.items():

@@ -146,6 +146,12 @@ class RefreshQueue:
         this is what turns a thundering herd of stale reads into a single
         database recompute.  Returns True if a new refresh was queued.
         """
+        telemetry = getattr(getattr(cached_object, "app_cache", None),
+                            "telemetry", None)
+        if telemetry is not None:
+            # Every schedule call is one stale serve (coalesced or not) —
+            # the per-key staleness signal for adaptive band selection.
+            telemetry.note_stale(key)
         if key in self._pending:
             self.coalesced += 1
             return False
@@ -241,8 +247,14 @@ class RefreshQueue:
         cached_object = entry.cached_object
         frozen = cached_object._freeze(
             cached_object.compute_from_db(entry.params))
+        # Stored through the *current* strategy: if the key's band switched
+        # while the refresh was pending (adaptive consistency), the store
+        # re-homes the entry under the new band's envelope + TTL.
         cached_object.strategy.store(cached_object, cached_object.app_cache,
                                      entry.key, frozen)
         cached_object.stats.recomputations += 1
+        telemetry = getattr(cached_object.app_cache, "telemetry", None)
+        if telemetry is not None:
+            telemetry.note_refresh(entry.key)
         self.completed += 1
         self.completed_log.append(entry.key)

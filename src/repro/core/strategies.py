@@ -149,19 +149,28 @@ class ConsistencyStrategy:
 
     # -- storage ---------------------------------------------------------------
 
-    def expiry_for(self, cached_object: "CacheClass") -> Optional[float]:
-        """Server-side TTL (seconds) for this object's entries, or None."""
+    def expiry_for(self, cached_object: "CacheClass",
+                   key: Optional[str] = None) -> Optional[float]:
+        """Server-side TTL (seconds) for this object's entries, or None.
+
+        ``key`` is the cache key being stored, for strategies whose policy
+        varies per key (the adaptive strategy); static strategies ignore it.
+        """
         return None
 
-    def wrap_for_store(self, cached_object: "CacheClass", frozen: Any) -> Any:
-        """Envelope a frozen value before it is stored (identity by default)."""
+    def wrap_for_store(self, cached_object: "CacheClass", frozen: Any,
+                       key: Optional[str] = None) -> Any:
+        """Envelope a frozen value before it is stored (identity by default).
+
+        ``key`` is the cache key being stored (see :meth:`expiry_for`).
+        """
         return frozen
 
     def store(self, cached_object: "CacheClass", client: Any, key: str,
               frozen: Any) -> None:
         """Write a computed value through this strategy's envelope + TTL."""
-        client.set(key, self.wrap_for_store(cached_object, frozen),
-                   expire=self.expiry_for(cached_object))
+        client.set(key, self.wrap_for_store(cached_object, frozen, key=key),
+                   expire=self.expiry_for(cached_object, key=key))
 
     # -- read path -------------------------------------------------------------
 
@@ -350,7 +359,8 @@ class ExpiryStrategy(ConsistencyStrategy):
     def __init__(self, default_ttl: float = DEFAULT_TTL) -> None:
         self.default_ttl = float(default_ttl)
 
-    def expiry_for(self, cached_object: "CacheClass") -> Optional[float]:
+    def expiry_for(self, cached_object: "CacheClass",
+                   key: Optional[str] = None) -> Optional[float]:
         if cached_object.expiry_seconds is not None:
             return cached_object.expiry_seconds
         return self.default_ttl
@@ -510,10 +520,12 @@ class AsyncRefreshStrategy(ConsistencyStrategy):
             return cached_object.expiry_seconds
         return self.refresh_seconds
 
-    def expiry_for(self, cached_object: "CacheClass") -> Optional[float]:
+    def expiry_for(self, cached_object: "CacheClass",
+                   key: Optional[str] = None) -> Optional[float]:
         return self._freshness_window(cached_object) + self.stale_grace_seconds
 
-    def wrap_for_store(self, cached_object: "CacheClass", frozen: Any) -> Any:
+    def wrap_for_store(self, cached_object: "CacheClass", frozen: Any,
+                       key: Optional[str] = None) -> Any:
         deadline = (cached_object.genie.now()
                     + self._freshness_window(cached_object))
         return {_FRESH_UNTIL_KEY: deadline, "value": frozen}

@@ -44,6 +44,7 @@ from typing import (Any, Callable, Dict, FrozenSet, List,  # noqa: F401
                     Optional, Tuple)
 
 from ..memcache.server import CAS_MISMATCH, CAS_STORED, CAS_TOO_LARGE
+from .strategies import _FRESH_UNTIL_KEY
 
 #: Mutation: current cached value -> new value, or None to leave it untouched.
 MutateFn = Callable[[Any], Optional[Any]]
@@ -279,11 +280,21 @@ class TriggerOpQueue:
             current = self.cache.gets_multi(list(outstanding))
             staged: Dict[Optional[float], Dict[str, Tuple[Any, int]]] = {}
             staged_ops: Dict[str, _PendingOp] = {}
+            foreign: Dict[str, _PendingOp] = {}
             for key, op in outstanding.items():
                 hit = current.get(key)
                 if hit is None:
                     continue  # not cached: the trigger quits (paper §3.2)
                 value, token = hit
+                if isinstance(value, dict) and _FRESH_UNTIL_KEY in value:
+                    # An adaptive band migration re-wrapped the entry as an
+                    # async-refresh envelope after this mutation enqueued.
+                    # Incremental patches cannot apply to the foreign
+                    # representation (and the envelope's base predates the
+                    # write), so fall back to invalidation — the chain
+                    # quits on a representation it does not own.
+                    foreign[key] = op
+                    continue
                 dirty = False
                 for mutate in op.mutations:
                     # None means "this mutation leaves the entry alone"
@@ -297,6 +308,8 @@ class TriggerOpQueue:
                     continue
                 staged.setdefault(op.expire, {})[key] = (value, token)
                 staged_ops[key] = op
+            if foreign:
+                self._invalidate_fallback(foreign)
             if not staged_ops:
                 return
             losers: Dict[str, _PendingOp] = {}
@@ -332,6 +345,13 @@ class TriggerOpQueue:
             recorder = getattr(self.cache, "recorder", None)
             if recorder is not None:
                 recorder.record("cas_retry_rounds")
+            telemetry = getattr(self.cache, "telemetry", None)
+            if telemetry is not None:
+                # Per-key contention signal for adaptive band selection:
+                # each loser re-enters a retry round under a concurrent
+                # writer (the mismatch itself was noted by cas_multi).
+                for key in losers:
+                    telemetry.note_cas_retry(key)
             for op in losers.values():
                 self._credit(op.owner, "cas_retries")
             outstanding = losers

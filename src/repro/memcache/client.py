@@ -77,6 +77,10 @@ class CacheClient:
         #: a rate-limited read is *contended* only when a different worker
         #: holds the window's token.
         self._lease_winners: Dict[str, Any] = {}
+        #: Optional per-key telemetry sink (adaptive consistency): a
+        #: :class:`~repro.adaptive.telemetry.KeyTelemetry` attached by the
+        #: adaptive strategy.  None everywhere else — every hook is guarded.
+        self.telemetry: Optional[Any] = None
 
     # -- connection / accounting ----------------------------------------------
 
@@ -504,6 +508,8 @@ class CacheClient:
                 elif verdict == CAS_MISMATCH:
                     self.stats.cas_mismatch += 1
                     self.recorder.record("cas_multi_mismatch")
+                    if self.telemetry is not None:
+                        self.telemetry.note_cas_mismatch(key)
                 else:
                     self.stats.cas_miss += 1
                 self.recorder.record("cache_bytes_moved",
@@ -641,6 +647,8 @@ class CacheClient:
                 self._lease_winners.get(key) != self.current_worker:
             self.stats.lease_contended += 1
             self.recorder.record("lease_contended")
+            if self.telemetry is not None:
+                self.telemetry.note_lease_contended(key)
 
     def lease(self, key: str,
               lease_seconds: float) -> Tuple[str, Optional[Any], Optional[int]]:

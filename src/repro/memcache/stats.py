@@ -25,6 +25,9 @@ CACHE_STAT_FIELDS: Tuple[str, ...] = (
     # Cluster dynamics: operations that failed fast against a dead node and
     # the gutter-pool fallback's hit/miss split for those keys.
     "node_down_errors", "gutter_hits", "gutter_misses",
+    # Adaptive per-key consistency: band reclassifications and the cache
+    # invalidations issued solely to migrate a key between bands.
+    "band_switches", "adaptive_migrations",
 )
 
 

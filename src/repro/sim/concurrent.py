@@ -88,6 +88,11 @@ class ConcurrentReplayResult(ReplayResult):
     #: completion order (``pages`` is the global completion-order view of
     #: the same objects).
     page_stores: Dict[int, List[ReplayedPage]] = field(default_factory=dict)
+    #: Per-key telemetry snapshot (adaptive consistency runs only: the
+    #: :class:`~repro.adaptive.telemetry.KeyTelemetry` the strategy attached
+    #: to the app-side cache client, hottest key first).  Empty for every
+    #: other strategy, so fingerprints of existing runs are unchanged.
+    key_telemetry: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def contention_summary(self) -> Dict[str, int]:
         """The counters the contention ablation is about."""
@@ -241,6 +246,7 @@ class ConcurrentReplayer:
         scheduler: Optional[InterleaveScheduler] = None,
         clock: Optional[Any] = None,
         page_interval_seconds: float = 0.0,
+        arrival_model: Optional[Callable[[int], float]] = None,
         fault_injector: Optional[Any] = None,
     ) -> None:
         if workers < 1:
@@ -252,6 +258,13 @@ class ConcurrentReplayer:
         self.scheduler = build_scheduler(policy, seed, scheduler)
         self.clock = clock
         self.page_interval_seconds = page_interval_seconds
+        #: Optional time-varying arrival shape: a callable mapping the
+        #: global page index (0-based, in clock-advance order) to the
+        #: virtual seconds to advance before that page.  Overrides the
+        #: constant ``page_interval_seconds`` when set; the constant stays
+        #: the default, so existing replays are bit-identical.  See
+        #: :mod:`repro.workload.arrival` for flash-crowd/diurnal shapes.
+        self.arrival_model = arrival_model
         #: Optional :class:`~repro.cluster.faults.FaultInjector`: scheduled
         #: node faults fire at the clock-advance points (the same points in
         #: the serial and threaded paths), so a fixed fault schedule lands
@@ -274,6 +287,7 @@ class ConcurrentReplayer:
         self._control = threading.Semaphore(0)
         self._result: Optional[ConcurrentReplayResult] = None
         self._record = True
+        self._pages_started = 0
 
     # -- worker assignment -----------------------------------------------------
 
@@ -304,8 +318,15 @@ class ConcurrentReplayer:
             worker.yield_control(label)
 
     def _advance_clock(self) -> None:
-        if self.clock is not None and self.page_interval_seconds > 0:
-            self.clock.advance(self.page_interval_seconds)
+        page_index = self._pages_started
+        self._pages_started += 1
+        if self.clock is not None:
+            if self.arrival_model is not None:
+                interval = float(self.arrival_model(page_index))
+                if interval > 0:
+                    self.clock.advance(interval)
+            elif self.page_interval_seconds > 0:
+                self.clock.advance(self.page_interval_seconds)
         if self.fault_injector is not None and self.clock is not None:
             self.fault_injector.fire_due(self.clock())
 
@@ -344,6 +365,7 @@ class ConcurrentReplayer:
         """
         self.scheduler.reset()
         self._record = record
+        self._pages_started = 0
         self._result = ConcurrentReplayResult(
             workers=self.workers, policy=self.scheduler.policy,
             seed=self.scheduler.seed)
@@ -367,6 +389,10 @@ class ConcurrentReplayer:
         result.schedule_signature = self.scheduler.signature()
         result.pages_by_worker = {w.worker_id: w.pages_completed
                                   for w in contexts}
+        telemetry = (getattr(self.genie.app_cache, "telemetry", None)
+                     if self.genie is not None else None)
+        if telemetry is not None:
+            result.key_telemetry = telemetry.snapshot()
         return result
 
     def _replay_serial(self, worker: _WorkerContext) -> None:

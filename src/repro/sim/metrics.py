@@ -73,6 +73,10 @@ class RunMetrics:
     #: (``cas_retry_rounds``, ``lease_contended``, ...); empty for replays
     #: without a contention summary.
     contention: Dict[str, int] = field(default_factory=dict)
+    #: Per-key telemetry snapshot of the replay (adaptive consistency runs
+    #: only — the strategy's :class:`~repro.adaptive.telemetry.KeyTelemetry`,
+    #: hottest key first); empty for every other strategy.
+    key_telemetry: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Discrete events the engine processed to produce this run — the
     #: denominator-independent work measure ``tools/bench_simulator.py``
     #: turns into events/sec.

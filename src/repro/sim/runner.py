@@ -28,7 +28,7 @@ measurements replay query traces:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..apps.social.pages import SocialApplication
 from ..storage.costmodel import CostCounters, Demand
@@ -137,17 +137,22 @@ class WorkloadReplayer:
     consistency mechanisms (TTL expiry, lease windows, async-refresh
     freshness deadlines) actually elapse during a replay.  The default is no
     advance — the frozen-clock behavior the committed experiments expect.
+    ``arrival_model`` replaces the constant interval with a time-varying
+    arrival shape (:mod:`repro.workload.arrival`): a callable mapping the
+    global page index to the seconds to advance before that page.
     """
 
     def __init__(self, app: SocialApplication, database: Database,
                  clock: Optional[object] = None,
                  page_interval_seconds: float = 0.0,
                  genie: Optional[object] = None,
+                 arrival_model: Optional[Callable[[int], float]] = None,
                  fault_injector: Optional[object] = None) -> None:
         self.app = app
         self.database = database
         self.clock = clock
         self.page_interval_seconds = page_interval_seconds
+        self.arrival_model = arrival_model
         self.genie = genie
         #: Optional :class:`~repro.cluster.faults.FaultInjector` (cluster
         #: dynamics): node faults fire at the clock-advance points.
@@ -166,6 +171,7 @@ class WorkloadReplayer:
             self.app, self.database, genie=self.genie, workers=1,
             clock=self.clock,
             page_interval_seconds=self.page_interval_seconds,
+            arrival_model=self.arrival_model,
             fault_injector=self.fault_injector)
         return engine.replay(trace, record=record)
 
@@ -202,8 +208,11 @@ def simulate_population(
     summary_fn = getattr(replay, "contention_summary", None)
     if callable(summary_fn):
         contention = dict(summary_fn())
+    key_telemetry: Dict[str, Dict[str, float]] = dict(
+        getattr(replay, "key_telemetry", None) or {})
     if not client_ids:
-        return RunMetrics(contention=contention)
+        return RunMetrics(contention=contention,
+                          key_telemetry=key_telemetry)
     if retain_completions is None:
         retain_completions = len(client_ids) < STREAM_CLIENT_THRESHOLD
 
@@ -212,7 +221,8 @@ def simulate_population(
     db_disk = QueueingResource(engine, "db_disk", servers=options.db_disk_servers)
     cache_net = DelayResource(engine, "cache_net")
     metrics = RunMetrics(retain_completions=retain_completions,
-                         contention=contention)
+                         contention=contention,
+                         key_telemetry=key_telemetry)
 
     def on_finished(client: SimulatedClient) -> None:
         # The measurement window ends when the first client runs out of

@@ -48,6 +48,10 @@ COST_COUNTER_FIELDS: Tuple[str, ...] = (
     "lease_contended", "cache_overlapped_batches",
     "cache_leases", "cache_multi_leases", "cache_multi_counters",
     "cache_hits", "cache_misses", "cache_bytes_moved", "cache_node_down",
+    # Adaptive per-key consistency: band reclassifications and the cache
+    # invalidations issued solely to migrate a key between bands.  Free in
+    # the cost model — the migration's delete pays its own round trip.
+    "band_switches", "adaptive_migrations",
 )
 
 

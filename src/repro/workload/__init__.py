@@ -1,5 +1,7 @@
-"""Workload substrate: configuration, zipf user selection, trace generation."""
+"""Workload substrate: configuration, zipf user selection, trace generation,
+arrival shapes."""
 
+from .arrival import ConstantArrival, DiurnalArrival, FlashCrowdArrival
 from .config import DEFAULT_PAGE_MIX, WorkloadConfig
 from .generator import WorkloadGenerator
 from .trace import CompiledTrace, PageLoad, Session, WorkloadTrace
@@ -7,7 +9,10 @@ from .zipf import SessionCountSampler, ZipfSampler
 
 __all__ = [
     "CompiledTrace",
+    "ConstantArrival",
     "DEFAULT_PAGE_MIX",
+    "DiurnalArrival",
+    "FlashCrowdArrival",
     "PageLoad",
     "Session",
     "SessionCountSampler",

@@ -30,6 +30,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["exp-cluster", "--fault-cases", "nope"])
 
+    def test_exp_adaptive_registered_with_flags(self):
+        args = build_parser().parse_args(
+            ["exp-adaptive", "--quick", "--check",
+             "--strategies", "Update", "Adaptive"])
+        assert callable(args.func)
+        assert args.quick and args.check
+        assert args.strategies == ["Update", "Adaptive"]
+
+    def test_exp_adaptive_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exp-adaptive", "--strategies", "nope"])
+
+    def test_strategies_command_registered(self):
+        assert callable(build_parser().parse_args(["strategies"]).func)
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -50,3 +65,19 @@ class TestExecution:
         assert main(["effort"]) == 0
         out = capsys.readouterr().out
         assert "Cached objects defined" in out
+
+    def test_strategies_command_lists_every_registered_strategy(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("update-in-place", "invalidate", "leased-invalidate",
+                     "async-refresh", "expiry", "adaptive"):
+            assert name in out
+        for band in ("cold", "hot-contended", "hot-write-heavy"):
+            assert band in out
+
+    def test_exp_adaptive_quick_check_passes(self, capsys):
+        assert main(["exp-adaptive", "--quick", "--check",
+                     "--strategies", "Update", "Adaptive"]) == 0
+        out = capsys.readouterr().out
+        assert "Adaptive check passed" in out
+        assert "Pareto" in out

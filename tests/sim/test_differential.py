@@ -20,14 +20,17 @@ import json
 import pytest
 
 from repro.apps.social import SeedScale
-from repro.bench.experiments import (HOT_KEY_WORKLOAD,
+from repro.bench.experiments import (ADAPTIVE_SCENARIO, HOT_KEY_WORKLOAD,
+                                     MIXED_HOT_COLD_WORKLOAD,
                                      STRATEGY_ABLATION_SCENARIOS,
                                      STRATEGY_PAGE_INTERVAL,
-                                     _ablation_strategy, experiment1,
+                                     _ablation_strategy,
+                                     _adaptive_ablation_strategy,
+                                     _adaptive_arrival, experiment1,
                                      experiment_cluster, experiment_contention)
 from repro.bench.scenarios import Scenario, ScenarioConfig, UPDATE_SCENARIO
-from repro.sim import (ADVERSARIAL, ROUND_ROBIN, ConcurrentReplayer,
-                       compile_trace)
+from repro.sim import (ADVERSARIAL, ALL_POLICIES, ROUND_ROBIN,
+                       ConcurrentReplayer, compile_trace)
 from repro.workload import CompiledTrace, WorkloadGenerator
 
 #: The quick contention workload used throughout the concurrent-path tests.
@@ -139,3 +142,81 @@ class TestCompiledTraceDifferential:
             assert serializer._fast_copy is False
         finally:
             scenario.teardown()
+
+
+#: The adaptive differential workload: the quick ablation's mixed hot/cold
+#: trace under the flash-crowd arrival shape, sized so bands actually switch.
+ADAPTIVE_WORKLOAD = MIXED_HOT_COLD_WORKLOAD.with_overrides(
+    clients=6, sessions_per_client=2, page_loads_per_session=6)
+
+
+def replay_adaptive(compiled: bool, workers: int = 1,
+                    policy: str = ROUND_ROBIN):
+    """One adaptive replay (fresh strategy instance — no cross-run state)."""
+    strategy = _adaptive_ablation_strategy(ADAPTIVE_SCENARIO)
+    config = ScenarioConfig(
+        name=ADAPTIVE_SCENARIO, strategy=strategy,
+        seed_scale=SeedScale.tiny(),
+        page_interval_seconds=STRATEGY_PAGE_INTERVAL)
+    scenario = Scenario(config).setup()
+    try:
+        user_ids = list(range(1, config.seed_scale.users + 1))
+        total_pages = (ADAPTIVE_WORKLOAD.clients
+                       * ADAPTIVE_WORKLOAD.sessions_per_client
+                       * ADAPTIVE_WORKLOAD.page_loads_per_session)
+        arrival = _adaptive_arrival(
+            total_pages, base_interval_seconds=3.0 * STRATEGY_PAGE_INTERVAL)
+        trace = WorkloadGenerator(ADAPTIVE_WORKLOAD, user_ids).generate()
+        if compiled:
+            trace = compile_trace(trace)
+            assert isinstance(trace, CompiledTrace)
+        replayer = ConcurrentReplayer(
+            scenario.app, scenario.database, genie=scenario.genie,
+            workers=workers, policy=policy, seed=0, clock=scenario.clock,
+            page_interval_seconds=config.page_interval_seconds,
+            arrival_model=arrival)
+        result = replayer.replay(trace)
+        return result, strategy
+    finally:
+        scenario.teardown()
+
+
+def adaptive_fingerprint(result, strategy):
+    """The standard fingerprint plus everything the band machinery touches:
+    telemetry snapshot, the ordered switch log, and the band/migration
+    counters.  Equality across compiled/uncompiled proves the PR-8 fastpath
+    memos (KeyScheme, query-shape match cache) never cache a decision
+    across a band switch."""
+    fingerprint = replay_fingerprint(result)
+    fingerprint["key_telemetry"] = result.key_telemetry
+    fingerprint["switch_log"] = list(strategy.switch_log)
+    fingerprint["band_switches"] = strategy.band_switches
+    fingerprint["migrations"] = strategy.migrations
+    return fingerprint
+
+
+class TestAdaptiveDifferential:
+    """Adaptive replay must stay deterministic under every fast path: the
+    compiled trace, both worker counts, and all interleave policies — with
+    the bands genuinely switching mid-replay."""
+
+    @pytest.mark.parametrize("workers,policy",
+                             [(1, ROUND_ROBIN)]
+                             + [(2, policy) for policy in ALL_POLICIES])
+    def test_compiled_identical_with_band_switches(self, workers, policy):
+        result_u, strategy_u = replay_adaptive(False, workers, policy)
+        result_c, strategy_c = replay_adaptive(True, workers, policy)
+        uncompiled = adaptive_fingerprint(result_u, strategy_u)
+        compiled = adaptive_fingerprint(result_c, strategy_c)
+        assert compiled == uncompiled
+        # The comparison is only meaningful if the strategy actually
+        # reclassified keys mid-replay (memos crossing a live band switch).
+        assert result_u.total_counters.band_switches > 0
+        assert strategy_u.switch_log
+
+    def test_migrations_convert_cached_values(self):
+        """The flash crowd's switches include real representation changes
+        (envelope rewraps/retirements), not just band-map flips."""
+        result, _strategy = replay_adaptive(True)
+        assert result.total_counters.adaptive_migrations > 0
+        assert len(result.key_telemetry) > 0

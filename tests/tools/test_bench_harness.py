@@ -24,6 +24,7 @@ EXPECTED_CELLS = {
     "replay_workers1_compiled",
     "replay_workers2_adversarial",
     "cluster",
+    "adaptive",
     "sweep_jobs1",
     "sweep_jobs2",
     "simulate_replay_clients",
@@ -40,7 +41,7 @@ def payload(tmp_path_factory):
 
 
 def test_payload_schema(payload):
-    assert payload["schema"] == 2
+    assert payload["schema"] == 3
     assert payload["mode"] == "quick"
     assert payload["cpus"] >= 1
     assert set(payload["cells"]) == EXPECTED_CELLS
@@ -72,6 +73,12 @@ def test_parallel_sweep_matches_serial_signatures(payload):
     assert cells["sweep_jobs1"]["cells"] == cells["sweep_jobs2"]["cells"] > 0
     assert (cells["sweep_jobs1"]["signatures"]
             == cells["sweep_jobs2"]["signatures"])
+
+
+def test_adaptive_cell_switches_bands(payload):
+    cell = payload["cells"]["adaptive"]
+    assert cell["band_switches"] > 0
+    assert cell["tracked_keys"] > 0
 
 
 def test_contention_counters_fire_at_two_workers(payload):

@@ -1,0 +1,96 @@
+"""Unit tests for the time-varying arrival shapes (``repro.workload.arrival``)."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.workload import ConstantArrival, DiurnalArrival, FlashCrowdArrival
+
+
+class TestConstantArrival:
+    def test_identity_shape(self):
+        arrival = ConstantArrival(0.25)
+        assert [arrival(i) for i in (0, 1, 7, 1000)] == [0.25] * 4
+
+    def test_zero_interval_allowed(self):
+        assert ConstantArrival(0.0)(5) == 0.0
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantArrival(-0.1)
+
+
+class TestFlashCrowdArrival:
+    def test_baseline_before_burst(self):
+        arrival = FlashCrowdArrival(base_interval_seconds=1.0, burst_start=10,
+                                    burst_factor=8.0, recovery_pages=5)
+        assert [arrival(i) for i in range(10)] == [1.0] * 10
+
+    def test_burst_divides_interval_by_factor(self):
+        arrival = FlashCrowdArrival(base_interval_seconds=1.0, burst_start=10,
+                                    burst_factor=8.0, recovery_pages=5)
+        assert arrival(10) == pytest.approx(1.0 / 8.0)
+
+    def test_recovery_relaxes_back_to_baseline(self):
+        arrival = FlashCrowdArrival(base_interval_seconds=1.0, burst_start=0,
+                                    burst_factor=8.0, recovery_pages=4)
+        intervals = [arrival(i) for i in range(40)]
+        assert intervals == sorted(intervals)  # monotone recovery
+        assert intervals[-1] == pytest.approx(1.0, rel=1e-3)
+
+    def test_e_folding_recovery_shape(self):
+        arrival = FlashCrowdArrival(base_interval_seconds=1.0, burst_start=0,
+                                    burst_factor=8.0, recovery_pages=4)
+        boost = 1.0 + 7.0 * math.exp(-1.0)  # one e-folding after the burst
+        assert arrival(4) == pytest.approx(1.0 / boost)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowdArrival(base_interval_seconds=0.0)
+        with pytest.raises(ValueError):
+            FlashCrowdArrival(burst_factor=0.5)
+        with pytest.raises(ValueError):
+            FlashCrowdArrival(recovery_pages=0)
+
+
+class TestDiurnalArrival:
+    def test_starts_at_the_trough(self):
+        arrival = DiurnalArrival(base_interval_seconds=1.0, period_pages=8,
+                                 peak_factor=4.0)
+        assert arrival(0) == pytest.approx(1.0)
+
+    def test_peak_divides_interval_by_peak_factor(self):
+        arrival = DiurnalArrival(base_interval_seconds=1.0, period_pages=8,
+                                 peak_factor=4.0)
+        assert arrival(4) == pytest.approx(1.0 / 4.0)
+
+    def test_periodicity(self):
+        arrival = DiurnalArrival(base_interval_seconds=0.5, period_pages=12,
+                                 peak_factor=3.0)
+        for i in range(12):
+            assert arrival(i) == pytest.approx(arrival(i + 12))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrival(base_interval_seconds=-1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrival(period_pages=0)
+        with pytest.raises(ValueError):
+            DiurnalArrival(peak_factor=0.9)
+
+
+class TestPicklability:
+    """Sweep cells carry arrival models across process boundaries."""
+
+    @pytest.mark.parametrize("model", [
+        ConstantArrival(0.25),
+        FlashCrowdArrival(base_interval_seconds=0.5, burst_start=3,
+                          burst_factor=6.0, recovery_pages=9),
+        DiurnalArrival(base_interval_seconds=0.25, period_pages=30,
+                       peak_factor=5.0),
+    ])
+    def test_round_trip_preserves_the_shape(self, model):
+        clone = pickle.loads(pickle.dumps(model))
+        assert [clone(i) for i in range(50)] == [model(i) for i in range(50)]
+        assert repr(clone) == repr(model)

@@ -7,8 +7,10 @@ scenario this measures
 * **replayed pages/sec** — functional replay through ``ConcurrentReplayer``
   at ``workers=1`` (the serial facade path), the same replay over a
   ``CompiledTrace`` (the memo fast paths of ``repro.core.fastpath``; byte-
-  identical output, higher rate), and at ``workers=2`` under the
-  adversarial interleave policy,
+  identical output, higher rate), at ``workers=2`` under the adversarial
+  interleave policy, and the adaptive-strategy arm under the flash-crowd
+  arrival shape (compiled divergence and vacuous band switching both
+  hard-fail),
 * **swept cells/sec** — the quick contention ablation run end to end at
   ``--jobs 1`` and ``--jobs 2`` (the process-parallel cell runner; the
   speedup is bounded by the ``cpus`` recorded in the payload — on a
@@ -35,11 +37,15 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.apps.social import SeedScale  # noqa: E402
-from repro.bench.experiments import (CLUSTER_GUTTER_TTL,  # noqa: E402
-                                     CLUSTER_KILL_AT, CLUSTER_REVIVE_AT,
-                                     CLUSTER_VICTIM, HOT_KEY_WORKLOAD,
+from repro.bench.experiments import (ADAPTIVE_SCENARIO,  # noqa: E402
+                                     CLUSTER_GUTTER_TTL, CLUSTER_KILL_AT,
+                                     CLUSTER_REVIVE_AT, CLUSTER_VICTIM,
+                                     HOT_KEY_WORKLOAD,
+                                     MIXED_HOT_COLD_WORKLOAD,
                                      STRATEGY_PAGE_INTERVAL,
-                                     _ablation_strategy)
+                                     _ablation_strategy,
+                                     _adaptive_ablation_strategy,
+                                     _adaptive_arrival)
 from repro.bench.scenarios import (Scenario, ScenarioConfig,  # noqa: E402
                                    UPDATE_SCENARIO)
 from repro.cluster import (ClusterController, FaultEvent,  # noqa: E402
@@ -150,6 +156,59 @@ def bench_cluster(workload, seed_scale: SeedScale):
     }
 
 
+def bench_adaptive(workload, seed_scale: SeedScale):
+    """Replay the adaptive-strategy arm under the flash-crowd arrival shape,
+    uncompiled then compiled — the compiled replay must not diverge, and the
+    bands must genuinely switch mid-replay (the telemetry/band machinery
+    rides the hot read path, so its cost shows up in pages/sec)."""
+
+    def run(compiled: bool):
+        config = ScenarioConfig(
+            name=ADAPTIVE_SCENARIO,
+            strategy=_adaptive_ablation_strategy(ADAPTIVE_SCENARIO),
+            seed_scale=seed_scale,
+            page_interval_seconds=STRATEGY_PAGE_INTERVAL)
+        scenario = Scenario(config).setup()
+        try:
+            user_ids = list(range(1, config.seed_scale.users + 1))
+            trace = WorkloadGenerator(workload, user_ids).generate()
+            arrival = _adaptive_arrival(
+                trace.total_page_loads,
+                base_interval_seconds=3.0 * STRATEGY_PAGE_INTERVAL)
+            if compiled:
+                trace = compile_trace(trace)
+            replayer = ConcurrentReplayer(
+                scenario.app, scenario.database, genie=scenario.genie,
+                workers=1, clock=scenario.clock,
+                page_interval_seconds=config.page_interval_seconds,
+                arrival_model=arrival)
+            started = time.perf_counter()
+            result = replayer.replay(trace)
+            return result, time.perf_counter() - started
+        finally:
+            scenario.teardown()
+
+    result, elapsed = run(compiled=False)
+    compiled_result, _ = run(compiled=True)
+    if compiled_result.schedule_signature != result.schedule_signature:
+        raise SystemExit("compiled adaptive replay diverged from uncompiled: "
+                         f"{compiled_result.schedule_signature} != "
+                         f"{result.schedule_signature}")
+    counters = result.total_counters
+    if counters.band_switches <= 0:
+        raise SystemExit("adaptive replay never switched a band — the "
+                         "flash-crowd cell has gone vacuous")
+    return {
+        "pages": len(result.pages),
+        "seconds": round(elapsed, 4),
+        "pages_per_s": round(len(result.pages) / elapsed, 1),
+        "band_switches": counters.band_switches,
+        "adaptive_migrations": counters.adaptive_migrations,
+        "tracked_keys": len(result.key_telemetry),
+        "schedule": result.schedule_signature,
+    }
+
+
 def bench_simulate(replay, label: str, **kwargs):
     """Run the closed-loop simulation once; return events/sec."""
     started = time.perf_counter()
@@ -213,6 +272,12 @@ def main(argv=None) -> int:
         seed_scale=SeedScale.tiny())
     cells["cluster"] = bench_cluster(workload=workload,
                                      seed_scale=SeedScale.tiny())
+    adaptive_workload = MIXED_HOT_COLD_WORKLOAD.with_overrides(
+        clients=workload.clients,
+        sessions_per_client=workload.sessions_per_client,
+        page_loads_per_session=max(6, workload.page_loads_per_session))
+    cells["adaptive"] = bench_adaptive(workload=adaptive_workload,
+                                       seed_scale=SeedScale.tiny())
     cells["sweep_jobs1"] = bench_sweep(jobs=1)
     cells["sweep_jobs2"] = bench_sweep(jobs=2)
     if cells["sweep_jobs1"]["signatures"] != cells["sweep_jobs2"]["signatures"]:
@@ -226,7 +291,7 @@ def main(argv=None) -> int:
         options=SimulationOptions(think_time_ms=0.0))
 
     payload = {
-        "schema": 2,
+        "schema": 3,
         "mode": "quick" if args.quick else "full",
         "generated_unix": int(time.time()),
         #: Parallel sweep speedup is bounded by this; on 1 CPU jobs=2 can
