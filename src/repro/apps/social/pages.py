@@ -27,6 +27,7 @@ database, exactly as before.
 
 from __future__ import annotations
 
+import contextlib
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -63,6 +64,11 @@ def _no_checkpoint(label: str) -> None:
     """The serial default: page rendering never yields."""
 
 
+#: Reusable no-op context for the untraced path (``nullcontext`` instances
+#: are stateless, so one shared object serves every fragment).
+_NO_SPAN = contextlib.nullcontext()
+
+
 class SocialApplication:
     """Renders the social site's pages against the ORM (and cached objects).
 
@@ -81,6 +87,16 @@ class SocialApplication:
         self.rng = rng or random.Random(0)
         self.batch_reads = batch_reads
         self.checkpoint: Callable[[str], None] = checkpoint or _no_checkpoint
+        #: Observability hook (:class:`repro.obs.Tracer`), installed for the
+        #: duration of a traced replay by :func:`repro.obs.install_tracing`.
+        #: Default None: the untraced path is one attribute check per span
+        #: site and is bit-identical to the uninstrumented application.
+        self.tracer: Optional[Any] = None
+
+    def _span(self, name: str, **args: Any):
+        """A tracer span when tracing is on, the shared no-op otherwise."""
+        tracer = self.tracer
+        return tracer.span(name, **args) if tracer is not None else _NO_SPAN
 
     # -- batched fragment fetching ----------------------------------------------
 
@@ -113,6 +129,10 @@ class SocialApplication:
         batching on, the whole dozen rides one multi-get per cache server.
         """
         self.checkpoint("app:header")
+        with self._span("app:header", user=user_id):
+            return self._render_header_body(user_id)
+
+    def _render_header_body(self, user_id: int) -> Dict[str, int]:
         fetched = self._fetch_many([
             ("user_by_id", {"id": user_id}),
             ("user_profile", {"user_id": user_id}),
@@ -163,19 +183,20 @@ class SocialApplication:
 
     def _load_account(self, user_id: int) -> Dict[str, Any]:
         self.checkpoint("app:account")
-        fetched = self._fetch_many([
-            ("user_by_id", {"id": user_id}),
-            ("user_profile", {"user_id": user_id}),
-        ])
-        if fetched is not None:
-            users, profiles = fetched
-        else:
-            users = list(User.objects.filter(id=user_id))
-            profiles = list(Profile.objects.filter(user_id=user_id))
-        return {
-            "user": users[0] if users else None,
-            "profile": profiles[0] if profiles else None,
-        }
+        with self._span("app:account", user=user_id):
+            fetched = self._fetch_many([
+                ("user_by_id", {"id": user_id}),
+                ("user_profile", {"user_id": user_id}),
+            ])
+            if fetched is not None:
+                users, profiles = fetched
+            else:
+                users = list(User.objects.filter(id=user_id))
+                profiles = list(Profile.objects.filter(user_id=user_id))
+            return {
+                "user": users[0] if users else None,
+                "profile": profiles[0] if profiles else None,
+            }
 
     def _friends_of(self, user_id: int) -> List[Dict[str, Any]]:
         """Friend rows, via the LinkQuery cached object or an ORM traversal."""
@@ -290,12 +311,13 @@ class SocialApplication:
             # seeded unique bookmarks), occasionally introducing new ones.
             url = f"http://example.com/page/{self.rng.randrange(0, 300)}"
         self.checkpoint("app:write")
-        bookmark, created = Bookmark.objects.get_or_create(
-            url=url, defaults={"description": description, "adder_id": user_id})
-        instance = BookmarkInstance(
-            bookmark=bookmark, user_id=user_id,
-            description=description or url, note="")
-        instance.save()
+        with self._span("app:write", user=user_id, kind="create_bookmark"):
+            bookmark, created = Bookmark.objects.get_or_create(
+                url=url, defaults={"description": description, "adder_id": user_id})
+            instance = BookmarkInstance(
+                bookmark=bookmark, user_id=user_id,
+                description=description or url, note="")
+            instance.save()
         self.checkpoint("app:post-write")
         # Post-save renders: the redirect shows the user's bookmark list again,
         # including the fresh entry, its save count, and the latest-first view.
@@ -330,21 +352,22 @@ class SocialApplication:
                        for inv in FriendshipInvitation.objects.filter(to_user_id=user_id)
                        if inv.status == FriendshipInvitation.STATUS_PENDING]
         self.checkpoint("app:write")
-        if pending:
-            invitation = pending[0]
-            FriendshipInvitation.objects.filter(id=invitation["pk"]).update(
-                status=FriendshipInvitation.STATUS_ACCEPTED)
-            Friendship(from_user_id=user_id, to_user_id=invitation["from_user_id"]).save()
-            Friendship(from_user_id=invitation["from_user_id"], to_user_id=user_id).save()
-            accepted = True
-            other = invitation["from_user_id"]
-        else:
-            # Nothing to accept: send a new invitation so the page still writes.
-            other = self._pick_other_user(user_id)
-            FriendshipInvitation(from_user_id=user_id, to_user_id=other,
-                                 message="let's be friends",
-                                 status=FriendshipInvitation.STATUS_PENDING).save()
-            accepted = False
+        with self._span("app:write", user=user_id, kind="accept_friend_request"):
+            if pending:
+                invitation = pending[0]
+                FriendshipInvitation.objects.filter(id=invitation["pk"]).update(
+                    status=FriendshipInvitation.STATUS_ACCEPTED)
+                Friendship(from_user_id=user_id, to_user_id=invitation["from_user_id"]).save()
+                Friendship(from_user_id=invitation["from_user_id"], to_user_id=user_id).save()
+                accepted = True
+                other = invitation["from_user_id"]
+            else:
+                # Nothing to accept: send a new invitation so the page still writes.
+                other = self._pick_other_user(user_id)
+                FriendshipInvitation(from_user_id=user_id, to_user_id=other,
+                                     message="let's be friends",
+                                     status=FriendshipInvitation.STATUS_PENDING).save()
+                accepted = False
         self.checkpoint("app:post-write")
         # Re-render the friends panel after the write: the updated counts, the
         # friend list, and the new friend's recent activity (their bookmarks).
@@ -387,4 +410,5 @@ class SocialApplication:
         if page not in handlers:
             raise ValueError(f"unknown page type {page!r}")
         self.checkpoint(f"page:{page}")
-        return handlers[page](user_id)
+        with self._span(f"page:{page}", user=user_id):
+            return handlers[page](user_id)

@@ -15,18 +15,25 @@ code::
     python -m repro.bench exp-batch --batch-ops both
     python -m repro.bench exp-cas-batch --cas-batch both
     python -m repro.bench exp-strategies [--quick]
-    python -m repro.bench exp-contention [--quick] [--check]
+    python -m repro.bench exp-contention [--quick] [--check] \
+        [--trace-out trace.json] [--json-out run.json]
     python -m repro.bench exp-cluster [--quick] [--check]
     python -m repro.bench exp-adaptive [--quick] [--check]
     python -m repro.bench strategies
+    python -m repro.bench report run.json
 
 Each command prints the same rendered rows/series the corresponding
 ``benchmarks/`` target saves under ``benchmarks/_results/``.
+``exp-contention --trace-out`` additionally re-runs one representative
+quick cell with causal tracing on and writes a Chrome trace-event file
+(load it at https://ui.perfetto.dev); ``--json-out`` writes the matching
+versioned run document, which ``report`` renders back as text.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import List, Optional, Sequence
 
 from . import experiments, reporting
@@ -129,7 +136,29 @@ def _cmd_exp_contention(args: argparse.Namespace) -> str:
             raise SystemExit(rendered + "\n\nCONTENTION CHECK FAILED:\n  "
                              + "\n  ".join(problems))
         rendered += "\nContention check passed: all contention counters fire at >= 2 workers."
+    if args.trace_out or args.json_out:
+        # One representative traced re-run (the quick LeasedInvalidate
+        # adversarial cell); tracing is zero-perturbation, so its numbers
+        # match the untraced sweep cell bit for bit.
+        from ..obs import write_chrome_trace
+        tracer, document = experiments.trace_contention_cell(seed=args.seed)
+        if args.trace_out:
+            write_chrome_trace(tracer, args.trace_out)
+            rendered += (f"\nChrome trace ({len(tracer.finished)} spans) "
+                         f"written to {args.trace_out} — load in Perfetto.")
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=1)
+                handle.write("\n")
+            rendered += f"\nRun document written to {args.json_out}."
+        rendered += "\n\n" + reporting.render_flame(document["flame"])
     return rendered
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    with open(args.path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return reporting.render_report(document)
 
 
 def _cmd_exp_cluster(args: argparse.Namespace) -> str:
@@ -328,6 +357,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="exit nonzero unless every contention counter fires at >= 2 "
              "workers (guards against the subsystem regressing to serial)")
+    exp_contention.add_argument(
+        "--trace-out", default=None, metavar="TRACE_JSON",
+        help="also re-run one representative quick cell with causal tracing "
+             "on and write a Chrome trace-event JSON (Perfetto-loadable); "
+             "tracing is zero-perturbation, so the traced run matches the "
+             "sweep cell bit for bit")
+    exp_contention.add_argument(
+        "--json-out", default=None, metavar="RUN_JSON",
+        help="write the traced cell's versioned run document (replay + "
+             "metrics + registry + flame) for `python -m repro.bench report`")
     _add_jobs_argument(exp_contention)
     exp_contention.set_defaults(func=_cmd_exp_contention)
 
@@ -381,6 +420,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="List every registered consistency strategy (describe() "
              "summaries, adaptive bands included)") \
         .set_defaults(func=_cmd_strategies)
+
+    report = sub.add_parser(
+        "report",
+        help="Render a saved run JSON document (replay_result, run_metrics, "
+             "metrics_registry, or a run_document from --json-out) as text")
+    report.add_argument("path", help="path to the JSON document")
+    report.set_defaults(func=_cmd_report)
     return parser
 
 

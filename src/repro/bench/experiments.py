@@ -1256,6 +1256,73 @@ def experiment_contention(
     )
 
 
+def trace_contention_cell(scenario_name: str = LEASED_SCENARIO,
+                          workers: int = 2, policy: str = ADVERSARIAL,
+                          seed: int = CONTENTION_SEED):
+    """Re-run one representative quick contention cell with tracing on.
+
+    Powers ``python -m repro.bench exp-contention --trace-out``: the same
+    configuration as the quick sweep's LeasedInvalidate adversarial cell
+    (tiny seed, hot-key 6x2x4 workload), replayed once with a
+    :class:`repro.obs.Tracer` installed so every layer seam — page
+    fragments, interceptor matches, cache multi-ops, trigger flush/CAS
+    rounds, background refreshes — lands in the span log with worker
+    attribution.  Tracing is zero-perturbation, so the replay's pages,
+    counters, and schedule signature are bit-identical to the untraced
+    sweep cell (``tests/obs/test_tracing_differential.py`` pins this).
+
+    Returns ``(tracer, document)`` where ``document`` is a versioned
+    ``run_document`` JSON dict (replay + simulated metrics + a populated
+    metrics registry + the text-flame rows) for ``repro.bench report``.
+    """
+    from ..obs import MetricsRegistry, Tracer, exponential_buckets
+    from ..sim.metrics import RUN_JSON_SCHEMA
+    workload = HOT_KEY_WORKLOAD.with_overrides(
+        clients=6, sessions_per_client=2, page_loads_per_session=4)
+    strategy = _ablation_strategy(scenario_name)
+    config = ScenarioConfig(
+        name=scenario_name, strategy=strategy, seed_scale=SeedScale.tiny(),
+        page_interval_seconds=STRATEGY_PAGE_INTERVAL)
+    scenario = Scenario(config).setup()
+    try:
+        tracer = Tracer(clock=scenario.clock)
+        user_ids = list(range(1, config.seed_scale.users + 1))
+        replayer = ConcurrentReplayer(
+            scenario.app, scenario.database, genie=scenario.genie,
+            workers=workers, policy=policy, seed=seed,
+            clock=scenario.clock,
+            page_interval_seconds=config.page_interval_seconds,
+            tracer=tracer)
+        trace = WorkloadGenerator(workload, user_ids).generate()
+        replay = replayer.replay(trace)
+        metrics = simulate_population(replay, clients=workload.clients)
+        registry = MetricsRegistry()
+        registry.counter("pages_replayed").inc(len(replay.pages))
+        for name, value in sorted(replay.contention_summary().items()):
+            registry.counter(f"contention_{name}").inc(value)
+        demand_hist = registry.histogram(
+            "page_total_demand_ms", bounds=exponential_buckets(0.05, 1.1, 150))
+        for page in replay.pages:
+            demand_hist.observe(page.demand.total_ms)
+        registry.gauge("workers").set(workers)
+        registry.counter("spans_recorded").inc(len(tracer.finished))
+        document = {
+            "schema": RUN_JSON_SCHEMA,
+            "kind": "run_document",
+            "scenario": scenario_name,
+            "workers": workers,
+            "policy": policy,
+            "seed": seed,
+            "replay": replay.to_json(),
+            "metrics": metrics.to_json(),
+            "registry": registry.to_json(),
+            "flame": tracer.flame(),
+        }
+        return tracer, document
+    finally:
+        scenario.teardown()
+
+
 # ---------------------------------------------------------------------------
 # Cluster-dynamics ablation (`exp-cluster`) — faults, membership, gutter pool
 # ---------------------------------------------------------------------------

@@ -507,3 +507,119 @@ def render_effort(result: EffortResult) -> str:
         ["Generated trigger lines of code", result.generated_trigger_lines, "~1720"],
     ]
     return "\n".join(["Programmer effort (§5.2)", format_table(headers, rows)])
+
+
+# -- observability: flame summaries and run-document reports ----------------------
+
+def render_flame(rows: Sequence[Dict[str, object]], limit: int = 20) -> str:
+    """Text flame summary of a traced replay.
+
+    ``rows`` are :meth:`repro.obs.Tracer.flame` rows (one per span name:
+    count, total ticks, self ticks, virtual seconds), already sorted by
+    total ticks descending.  Ticks are the tracer's monotonic event counter
+    — the work measure *within* a virtual instant, since the simulated
+    clock only advances between pages.
+    """
+    shown = list(rows)[:limit]
+    headers = ["Span", "Count", "Ticks", "Self ticks", "Virtual s"]
+    table_rows = [[row["name"], row["count"], row["ticks"], row["self_ticks"],
+                   f"{row['seconds']:.3f}"] for row in shown]
+    title = "Flame summary (top spans by total ticks)"
+    if len(rows) > len(shown):
+        title += f" — showing {len(shown)} of {len(rows)}"
+    return "\n".join([title, format_table(headers, table_rows)])
+
+
+def _render_run_metrics_doc(doc: Dict[str, object]) -> str:
+    summary = doc.get("summary", {})
+    parts = [f"Run metrics ({doc.get('mode', '?')} mode)",
+             format_table(["Metric", "Value"],
+                          [[name, f"{value:.4f}"]
+                           for name, value in summary.items()])]
+    by_page = doc.get("latency_by_page") or {}
+    if by_page:
+        parts += ["", "Mean latency by page type",
+                  format_table(["Page", "Latency (s)"],
+                               [[page, f"{by_page[page]:.4f}"]
+                                for page in sorted(by_page)])]
+    contention = doc.get("contention") or {}
+    if contention:
+        parts += ["", "Contention counters",
+                  format_table(["Counter", "Value"],
+                               [[name, contention[name]]
+                                for name in sorted(contention)])]
+    return "\n".join(parts)
+
+
+def _render_replay_doc(doc: Dict[str, object]) -> str:
+    pages = doc.get("pages") or []
+    totals = doc.get("total_counters") or {}
+    parts = [f"Replay result — {len(pages)} page loads",
+             format_table(["Counter", "Value"],
+                          [[name, totals[name]] for name in sorted(totals)
+                           if totals[name]])]
+    concurrent = doc.get("concurrent")
+    if concurrent:
+        by_worker = concurrent.get("pages_by_worker") or {}
+        parts += ["", "Concurrent engine",
+                  format_table(["Setting", "Value"],
+                               [["workers", concurrent.get("workers")],
+                                ["policy", concurrent.get("policy")],
+                                ["seed", concurrent.get("seed")],
+                                ["schedule signature",
+                                 concurrent.get("schedule_signature")],
+                                *[[f"pages on worker {worker}",
+                                   by_worker[worker]]
+                                  for worker in sorted(by_worker, key=int)]])]
+    return "\n".join(parts)
+
+
+def _render_registry_doc(doc: Dict[str, object]) -> str:
+    rows = []
+    for metric in doc.get("metrics") or []:
+        kind = metric.get("kind")
+        if kind == "histogram":
+            detail = (f"count={metric.get('count')} "
+                      f"min={metric.get('min')} max={metric.get('max')}")
+        else:
+            detail = f"value={metric.get('value')}"
+        rows.append([metric.get("name"), kind, detail])
+    return "\n".join(["Metrics registry",
+                      format_table(["Name", "Kind", "Summary"], rows)])
+
+
+def render_report(doc: Dict[str, object]) -> str:
+    """Render any versioned run JSON document (``kind``-dispatched).
+
+    Accepts the documents this repo exports: ``replay_result``
+    (:meth:`ReplayResult.to_json`), ``run_metrics``
+    (:meth:`RunMetrics.to_json`), ``metrics_registry``
+    (:meth:`repro.obs.MetricsRegistry.to_json`), and the composite
+    ``run_document`` written by ``exp-contention --json-out``.
+    """
+    kind = doc.get("kind")
+    if kind == "run_metrics":
+        return _render_run_metrics_doc(doc)
+    if kind == "replay_result":
+        return _render_replay_doc(doc)
+    if kind == "metrics_registry":
+        return _render_registry_doc(doc)
+    if kind == "run_document":
+        header = format_table(
+            ["Field", "Value"],
+            [["scenario", doc.get("scenario")],
+             ["workers", doc.get("workers")],
+             ["policy", doc.get("policy")],
+             ["seed", doc.get("seed")]])
+        parts = [f"Traced run document (schema {doc.get('schema')})", header]
+        for section_key, renderer in (("replay", _render_replay_doc),
+                                      ("metrics", _render_run_metrics_doc),
+                                      ("registry", _render_registry_doc)):
+            section = doc.get(section_key)
+            if section:
+                parts += ["", renderer(section)]
+        flame = doc.get("flame")
+        if flame:
+            parts += ["", render_flame(flame)]
+        return "\n".join(parts)
+    raise ValueError(f"unknown report document kind: {kind!r}")

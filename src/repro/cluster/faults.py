@@ -90,6 +90,10 @@ class FaultInjector:
         self.controller = controller
         self.schedule = schedule
         self.fired: List[ClusterEvent] = []
+        #: Observability hook (:class:`repro.obs.Tracer`), installed for a
+        #: traced replay by :func:`repro.obs.install_tracing`; each fired
+        #: fault then records an instant event (``cluster:kill`` etc.).
+        self.tracer: Optional[object] = None
         self._engine = EventEngine()
         for event in schedule:
             self._engine.schedule_at(event.at, self._apply(event))
@@ -101,6 +105,9 @@ class FaultInjector:
             else:
                 result = getattr(self.controller, event.action)(event.node)
             self.fired.append(result)
+            if self.tracer is not None:
+                self.tracer.instant(f"cluster:{event.action}",
+                                    node=event.target, at=event.at)
         return fire
 
     def schedule_probe(self, at: float, probe: Callable[[], None]) -> None:

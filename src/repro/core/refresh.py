@@ -67,6 +67,10 @@ class RefreshQueue:
         self._contexts: Dict[Any, Tuple["OrderedDict[str, _PendingRefresh]",
                                         bool]] = {}
         self._context_key: Any = None
+        #: Observability hook (:class:`repro.obs.Tracer`), installed for a
+        #: traced replay by :func:`repro.obs.install_tracing`; None (the
+        #: default) keeps drains and recomputes untraced and unperturbed.
+        self.tracer: Optional[Any] = None
         # Lifetime statistics, for tests and the ablation report.
         self.scheduled = 0
         self.coalesced = 0
@@ -178,12 +182,17 @@ class RefreshQueue:
         if not due:
             return 0
         self._draining = True
+        tracer = self.tracer
+        span = (tracer.begin("refresh:drain", due=len(due))
+                if tracer is not None else None)
         try:
             for key in due:
                 entry = self._pending.pop(key)
                 self._run(entry)
             return len(due)
         finally:
+            if span is not None:
+                tracer.end(span)
             self._draining = False
 
     def discard(self) -> int:
@@ -244,6 +253,17 @@ class RefreshQueue:
         return dropped
 
     def _run(self, entry: _PendingRefresh) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            span = tracer.begin("refresh:recompute", key=entry.key)
+            try:
+                self._run_body(entry)
+            finally:
+                tracer.end(span)
+            return
+        self._run_body(entry)
+
+    def _run_body(self, entry: _PendingRefresh) -> None:
         cached_object = entry.cached_object
         frozen = cached_object._freeze(
             cached_object.compute_from_db(entry.params))

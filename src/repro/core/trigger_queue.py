@@ -94,6 +94,10 @@ class TriggerOpQueue:
         #: every scheduling step; a parked context cannot change, and the
         #: live one invalidates its entry whenever its key set changes.
         self._pending_frozen: Dict[Any, FrozenSet[str]] = {}
+        #: Observability hook (:class:`repro.obs.Tracer`), installed for a
+        #: traced replay by :func:`repro.obs.install_tracing`; None (the
+        #: default) keeps the flush paths untraced and unperturbed.
+        self.tracer: Optional[Any] = None
         # Lifetime statistics, for tests and the benchmark reports.
         self.enqueued = 0
         self.coalesced = 0
@@ -223,6 +227,9 @@ class TriggerOpQueue:
         self._flushing = True
         self._pending_frozen.pop(self._context_key, None)
         ops, self._ops = self._ops, OrderedDict()
+        tracer = self.tracer
+        span = (tracer.begin("trigger:flush", pending=len(ops))
+                if tracer is not None else None)
         try:
             deletes = [(k, op) for k, op in ops.items() if op.kind == "delete"]
             mutates = {k: op for k, op in ops.items() if op.kind == "mutate"}
@@ -238,6 +245,8 @@ class TriggerOpQueue:
             self._attribute(self.flushed_keys_by_context, len(ops))
             return len(ops)
         finally:
+            if span is not None:
+                tracer.end(span)
             self._flushing = False
 
     def _flush_deletes(self, deletes: List[Tuple[str, _PendingOp]]) -> None:
@@ -276,88 +285,105 @@ class TriggerOpQueue:
         eager path's exhausted CAS loop.
         """
         outstanding = dict(pending)
+        tracer = self.tracer
         for round_index in range(self.cas_max_retries):
-            current = self.cache.gets_multi(list(outstanding))
-            staged: Dict[Optional[float], Dict[str, Tuple[Any, int]]] = {}
-            staged_ops: Dict[str, _PendingOp] = {}
-            foreign: Dict[str, _PendingOp] = {}
-            for key, op in outstanding.items():
-                hit = current.get(key)
-                if hit is None:
-                    continue  # not cached: the trigger quits (paper §3.2)
-                value, token = hit
-                if isinstance(value, dict) and _FRESH_UNTIL_KEY in value:
-                    # An adaptive band migration re-wrapped the entry as an
-                    # async-refresh envelope after this mutation enqueued.
-                    # Incremental patches cannot apply to the foreign
-                    # representation (and the envelope's base predates the
-                    # write), so fall back to invalidation — the chain
-                    # quits on a representation it does not own.
-                    foreign[key] = op
-                    continue
-                dirty = False
-                for mutate in op.mutations:
-                    # None means "this mutation leaves the entry alone"
-                    # (the eager path's per-op quit); later mutations in
-                    # the chain still apply to the last written value.
-                    new_value = mutate(value)
-                    if new_value is not None:
-                        value = new_value
-                        dirty = True
-                if not dirty:
-                    continue
-                staged.setdefault(op.expire, {})[key] = (value, token)
-                staged_ops[key] = op
-            if foreign:
-                self._invalidate_fallback(foreign)
-            if not staged_ops:
+            round_span = (tracer.begin("trigger:cas_round", round=round_index,
+                                       outstanding=len(outstanding))
+                          if tracer is not None else None)
+            try:
+                losers = self._flush_cas_round(outstanding, round_index)
+            finally:
+                if round_span is not None:
+                    tracer.end(round_span)
+            if losers is None:
                 return
-            losers: Dict[str, _PendingOp] = {}
-            unstorable: Dict[str, _PendingOp] = {}
-            for expire, items in staged.items():
-                verdicts = self.cache.cas_multi(items, expire=expire)
-                for key, verdict in verdicts.items():
-                    if verdict == CAS_STORED:
-                        self._credit(staged_ops[key].owner, staged_ops[key].counter)
-                    elif verdict == CAS_MISMATCH:
-                        # Token went stale between the batched read and this
-                        # write: keep only this key for the next round.
-                        losers[key] = staged_ops[key]
-                    elif verdict == CAS_TOO_LARGE:
-                        # Re-reading cannot shrink an oversized value, so
-                        # skip the retry rounds and invalidate immediately.
-                        unstorable[key] = staged_ops[key]
-                    else:
-                        # "missing": the entry vanished between the read and
-                        # the write.  On a live node the invalidation is a
-                        # cheap no-op (the key is already gone), but when the
-                        # verdict comes from a *dead* node — CAS tokens die
-                        # with their node — the fallback forwards the delete
-                        # to the gutter pool, so no fallback copy of the key
-                        # outlives the mutation that just failed to land.
-                        unstorable[key] = staged_ops[key]
-            if unstorable:
-                self._invalidate_fallback(unstorable)
-            if not losers:
-                return
-            self.cas_retries += len(losers)
-            self.cas_retry_rounds += 1
-            recorder = getattr(self.cache, "recorder", None)
-            if recorder is not None:
-                recorder.record("cas_retry_rounds")
-            telemetry = getattr(self.cache, "telemetry", None)
-            if telemetry is not None:
-                # Per-key contention signal for adaptive band selection:
-                # each loser re-enters a retry round under a concurrent
-                # writer (the mismatch itself was noted by cas_multi).
-                for key in losers:
-                    telemetry.note_cas_retry(key)
-            for op in losers.values():
-                self._credit(op.owner, "cas_retries")
             outstanding = losers
         # Retries exhausted: invalidate the unwinnable keys so no stale
         # value survives (the eager path's identical last resort).
         self._invalidate_fallback(outstanding)
+
+    def _flush_cas_round(self, outstanding: Dict[str, _PendingOp],
+                         round_index: int) -> Optional[Dict[str, _PendingOp]]:
+        """One gets_multi → mutate → cas_multi round; returns the losing
+        keys still outstanding, or None when the flush is settled."""
+        current = self.cache.gets_multi(list(outstanding))
+        staged: Dict[Optional[float], Dict[str, Tuple[Any, int]]] = {}
+        staged_ops: Dict[str, _PendingOp] = {}
+        foreign: Dict[str, _PendingOp] = {}
+        for key, op in outstanding.items():
+            hit = current.get(key)
+            if hit is None:
+                continue  # not cached: the trigger quits (paper §3.2)
+            value, token = hit
+            if isinstance(value, dict) and _FRESH_UNTIL_KEY in value:
+                # An adaptive band migration re-wrapped the entry as an
+                # async-refresh envelope after this mutation enqueued.
+                # Incremental patches cannot apply to the foreign
+                # representation (and the envelope's base predates the
+                # write), so fall back to invalidation — the chain
+                # quits on a representation it does not own.
+                foreign[key] = op
+                continue
+            dirty = False
+            for mutate in op.mutations:
+                # None means "this mutation leaves the entry alone"
+                # (the eager path's per-op quit); later mutations in
+                # the chain still apply to the last written value.
+                new_value = mutate(value)
+                if new_value is not None:
+                    value = new_value
+                    dirty = True
+            if not dirty:
+                continue
+            staged.setdefault(op.expire, {})[key] = (value, token)
+            staged_ops[key] = op
+        if foreign:
+            self._invalidate_fallback(foreign)
+        if not staged_ops:
+            return None
+        losers: Dict[str, _PendingOp] = {}
+        unstorable: Dict[str, _PendingOp] = {}
+        for expire, items in staged.items():
+            verdicts = self.cache.cas_multi(items, expire=expire)
+            for key, verdict in verdicts.items():
+                if verdict == CAS_STORED:
+                    self._credit(staged_ops[key].owner, staged_ops[key].counter)
+                elif verdict == CAS_MISMATCH:
+                    # Token went stale between the batched read and this
+                    # write: keep only this key for the next round.
+                    losers[key] = staged_ops[key]
+                elif verdict == CAS_TOO_LARGE:
+                    # Re-reading cannot shrink an oversized value, so
+                    # skip the retry rounds and invalidate immediately.
+                    unstorable[key] = staged_ops[key]
+                else:
+                    # "missing": the entry vanished between the read and
+                    # the write.  On a live node the invalidation is a
+                    # cheap no-op (the key is already gone), but when the
+                    # verdict comes from a *dead* node — CAS tokens die
+                    # with their node — the fallback forwards the delete
+                    # to the gutter pool, so no fallback copy of the key
+                    # outlives the mutation that just failed to land.
+                    unstorable[key] = staged_ops[key]
+        if unstorable:
+            self._invalidate_fallback(unstorable)
+        if not losers:
+            return None
+        self.cas_retries += len(losers)
+        self.cas_retry_rounds += 1
+        recorder = getattr(self.cache, "recorder", None)
+        if recorder is not None:
+            recorder.record("cas_retry_rounds")
+        telemetry = getattr(self.cache, "telemetry", None)
+        if telemetry is not None:
+            # Per-key contention signal for adaptive band selection:
+            # each loser re-enters a retry round under a concurrent
+            # writer (the mismatch itself was noted by cas_multi).
+            for key in losers:
+                telemetry.note_cas_retry(key)
+        for op in losers.values():
+            self._credit(op.owner, "cas_retries")
+        return losers
 
     def _invalidate_fallback(self, unwinnable: Dict[str, _PendingOp]) -> None:
         """Invalidate keys whose mutation cannot be stored (lost every CAS

@@ -1,0 +1,23 @@
+"""Observability: causal span tracing + a deterministic metrics registry.
+
+Span-level visibility from the ORM down to the cache fleet, on the
+simulated clock, with zero perturbation when off — see
+``docs/OBSERVABILITY.md`` for the guided tour.
+"""
+
+from .export import (chrome_trace_events, composite_timestamp_us,
+                     write_chrome_trace)
+from .install import TRACED_MULTI_OPS, install_tracing
+from .metrics import (DEFAULT_LATENCY_BUCKETS_S, REGISTRY_JSON_SCHEMA,
+                      Counter, Gauge, Histogram, MetricsRegistry,
+                      exponential_buckets)
+from .tracer import Span, Tracer
+
+__all__ = [
+    "Span", "Tracer",
+    "install_tracing", "TRACED_MULTI_OPS",
+    "chrome_trace_events", "composite_timestamp_us", "write_chrome_trace",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "exponential_buckets", "DEFAULT_LATENCY_BUCKETS_S",
+    "REGISTRY_JSON_SCHEMA",
+]

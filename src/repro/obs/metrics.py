@@ -1,0 +1,302 @@
+"""Metric primitives with deterministic, order-stable merge.
+
+:class:`MetricsRegistry` holds named :class:`Counter` / :class:`Gauge` /
+:class:`Histogram` instances in **registration order** and merges whole
+registries in **submission order** — the discipline that keeps the
+process-parallel sweep runner (:func:`repro.sim.parallel.run_cells`)
+byte-identical to the serial loop: cells return their registries, the
+caller merges them in the order the cells were submitted, and the merged
+JSON is the same bytes at any ``--jobs``.
+
+The histogram is **fixed-bucket**: bucket bounds are chosen up front
+(usually :func:`exponential_buckets`) and never change, so (a) merging two
+histograms is element-wise counter addition — associative, deterministic,
+no re-bucketing — and (b) memory is O(buckets) however many samples stream
+through.  That bounded-memory property is what lets
+:class:`repro.sim.metrics.RunMetrics` stream latency percentiles for
+10⁴–10⁶-client populations without retaining a per-sample array; the price
+is quantization: a quantile is reported as its bucket's upper bound
+(clamped into the observed [min, max]), so for geometric buckets of factor
+``f`` the reported value is at most ``f``× the exact one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "exponential_buckets", "DEFAULT_LATENCY_BUCKETS_S",
+           "REGISTRY_JSON_SCHEMA"]
+
+#: Version stamp of the registry's ``to_json`` document.
+REGISTRY_JSON_SCHEMA = 1
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """``count`` geometric bucket upper bounds: start, start*factor, ...
+
+    The standard shape for latency histograms: constant *relative*
+    quantization error (``factor - 1``) across the whole range.
+    """
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise SimulationError(
+            f"exponential_buckets needs start>0, factor>1, count>=1 "
+            f"(got {start!r}, {factor!r}, {count!r})")
+    bounds = []
+    edge = start
+    for _ in range(count):
+        bounds.append(edge)
+        edge *= factor
+    return tuple(bounds)
+
+
+#: Default latency bounds (seconds): 100µs … ~4300s at 5% relative error.
+DEFAULT_LATENCY_BUCKETS_S = exponential_buckets(1e-4, 1.05, 360)
+
+
+class Counter:
+    """A monotonically increasing count; merge is addition."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value; merge takes the *other* side's value when it
+    was ever set (submission order makes "last merged wins" deterministic)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value", "updated")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.updated = False
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updated = True
+
+    def merge(self, other: "Gauge") -> None:
+        if other.updated:
+            self.value = other.value
+            self.updated = True
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "name": self.name, "value": self.value,
+                "updated": self.updated}
+
+
+class Histogram:
+    """Fixed-bucket histogram: bounded memory, element-wise merge.
+
+    ``bounds`` are ascending bucket upper edges; one implicit overflow
+    bucket catches everything above the last edge.  Exact count/sum/min/max
+    ride along, so means stay exact — only quantiles are bucketized.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S) -> None:
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        if not self.bounds or list(self.bounds) != sorted(set(self.bounds)):
+            raise SimulationError(
+                f"histogram bounds must be ascending and distinct: {bounds!r}")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[self._bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def _bucket_index(self, value: float) -> int:
+        # Binary search over the upper edges (bucket i = (prev edge, edge]).
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Nearest-rank quantile, reported as the containing bucket's upper
+        edge clamped into the observed [min, max].
+
+        Uses the same rank formula as :func:`repro.sim.metrics.percentile`,
+        so a histogram-backed percentile differs from the exact one only by
+        bucket quantization (at most ``factor - 1`` relative for geometric
+        bounds), never by rank semantics.
+        """
+        if not self.count:
+            return 0.0
+        rank = min(self.count - 1,
+                   max(0, int(round(fraction * (self.count - 1)))))
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if rank < seen:
+                edge = (self.bounds[index] if index < len(self.bounds)
+                        else self.max)
+                return min(max(edge, self.min), self.max)
+        return self.max  # pragma: no cover - rank < count always terminates
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise SimulationError(
+                f"cannot merge histogram {other.name!r}: bucket bounds "
+                f"differ ({len(other.bounds)} vs {len(self.bounds)} edges)")
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def as_dict(self) -> Dict[str, Any]:
+        # Sparse bucket encoding: only non-empty buckets, index -> count
+        # (360 default bounds would otherwise dominate every document).
+        return {
+            "kind": self.kind, "name": self.name,
+            "count": self.count, "total": self.total,
+            "min": self.min, "max": self.max,
+            "bounds": [self.bounds[0],
+                       self.bounds[1] / self.bounds[0] if len(self.bounds) > 1
+                       else 1.0,
+                       len(self.bounds)] if self._geometric() else list(self.bounds),
+            "bounds_encoding": "geometric" if self._geometric() else "explicit",
+            "buckets": {str(i): c for i, c in enumerate(self.counts) if c},
+        }
+
+    def _geometric(self) -> bool:
+        if len(self.bounds) < 2:
+            return False
+        factor = self.bounds[1] / self.bounds[0]
+        return all(abs(self.bounds[i + 1] / self.bounds[i] - factor) < 1e-9
+                   for i in range(len(self.bounds) - 1))
+
+
+class MetricsRegistry:
+    """Named metrics in registration order, merged whole-registry at a time."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}  # insertion-ordered
+
+    # -- registration -----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S
+                  ) -> Histogram:
+        return self._get_or_create(name, Histogram,
+                                   lambda: Histogram(name, bounds))
+
+    def _get_or_create(self, name: str, cls: type, build) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = build()
+        elif not isinstance(metric, cls):
+            raise SimulationError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    # -- access -----------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._metrics.get(name)
+
+    # -- merge ------------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry, metric by metric.
+
+        Metrics unseen here are **adopted in the other registry's order**
+        (appended after the existing ones); same-name metrics must agree on
+        kind.  Merging cell registries in submission order therefore yields
+        the same registration order — and the same ``to_json`` bytes — as
+        the serial loop that produced the cells one by one.
+        """
+        for name, metric in other._metrics.items():
+            mine = self._metrics.get(name)
+            if mine is None:
+                self._metrics[name] = self._fresh_like(metric)
+                mine = self._metrics[name]
+            elif mine.kind != metric.kind:
+                raise SimulationError(
+                    f"cannot merge metric {name!r}: kind {metric.kind} "
+                    f"into {mine.kind}")
+            mine.merge(metric)
+
+    @staticmethod
+    def _fresh_like(metric: Any) -> Any:
+        if isinstance(metric, Histogram):
+            return Histogram(metric.name, metric.bounds)
+        return type(metric)(metric.name)
+
+    # -- export -----------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """name -> value summary (histograms give count/mean/p95)."""
+        out: Dict[str, Any] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                out[name] = {"count": metric.count, "mean": metric.mean,
+                             "p95": metric.quantile(0.95)}
+            else:
+                out[name] = metric.value
+        return out
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema": REGISTRY_JSON_SCHEMA,
+            "kind": "metrics_registry",
+            "metrics": [metric.as_dict() for metric in self._metrics.values()],
+        }

@@ -56,6 +56,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..core.fastpath import compiled_fastpath
 from ..errors import SimulationError
+from ..obs.install import install_tracing
 from ..storage.costmodel import CostCounters
 from ..workload.trace import CompiledTrace, PageLoad, WorkloadTrace
 from .interleave import (InterleaveScheduler, ROUND_ROBIN, WorkerStatus,
@@ -190,6 +191,8 @@ class _WorkerContext:
         replayer = self._replayer
         replayer._active_worker = self
         replayer.recorder.activate_scope(self._page_counters)
+        if replayer.tracer is not None:
+            replayer.tracer.switch_context(self.context_key)
         replayer.transactions.switch_context(self.context_key)
         if replayer.op_queue is not None:
             replayer.op_queue.switch_context(self.context_key)
@@ -248,6 +251,7 @@ class ConcurrentReplayer:
         page_interval_seconds: float = 0.0,
         arrival_model: Optional[Callable[[int], float]] = None,
         fault_injector: Optional[Any] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         if workers < 1:
             raise SimulationError("ConcurrentReplayer needs at least 1 worker")
@@ -270,6 +274,13 @@ class ConcurrentReplayer:
         #: the serial and threaded paths), so a fixed fault schedule lands
         #: at identical simulated instants in every run.
         self.fault_injector = fault_injector
+        #: Optional :class:`~repro.obs.Tracer`: when set, ``replay()``
+        #: installs it across every instrumented seam for the duration of
+        #: the replay (:func:`repro.obs.install_tracing`) and hands each
+        #: worker its own span context on every switch — exactly the
+        #: transaction-manager isolation pattern.  Default None: tracing
+        #: off, the historical code paths run untouched.
+        self.tracer = tracer
         self.recorder = database.recorder
         self.transactions = database.transactions
         self.op_queue = getattr(genie, "trigger_op_queue", None)
@@ -377,8 +388,14 @@ class ConcurrentReplayer:
             fastpath = compiled_fastpath(self.genie)
         else:
             fastpath = contextlib.nullcontext()
+        if self.tracer is not None:
+            tracing = install_tracing(self.tracer, app=self.app,
+                                      genie=self.genie,
+                                      fault_injector=self.fault_injector)
+        else:
+            tracing = contextlib.nullcontext()
         try:
-            with fastpath:
+            with tracing, fastpath:
                 if self.workers == 1:
                     self._replay_serial(contexts[0])
                 else:
@@ -487,6 +504,12 @@ class ConcurrentReplayer:
                 self.op_queue.switch_context(None)
             if self.refresh_queue is not None:
                 self.refresh_queue.switch_context(None)
+            if self.tracer is not None:
+                # A clean worker ends with an empty span stack; an aborted
+                # one abandons its open spans with its other state.
+                self.tracer.switch_context(None)
+                for worker in contexts:
+                    self.tracer.drop_context(worker.context_key)
             for worker in contexts:
                 self.transactions.drop_context(worker.context_key)
                 if self.op_queue is not None:

@@ -6,19 +6,28 @@
   derived metrics filter by the measurement window lazily.  The window may
   be set (or changed) after recording.
 * **streaming** (``retain_completions=False``) — completions are folded
-  into running aggregates at record time and dropped, so a 10⁴-client
-  population retains O(measured pages) floats instead of objects.  The
-  window must be closed *during* recording, no later than the first
-  completion that falls outside it (``simulate_population`` closes it the
-  moment the first client finishes); moving ``window_end`` afterwards is
-  not supported in this mode.
+  into running aggregates at record time and dropped, so an arbitrarily
+  large population holds **O(1)** state: counts, sums, and one fixed-bucket
+  latency histogram (:class:`repro.obs.Histogram`) for the percentiles.
+  Percentiles are therefore bucket-quantized in this mode (≤ 5% high with
+  the default geometric bounds); every other number — throughput, means,
+  per-page averages — is exact and identical to retained mode.  The window
+  must be closed *during* recording, no later than the first completion
+  that falls outside it (``simulate_population`` closes it the moment the
+  first client finishes); moving ``window_end`` afterwards is not
+  supported in this mode.
 """
 
 from __future__ import annotations
 
-from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
+
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_S, Histogram
+
+#: Version stamp of the run-result JSON documents (``RunMetrics.to_json``,
+#: ``ReplayResult.to_json``) consumed by ``python -m repro.bench report``.
+RUN_JSON_SCHEMA = 1
 
 
 class PageCompletion:
@@ -85,8 +94,10 @@ class RunMetrics:
     _count: int = field(default=0, init=False, repr=False, compare=False)
     _latency_sum: float = field(default=0.0, init=False, repr=False,
                                 compare=False)
-    _latencies: array = field(default_factory=lambda: array("d"), init=False,
-                              repr=False, compare=False)
+    _latency_hist: Histogram = field(
+        default_factory=lambda: Histogram("latency_s",
+                                          DEFAULT_LATENCY_BUCKETS_S),
+        init=False, repr=False, compare=False)
     _page_latency_sums: Dict[str, float] = field(
         default_factory=dict, init=False, repr=False, compare=False)
     _page_counts: Dict[str, int] = field(
@@ -106,7 +117,7 @@ class RunMetrics:
         latency = completion.latency
         self._count += 1
         self._latency_sum += latency
-        self._latencies.append(latency)
+        self._latency_hist.observe(latency)
         page = completion.page
         self._page_latency_sums[page] = (
             self._page_latency_sums.get(page, 0.0) + latency)
@@ -149,8 +160,15 @@ class RunMetrics:
         return sum(c.latency for c in measured) / len(measured)
 
     def latency_percentile(self, fraction: float) -> float:
+        """Nearest-rank latency percentile (seconds).
+
+        Streaming mode reads the fixed-bucket histogram — bounded memory at
+        any population size, bucket-quantized (reported at the bucket's
+        upper edge, ≤ 5% above exact with the default bounds).  Retained
+        mode is exact.
+        """
         if not self.retain_completions:
-            return percentile(list(self._latencies), fraction)
+            return self._latency_hist.quantile(fraction)
         return percentile([c.latency for c in self._measured()], fraction)
 
     def latency_by_page(self) -> Dict[str, float]:
@@ -185,3 +203,23 @@ class RunMetrics:
             "completed_pages": float(self.completed_pages),
             "window_s": self.measured_window,
         }
+
+    # -- stable JSON export -----------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Every derived number, JSON-ready (no completion objects)."""
+        return {
+            "mode": "retained" if self.retain_completions else "streaming",
+            "summary": self.summary(),
+            "latency_by_page": self.latency_by_page(),
+            "throughput_by_page": self.throughput_by_page(),
+            "contention": dict(self.contention),
+            "key_telemetry": {key: dict(row)
+                              for key, row in self.key_telemetry.items()},
+            "engine_events": self.engine_events,
+        }
+
+    def to_json(self) -> Dict[str, Any]:
+        """Versioned document for ``python -m repro.bench report``."""
+        return {"schema": RUN_JSON_SCHEMA, "kind": "run_metrics",
+                **self.as_dict()}

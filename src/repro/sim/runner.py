@@ -27,16 +27,17 @@ measurements replay query traces:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional
 
 from ..apps.social.pages import SocialApplication
+from ..errors import SimulationError
 from ..storage.costmodel import CostCounters, Demand
 from ..storage.database import Database
 from ..workload.trace import WorkloadTrace
 from .client import SimulatedClient
 from .events import EventEngine
-from .metrics import RunMetrics
+from .metrics import RUN_JSON_SCHEMA, RunMetrics
 from .resources import DelayResource, QueueingResource
 
 #: Populations at or above this many simulated clients stream their metrics
@@ -120,6 +121,79 @@ class ReplayResult:
             counts[page.page] = counts.get(page.page, 0) + 1
         return {name: sums[name].scaled(1.0 / counts[name]) for name in sums}
 
+    # -- stable JSON export -----------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        """Versioned, ``json.dump``-ready document of this replay.
+
+        Schema :data:`~repro.sim.metrics.RUN_JSON_SCHEMA`.  A
+        :class:`~repro.sim.concurrent.ConcurrentReplayResult` adds a
+        ``"concurrent"`` block (schedule, signature, per-worker page
+        counts); per-worker page *stores* are views of ``pages`` and are
+        not exported.  :meth:`from_json` round-trips the document
+        byte-for-byte, and the reconstructed result drives
+        :func:`simulate_population` to identical metrics.
+        """
+        doc: Dict[str, Any] = {
+            "schema": RUN_JSON_SCHEMA,
+            "kind": "replay_result",
+            "pages": [{
+                "client_id": page.client_id,
+                "page": page.page,
+                "user_id": page.user_id,
+                "demand": asdict(page.demand),
+                "counters": page.counters.as_dict(),
+            } for page in self.pages],
+            "total_counters": self.total_counters.as_dict(),
+        }
+        if hasattr(self, "schedule_signature"):
+            doc["concurrent"] = {
+                "workers": self.workers,
+                "policy": self.policy,
+                "seed": self.seed,
+                "schedule": list(self.schedule),
+                "schedule_signature": self.schedule_signature,
+                "pages_by_worker": {str(worker): count for worker, count
+                                    in self.pages_by_worker.items()},
+                "key_telemetry": {key: dict(row) for key, row
+                                  in self.key_telemetry.items()},
+            }
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "ReplayResult":
+        """Rebuild a replay result exported by :meth:`to_json`."""
+        if doc.get("kind") != "replay_result":
+            raise SimulationError(
+                f"not a replay_result document: kind={doc.get('kind')!r}")
+        if doc.get("schema") != RUN_JSON_SCHEMA:
+            raise SimulationError(
+                f"unsupported replay_result schema {doc.get('schema')!r} "
+                f"(this build reads schema {RUN_JSON_SCHEMA})")
+        concurrent = doc.get("concurrent")
+        if concurrent is not None:
+            from .concurrent import ConcurrentReplayResult
+            result: ReplayResult = ConcurrentReplayResult(
+                workers=concurrent["workers"],
+                policy=concurrent["policy"],
+                seed=concurrent["seed"],
+                schedule=list(concurrent["schedule"]),
+                schedule_signature=concurrent["schedule_signature"],
+                pages_by_worker={int(worker): count for worker, count
+                                 in concurrent["pages_by_worker"].items()},
+                key_telemetry={key: dict(row) for key, row
+                               in concurrent["key_telemetry"].items()},
+            )
+        else:
+            result = cls()
+        for row in doc["pages"]:
+            result.pages.append(ReplayedPage(
+                client_id=row["client_id"], page=row["page"],
+                user_id=row["user_id"], demand=Demand(**row["demand"]),
+                counters=CostCounters(**row["counters"])))
+        result.total_counters = CostCounters(**doc["total_counters"])
+        return result
+
 
 class WorkloadReplayer:
     """Serial replay facade: the concurrent engine pinned to ``workers=1``.
@@ -147,7 +221,8 @@ class WorkloadReplayer:
                  page_interval_seconds: float = 0.0,
                  genie: Optional[object] = None,
                  arrival_model: Optional[Callable[[int], float]] = None,
-                 fault_injector: Optional[object] = None) -> None:
+                 fault_injector: Optional[object] = None,
+                 tracer: Optional[object] = None) -> None:
         self.app = app
         self.database = database
         self.clock = clock
@@ -157,6 +232,9 @@ class WorkloadReplayer:
         #: Optional :class:`~repro.cluster.faults.FaultInjector` (cluster
         #: dynamics): node faults fire at the clock-advance points.
         self.fault_injector = fault_injector
+        #: Optional :class:`~repro.obs.Tracer`: spans are recorded for the
+        #: duration of each ``replay()`` call (default None = tracing off).
+        self.tracer = tracer
 
     def replay(self, trace: WorkloadTrace, record: bool = True) -> ReplayResult:
         """Replay ``trace`` serially (one worker) through the engine.
@@ -172,7 +250,8 @@ class WorkloadReplayer:
             clock=self.clock,
             page_interval_seconds=self.page_interval_seconds,
             arrival_model=self.arrival_model,
-            fault_injector=self.fault_injector)
+            fault_injector=self.fault_injector,
+            tracer=self.tracer)
         return engine.replay(trace, record=record)
 
 

@@ -1,0 +1,72 @@
+"""Deterministic registry merge under the process-parallel cell runner.
+
+``run_cells --jobs N`` returns cell results in submission order regardless
+of which process finished first; merging per-cell registries in that order
+must therefore produce byte-identical ``to_json`` output at any job count.
+This is the contract that lets experiment sweeps carry a metrics registry
+per cell without giving up the byte-identical ``--jobs 2`` guarantee that
+``tests/sim/test_differential.py`` pins for the result tables.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import MetricsRegistry, exponential_buckets
+from repro.sim.parallel import run_cells
+
+#: Deliberately uneven cells: different metric sets, registration orders,
+#: and histogram populations per cell.
+CELL_SPECS = [
+    ("alpha", 3, [0.001, 0.5, 2.0]),
+    ("beta", 1, [10.0]),
+    ("alpha", 4, []),
+    ("gamma", 2, [0.25, 0.25, 40.0]),
+]
+
+
+def registry_cell(label: str, pages: int, latencies) -> MetricsRegistry:
+    """One sweep cell's metrics (module-level: must pickle under fork)."""
+    registry = MetricsRegistry()
+    registry.counter(f"pages_{label}").inc(pages)
+    registry.counter("pages_total").inc(pages)
+    registry.gauge("last_cell_pages").set(pages)
+    hist = registry.histogram("latency_s",
+                              bounds=exponential_buckets(1e-3, 2.0, 20))
+    for latency in latencies:
+        hist.observe(latency)
+    return registry
+
+
+def merged_json(jobs: int) -> str:
+    cells = run_cells(registry_cell, CELL_SPECS, jobs=jobs)
+    merged = MetricsRegistry()
+    for cell in cells:
+        merged.merge(cell)
+    return json.dumps(merged.to_json(), sort_keys=True)
+
+
+def test_registries_survive_the_process_boundary():
+    cells = run_cells(registry_cell, CELL_SPECS, jobs=2)
+    assert len(cells) == len(CELL_SPECS)
+    assert all(isinstance(cell, MetricsRegistry) for cell in cells)
+    assert cells[1].counter("pages_beta").value == 1
+
+
+def test_jobs2_merge_byte_identical_to_serial():
+    assert merged_json(2) == merged_json(1)
+
+
+def test_merged_totals_are_the_sum_of_cells():
+    cells = run_cells(registry_cell, CELL_SPECS, jobs=2)
+    merged = MetricsRegistry()
+    for cell in cells:
+        merged.merge(cell)
+    assert merged.counter("pages_total").value == 10
+    assert merged.histogram("latency_s").count == 7
+    # Gauge: last merged cell wins (submission order, not finish order).
+    assert merged.gauge("last_cell_pages").value == 2.0
+    # Registration order: first-seen across cells in submission order.
+    assert [m.name for m in merged] == [
+        "pages_alpha", "pages_total", "last_cell_pages", "latency_s",
+        "pages_beta", "pages_gamma"]

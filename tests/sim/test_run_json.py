@@ -1,0 +1,121 @@
+"""Stable JSON export: replay and metrics documents round-trip losslessly.
+
+The run documents (``ReplayResult.to_json`` / ``RunMetrics.to_json``) are
+what ``python -m repro.bench report`` consumes and what sweeps archive, so
+they must be versioned, JSON-serializable as-is, and byte-stable through a
+dump/load cycle — and a reconstructed replay must drive the closed-loop
+simulator to the numbers the original produced.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.social import SeedScale
+from repro.bench.experiments import (HOT_KEY_WORKLOAD,
+                                     STRATEGY_PAGE_INTERVAL,
+                                     _ablation_strategy)
+from repro.bench.scenarios import (Scenario, ScenarioConfig,
+                                   UPDATE_SCENARIO)
+from repro.errors import SimulationError
+from repro.sim import (ADVERSARIAL, RUN_JSON_SCHEMA, ConcurrentReplayer,
+                       ReplayResult, simulate_population)
+from repro.workload import WorkloadGenerator
+
+WORKLOAD = HOT_KEY_WORKLOAD.with_overrides(
+    clients=6, sessions_per_client=2, page_loads_per_session=4)
+
+
+@pytest.fixture(scope="module")
+def replay():
+    """One workers=2 adversarial replay shared by every round-trip test."""
+    config = ScenarioConfig(
+        name=UPDATE_SCENARIO, strategy=_ablation_strategy(UPDATE_SCENARIO),
+        seed_scale=SeedScale.tiny(),
+        page_interval_seconds=STRATEGY_PAGE_INTERVAL)
+    scenario = Scenario(config).setup()
+    try:
+        user_ids = list(range(1, config.seed_scale.users + 1))
+        trace = WorkloadGenerator(WORKLOAD, user_ids).generate()
+        replayer = ConcurrentReplayer(
+            scenario.app, scenario.database, genie=scenario.genie,
+            workers=2, policy=ADVERSARIAL, seed=0, clock=scenario.clock,
+            page_interval_seconds=config.page_interval_seconds)
+        yield replayer.replay(trace)
+    finally:
+        scenario.teardown()
+
+
+def canonical(doc) -> str:
+    return json.dumps(doc, sort_keys=True)
+
+
+class TestReplayResultRoundTrip:
+    def test_document_is_versioned_and_json_clean(self, replay):
+        doc = replay.to_json()
+        assert doc["schema"] == RUN_JSON_SCHEMA
+        assert doc["kind"] == "replay_result"
+        # Serializable without default= hooks, and stable through a cycle.
+        encoded = canonical(doc)
+        assert canonical(json.loads(encoded)) == encoded
+
+    def test_round_trip_is_byte_identical(self, replay):
+        doc = replay.to_json()
+        rebuilt = ReplayResult.from_json(json.loads(canonical(doc)))
+        assert canonical(rebuilt.to_json()) == canonical(doc)
+
+    def test_rebuilt_replay_preserves_engine_fields(self, replay):
+        rebuilt = ReplayResult.from_json(replay.to_json())
+        assert rebuilt.schedule_signature == replay.schedule_signature
+        assert rebuilt.schedule == replay.schedule
+        assert rebuilt.pages_by_worker == replay.pages_by_worker
+        assert rebuilt.workers == replay.workers
+        assert len(rebuilt.pages) == len(replay.pages)
+        assert (rebuilt.total_counters.as_dict()
+                == replay.total_counters.as_dict())
+
+    def test_rebuilt_replay_simulates_identically(self, replay):
+        rebuilt = ReplayResult.from_json(replay.to_json())
+        original = simulate_population(replay, clients=WORKLOAD.clients)
+        again = simulate_population(rebuilt, clients=WORKLOAD.clients)
+        assert again.summary() == original.summary()
+        assert again.latency_by_page() == original.latency_by_page()
+
+    def test_serial_replay_exports_without_concurrent_block(self):
+        result = ReplayResult()
+        doc = result.to_json()
+        assert "concurrent" not in doc
+        rebuilt = ReplayResult.from_json(doc)
+        assert type(rebuilt) is ReplayResult
+        assert rebuilt.pages == []
+
+    def test_wrong_kind_and_schema_rejected(self, replay):
+        with pytest.raises(SimulationError):
+            ReplayResult.from_json({"kind": "run_metrics", "schema": 1})
+        doc = replay.to_json()
+        doc["schema"] = RUN_JSON_SCHEMA + 1
+        with pytest.raises(SimulationError):
+            ReplayResult.from_json(doc)
+
+
+class TestRunMetricsDocument:
+    def test_document_is_versioned_and_complete(self, replay):
+        metrics = simulate_population(replay, clients=WORKLOAD.clients)
+        doc = metrics.to_json()
+        assert doc["schema"] == RUN_JSON_SCHEMA
+        assert doc["kind"] == "run_metrics"
+        assert doc["mode"] == "retained"
+        assert doc["summary"] == metrics.summary()
+        assert doc["latency_by_page"] == metrics.latency_by_page()
+        assert doc["contention"] == dict(metrics.contention)
+        encoded = canonical(doc)
+        assert canonical(json.loads(encoded)) == encoded
+
+    def test_streaming_mode_documents_itself(self, replay):
+        metrics = simulate_population(replay, clients=WORKLOAD.clients,
+                                      retain_completions=False)
+        doc = metrics.to_json()
+        assert doc["mode"] == "streaming"
+        assert doc["summary"]["completed_pages"] > 0

@@ -23,6 +23,7 @@ EXPECTED_CELLS = {
     "replay_workers1",
     "replay_workers1_compiled",
     "replay_workers2_adversarial",
+    "tracing",
     "cluster",
     "adaptive",
     "sweep_jobs1",
@@ -41,12 +42,13 @@ def payload(tmp_path_factory):
 
 
 def test_payload_schema(payload):
-    assert payload["schema"] == 3
+    assert payload["schema"] == 4
     assert payload["mode"] == "quick"
     assert payload["cpus"] >= 1
     assert set(payload["cells"]) == EXPECTED_CELLS
     assert payload["compiled_replay_speedup"] > 0
     assert payload["sweep_jobs2_speedup"] > 0
+    assert payload["tracing_overhead"] > 0
 
 
 def test_every_cell_reports_a_positive_rate(payload):
@@ -79,6 +81,19 @@ def test_adaptive_cell_switches_bands(payload):
     cell = payload["cells"]["adaptive"]
     assert cell["band_switches"] > 0
     assert cell["tracked_keys"] > 0
+
+
+def test_traced_cell_matches_untraced_replay(payload):
+    """The zero-perturbation contract, pinned at the harness level: the
+    traced workers=2 replay reproduces the untraced schedule, page count,
+    and contention counters exactly — with real spans recorded."""
+    cells = payload["cells"]
+    traced, untraced = cells["tracing"], cells["replay_workers2_adversarial"]
+    assert traced["traced"] is True and untraced["traced"] is False
+    assert traced["schedule"] == untraced["schedule"]
+    assert traced["pages"] == untraced["pages"]
+    assert traced["contention"] == untraced["contention"]
+    assert traced["spans"] > 0
 
 
 def test_contention_counters_fire_at_two_workers(payload):

@@ -8,9 +8,12 @@ scenario this measures
   at ``workers=1`` (the serial facade path), the same replay over a
   ``CompiledTrace`` (the memo fast paths of ``repro.core.fastpath``; byte-
   identical output, higher rate), at ``workers=2`` under the adversarial
-  interleave policy, and the adaptive-strategy arm under the flash-crowd
-  arrival shape (compiled divergence and vacuous band switching both
-  hard-fail),
+  interleave policy — untraced and again with causal tracing installed
+  (the ``tracing_overhead`` ratio; a traced replay whose schedule or
+  counters diverge from the untraced one hard-fails, pinning the
+  zero-perturbation contract) — and the adaptive-strategy arm under the
+  flash-crowd arrival shape (compiled divergence and vacuous band
+  switching both hard-fail),
 * **swept cells/sec** — the quick contention ablation run end to end at
   ``--jobs 1`` and ``--jobs 2`` (the process-parallel cell runner; the
   speedup is bounded by the ``cpus`` recorded in the payload — on a
@@ -51,6 +54,7 @@ from repro.bench.scenarios import (Scenario, ScenarioConfig,  # noqa: E402
 from repro.cluster import (ClusterController, FaultEvent,  # noqa: E402
                            FaultInjector, FaultSchedule, GutterPool)
 from repro.memcache import CacheServer  # noqa: E402
+from repro.obs import Tracer  # noqa: E402
 from repro.bench.experiments import experiment_contention  # noqa: E402
 from repro.sim import (ADVERSARIAL, ROUND_ROBIN,  # noqa: E402
                        ConcurrentReplayer, compile_trace, simulate_population)
@@ -63,13 +67,14 @@ DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_simulat
 
 
 def bench_replay(workers: int, policy: str, workload, seed_scale: SeedScale,
-                 compiled: bool = False):
+                 compiled: bool = False, traced: bool = False):
     """Replay the fixed scenario once; return pages/sec plus contention."""
     config = ScenarioConfig(
         name=UPDATE_SCENARIO, strategy=_ablation_strategy(UPDATE_SCENARIO),
         seed_scale=seed_scale, page_interval_seconds=STRATEGY_PAGE_INTERVAL)
     scenario = Scenario(config).setup()
     try:
+        tracer = Tracer(clock=scenario.clock) if traced else None
         user_ids = list(range(1, config.seed_scale.users + 1))
         trace = WorkloadGenerator(workload, user_ids).generate()
         if compiled:
@@ -77,20 +82,25 @@ def bench_replay(workers: int, policy: str, workload, seed_scale: SeedScale,
         replayer = ConcurrentReplayer(
             scenario.app, scenario.database, genie=scenario.genie,
             workers=workers, policy=policy, seed=0, clock=scenario.clock,
-            page_interval_seconds=config.page_interval_seconds)
+            page_interval_seconds=config.page_interval_seconds,
+            tracer=tracer)
         started = time.perf_counter()
         result = replayer.replay(trace)
         elapsed = time.perf_counter() - started
     finally:
         scenario.teardown()
-    return result, {
+    stats = {
         "pages": len(result.pages),
         "seconds": round(elapsed, 4),
         "pages_per_s": round(len(result.pages) / elapsed, 1),
         "contention": dict(result.contention_summary()),
         "schedule": result.schedule_signature,
         "compiled": compiled,
+        "traced": traced,
     }
+    if traced:
+        stats["spans"] = len(tracer.finished)
+    return result, stats
 
 
 def bench_sweep(jobs: int):
@@ -267,9 +277,20 @@ def main(argv=None) -> int:
         raise SystemExit("compiled replay diverged from uncompiled: "
                          f"{compiled_replay.schedule_signature} != "
                          f"{serial_replay.schedule_signature}")
-    _, cells["replay_workers2_adversarial"] = bench_replay(
+    workers2_replay, cells["replay_workers2_adversarial"] = bench_replay(
         workers=2, policy=ADVERSARIAL, workload=workload,
         seed_scale=SeedScale.tiny())
+    traced_replay, cells["tracing"] = bench_replay(
+        workers=2, policy=ADVERSARIAL, workload=workload,
+        seed_scale=SeedScale.tiny(), traced=True)
+    if (traced_replay.schedule_signature != workers2_replay.schedule_signature
+            or traced_replay.contention_summary()
+                != workers2_replay.contention_summary()
+            or len(traced_replay.pages) != len(workers2_replay.pages)):
+        raise SystemExit("traced replay diverged from untraced: "
+                         f"{traced_replay.schedule_signature} != "
+                         f"{workers2_replay.schedule_signature} — tracing "
+                         "is no longer zero-perturbation")
     cells["cluster"] = bench_cluster(workload=workload,
                                      seed_scale=SeedScale.tiny())
     adaptive_workload = MIXED_HOT_COLD_WORKLOAD.with_overrides(
@@ -291,7 +312,7 @@ def main(argv=None) -> int:
         options=SimulationOptions(think_time_ms=0.0))
 
     payload = {
-        "schema": 3,
+        "schema": 4,
         "mode": "quick" if args.quick else "full",
         "generated_unix": int(time.time()),
         #: Parallel sweep speedup is bounded by this; on 1 CPU jobs=2 can
@@ -303,6 +324,12 @@ def main(argv=None) -> int:
         "sweep_jobs2_speedup": round(
             cells["sweep_jobs1"]["seconds"]
             / cells["sweep_jobs2"]["seconds"], 3),
+        #: >= 1: how much slower the workers=2 replay runs with every span
+        #: recorded (the cost of tracing *when enabled* — a replay without
+        #: a tracer installed skips it entirely).
+        "tracing_overhead": round(
+            cells["replay_workers2_adversarial"]["pages_per_s"]
+            / cells["tracing"]["pages_per_s"], 3),
         "workload": {"clients": workload.clients,
                      "sessions_per_client": workload.sessions_per_client,
                      "page_loads_per_session": workload.page_loads_per_session},
@@ -318,7 +345,9 @@ def main(argv=None) -> int:
         print(f"{name:34s} {rate:>12,.1f} {unit}")
     print(f"compiled replay speedup: {payload['compiled_replay_speedup']}x, "
           f"jobs=2 sweep speedup: {payload['sweep_jobs2_speedup']}x "
-          f"on {payload['cpus']} cpu(s)")
+          f"on {payload['cpus']} cpu(s), "
+          f"tracing overhead: {payload['tracing_overhead']}x "
+          f"({cells['tracing']['spans']} spans)")
     print(f"wrote {args.output}")
     return 0
 
